@@ -1,0 +1,61 @@
+// Command calibrate compares candidate synthetic-stream
+// parameterizations on the metrics the experiments are calibrated
+// against: the FIFO useless-data fraction (the paper observes ~75% for
+// k=20), the k-filled advantage of kFlushing over FIFO, and hit ratios
+// under both workloads. It documents how gen.DefaultConfig was chosen.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"kflushing/internal/bench"
+	"kflushing/internal/gen"
+)
+
+func main() {
+	queries := flag.Int("queries", 8000, "measured queries per run")
+	flag.Parse()
+
+	type cand struct {
+		name string
+		cfg  gen.Config
+	}
+	base := gen.DefaultConfig()
+	mk := func(vocab int, ks float64, group int, rel float64) gen.Config {
+		c := base
+		c.Vocab, c.KeywordSkew, c.GroupSize, c.RelatedProb = vocab, ks, group, rel
+		return c
+	}
+	cands := []cand{
+		{"I v200k s0.95 g4 r0.5 (default)", mk(200_000, 0.95, 4, 0.5)},
+		{"J v200k s0.90 g4 r0.5", mk(200_000, 0.90, 4, 0.5)},
+		{"K v400k s0.97 g4 r0.5", mk(400_000, 0.97, 4, 0.5)},
+		{"L v200k s0.95 g8 r0.6", mk(200_000, 0.95, 8, 0.6)},
+	}
+	for _, c := range cands {
+		fmt.Println("###", c.name)
+		for _, pol := range []string{"fifo", "kflushing", "kflushing-mk"} {
+			for _, corr := range []bool{true, false} {
+				rc := bench.RunConfig{
+					Policy: pol, K: 20, Budget: 30 << 20,
+					Stream: c.cfg, Correlated: corr,
+					MeasureQueries: *queries, WarmFlushes: 5, Seed: 1,
+				}
+				res := bench.RunKeyword(rc)
+				useless := 0.0
+				if res.Census.Postings > 0 {
+					useless = float64(res.Census.BeyondTopK) / float64(res.Census.Postings)
+				}
+				wl := "uni"
+				if corr {
+					wl = "corr"
+				}
+				fmt.Printf("  %-12s %-4s hit=%6.2f%% (s=%5.1f%% o=%5.1f%% a=%5.1f%%) kfilled=%6d useless=%5.1f%% entries=%d t=%s\n",
+					pol, wl, res.HitRatio*100,
+					res.SingleHitRatio*100, res.OrHitRatio*100, res.AndHitRatio*100,
+					res.Census.KFilled, useless*100, res.Census.Entries, res.Elapsed.Round(1e8))
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Command datagen writes a synthetic microblog stream as JSON lines,
+// for feeding kflushd or external tools. The stream reproduces the
+// distributional properties of real microblogs (see internal/gen).
+//
+//	datagen -n 100000 -seed 7 > tweets.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+
+	"kflushing/internal/gen"
+)
+
+func main() {
+	n := flag.Int("n", 100_000, "number of microblogs")
+	seed := flag.Int64("seed", 1, "random seed")
+	vocab := flag.Int("vocab", 0, "override keyword vocabulary size")
+	users := flag.Int("users", 0, "override user count")
+	geo := flag.Float64("geo", -1, "override geotagged fraction [0,1]")
+	flag.Parse()
+
+	cfg := gen.DefaultConfig()
+	cfg.Seed = *seed
+	if *vocab > 0 {
+		cfg.Vocab = *vocab
+	}
+	if *users > 0 {
+		cfg.Users = *users
+	}
+	if *geo >= 0 {
+		cfg.GeoFraction = *geo
+	}
+
+	g := gen.New(cfg)
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+	for i := 0; i < *n; i++ {
+		mb := g.Next()
+		out := map[string]any{
+			"timestamp": int64(mb.Timestamp),
+			"user_id":   mb.UserID,
+			"followers": mb.Followers,
+			"keywords":  mb.Keywords,
+			"text":      mb.Text,
+		}
+		if mb.HasGeo {
+			out["lat"], out["lon"] = mb.Lat, mb.Lon
+		}
+		if err := enc.Encode(out); err != nil {
+			log.Fatalf("encode: %v", err)
+		}
+	}
+}

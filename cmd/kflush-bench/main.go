@@ -1,0 +1,104 @@
+// Command kflush-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	kflush-bench [flags] <experiment>...
+//	kflush-bench all
+//	kflush-bench list
+//
+// Experiments are named after the paper's figures (snapshot, fig5,
+// fig7a..fig7c, fig8, fig9, fig10a, fig10b, fig11a, fig11b, fig12a,
+// fig12b) plus the design ablations (ablation-phases,
+// ablation-selector). Results print as aligned tables; -csv additionally
+// writes one CSV per table into -out.
+//
+// The sweeps default to the paper's parameter grids scaled to
+// laptop-size (1 MiB of budget per paper-GB); -quick shrinks them
+// further for smoke runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"kflushing/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the reduced quick scale")
+	csv := flag.Bool("csv", false, "also write CSV files to -out")
+	out := flag.String("out", "results", "directory for CSV output")
+	seed := flag.Int64("seed", 1, "random seed for streams and workloads")
+	queries := flag.Int("queries", 0, "override measured queries per run")
+	flag.Usage = usage
+	flag.Parse()
+
+	scale := bench.DefaultScale()
+	if *quick {
+		scale = bench.QuickScale()
+	}
+	scale.Seed = *seed
+	if *queries > 0 {
+		scale.MeasureQueries = *queries
+	}
+	exps := bench.Experiments(scale)
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		names := make([]string, 0, len(exps))
+		for name := range exps {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+	if args[0] == "all" {
+		args = bench.ExperimentOrder
+	}
+
+	for _, name := range args {
+		runExp, ok := exps[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try: kflush-bench list)\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables := runExp()
+		for i, t := range tables {
+			t.Fprint(os.Stdout)
+			if *csv {
+				if err := os.MkdirAll(*out, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				path := filepath.Join(*out, fmt.Sprintf("%s_%d.csv", name, i))
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `kflush-bench regenerates the evaluation figures of
+"On Main-memory Flushing in Microblogs Data Management Systems" (ICDE 2016).
+
+usage: kflush-bench [flags] <experiment>... | all | list
+
+flags:
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,60 @@
+// Command kflushd serves a multi-attribute kFlushing microblogs store
+// over HTTP. One ingested stream is indexed under keywords, spatial
+// grid tiles, and user timelines — each attribute with its own memory
+// budget, flushing policy instance, and disk tier.
+//
+// Endpoints:
+//
+//	POST /microblogs                  ingest JSON object(s)
+//	GET  /search/keywords?q=a,b&op=and&k=20
+//	GET  /search/nearby?lat=40.7&lon=-74.0&k=20
+//	GET  /search/user?id=42&k=20
+//	GET  /stats                       per-attribute snapshots (JSON)
+//	GET  /metrics                     Prometheus text format
+//	GET  /healthz                     liveness probe
+//
+// Example:
+//
+//	kflushd -addr :8080 -data /var/lib/kflushd -policy kflushing -budget 64
+//	curl -XPOST localhost:8080/microblogs \
+//	     -d '{"keywords":["go"],"text":"hello","user_id":7,"lat":40.7,"lon":-74.0}'
+//	curl 'localhost:8080/search/keywords?q=go&k=5'
+//	curl 'localhost:8080/search/user?id=7&k=5'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"kflushing"
+	"kflushing/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data", "kflushd-data", "data directory (disk tiers and WAL)")
+	policy := flag.String("policy", "kflushing", "flushing policy: kflushing|kflushing-mk|fifo|lru")
+	budgetMiB := flag.Int64("budget", 256, "memory budget per attribute in MiB")
+	k := flag.Int("k", 20, "default top-k")
+	flushFrac := flag.Float64("flush", 0.10, "flushing budget B as a fraction")
+	durable := flag.Bool("durable", false, "write-ahead log memory contents")
+	flag.Parse()
+
+	store, err := server.OpenStore(*dataDir, kflushing.Options{
+		K:             *k,
+		MemoryBudget:  *budgetMiB << 20,
+		FlushFraction: *flushFrac,
+		Policy:        kflushing.PolicyKind(*policy),
+		Clock:         kflushing.WallClock(),
+		Durable:       *durable,
+	})
+	if err != nil {
+		log.Fatalf("open store: %v", err)
+	}
+	defer store.Close()
+
+	log.Printf("kflushd listening on %s (policy=%s budget=%dMiB/attr k=%d durable=%v)",
+		*addr, *policy, *budgetMiB, *k, *durable)
+	log.Fatal(http.ListenAndServe(*addr, store.Handler()))
+}

@@ -1,0 +1,159 @@
+// Command replay drives a system from recorded streams: it ingests a
+// microblog stream (JSON lines, as written by datagen) while executing
+// a query workload (JSON lines, as written by workloadgen) against it,
+// then reports hit ratios and flushing activity. It turns the data and
+// workload generators into a reproducible end-to-end experiment over
+// any policy:
+//
+//	datagen -n 500000 > tweets.jsonl
+//	workloadgen -kind correlated -n 50000 > queries.jsonl
+//	replay -policy kflushing -budget 30 -tweets tweets.jsonl -queries queries.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"kflushing"
+)
+
+type tweetLine struct {
+	Timestamp int64    `json:"timestamp"`
+	UserID    uint64   `json:"user_id"`
+	Followers uint32   `json:"followers"`
+	Keywords  []string `json:"keywords"`
+	Text      string   `json:"text"`
+	Lat       *float64 `json:"lat"`
+	Lon       *float64 `json:"lon"`
+}
+
+type queryLine struct {
+	Keywords []string `json:"keywords"`
+	Op       string   `json:"op"`
+}
+
+func main() {
+	policy := flag.String("policy", "kflushing", "flushing policy: kflushing|kflushing-mk|fifo|lru")
+	budgetMiB := flag.Int64("budget", 30, "memory budget in MiB")
+	k := flag.Int("k", 20, "top-k")
+	flushFrac := flag.Float64("flush", 0.10, "flushing budget fraction B")
+	tweetsPath := flag.String("tweets", "", "microblog stream file (JSON lines); required")
+	queriesPath := flag.String("queries", "", "query workload file (JSON lines); optional")
+	qpi := flag.Int("qpi", 1, "queries interleaved per ingested record")
+	dataDir := flag.String("data", "", "disk tier directory (default: temp, removed)")
+	flag.Parse()
+
+	if *tweetsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	dir := *dataDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "kflush-replay")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	sys, err := kflushing.Open(dir, kflushing.Options{
+		Policy:        kflushing.PolicyKind(*policy),
+		K:             *k,
+		MemoryBudget:  *budgetMiB << 20,
+		FlushFraction: *flushFrac,
+		SyncFlush:     true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	tweets, err := os.Open(*tweetsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tweets.Close()
+	tweetScan := bufio.NewScanner(tweets)
+	tweetScan.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var queryScan *bufio.Scanner
+	if *queriesPath != "" {
+		queries, err := os.Open(*queriesPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer queries.Close()
+		queryScan = bufio.NewScanner(queries)
+		queryScan.Buffer(make([]byte, 1<<20), 1<<20)
+	}
+
+	nextQuery := func() (queryLine, bool) {
+		if queryScan == nil || !queryScan.Scan() {
+			return queryLine{}, false
+		}
+		var q queryLine
+		if err := json.Unmarshal(queryScan.Bytes(), &q); err != nil {
+			log.Fatalf("bad query line: %v", err)
+		}
+		return q, true
+	}
+
+	ingested, skipped := 0, 0
+	for tweetScan.Scan() {
+		var tl tweetLine
+		if err := json.Unmarshal(tweetScan.Bytes(), &tl); err != nil {
+			log.Fatalf("bad tweet line: %v", err)
+		}
+		mb := &kflushing.Microblog{
+			Timestamp: kflushing.Timestamp(tl.Timestamp),
+			UserID:    tl.UserID,
+			Followers: tl.Followers,
+			Keywords:  tl.Keywords,
+			Text:      tl.Text,
+		}
+		if tl.Lat != nil && tl.Lon != nil {
+			mb.Lat, mb.Lon, mb.HasGeo = *tl.Lat, *tl.Lon, true
+		}
+		if _, err := sys.Ingest(mb); err != nil {
+			skipped++
+		} else {
+			ingested++
+		}
+		for j := 0; j < *qpi; j++ {
+			q, ok := nextQuery()
+			if !ok {
+				break
+			}
+			op := kflushing.OpSingle
+			switch q.Op {
+			case "and":
+				op = kflushing.OpAnd
+			case "or":
+				op = kflushing.OpOr
+			}
+			if _, err := sys.Search(q.Keywords, op, *k); err != nil {
+				log.Fatalf("query failed: %v", err)
+			}
+		}
+	}
+	if err := tweetScan.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	st := sys.Stats()
+	fmt.Printf("policy=%s k=%d budget=%dMiB B=%.0f%%\n", st.Policy, st.K, *budgetMiB, *flushFrac*100)
+	fmt.Printf("ingested=%d skipped=%d flushes=%d flushed=%.1fMiB segments=%d\n",
+		ingested, skipped, st.Metrics.Flushes, float64(st.Metrics.FlushedBytes)/(1<<20), st.Disk.Segments)
+	fmt.Printf("queries=%d hit-ratio=%.2f%% (hits=%d misses=%d)\n",
+		st.Metrics.Queries, st.Metrics.HitRatio*100, st.Metrics.Hits, st.Metrics.Misses)
+	fmt.Printf("memory: used=%.1fMiB of %.1fMiB, k-filled keys=%d of %d entries\n",
+		float64(st.MemoryUsed)/(1<<20), float64(st.MemoryBudget)/(1<<20),
+		st.Census.KFilled, st.Census.Entries)
+	fmt.Printf("latency: hit mean=%v p99=%v | miss mean=%v p99=%v\n",
+		st.Metrics.MeanHit, st.Metrics.P99Hit, st.Metrics.MeanMiss, st.Metrics.P99Miss)
+}

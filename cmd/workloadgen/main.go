@@ -1,0 +1,49 @@
+// Command workloadgen writes a query workload as JSON lines, matching
+// the two workloads of the paper's Section V: correlated (query
+// probability equals occurrence probability) and uniform (every key
+// equally likely). Keyword workloads mix single/AND/OR one third each.
+//
+//	workloadgen -kind correlated -n 10000 > queries.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+
+	"kflushing/internal/gen"
+	"kflushing/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "correlated", "workload kind: correlated|uniform")
+	n := flag.Int("n", 10_000, "number of queries")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := gen.DefaultConfig()
+	var src workload.Source[string]
+	switch *kind {
+	case "correlated":
+		src = workload.KeywordCorrelated(cfg, *seed)
+	case "uniform":
+		src = workload.KeywordUniform(cfg, *seed)
+	default:
+		log.Fatalf("unknown workload kind %q", *kind)
+	}
+
+	w := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+	for i := 0; i < *n; i++ {
+		q := src.Next()
+		if err := enc.Encode(map[string]any{
+			"keywords": q.Keys,
+			"op":       q.Op.String(),
+		}); err != nil {
+			log.Fatalf("encode: %v", err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package kflushing_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kflushing"
+)
+
+func durableOpts() kflushing.Options {
+	return kflushing.Options{
+		Policy:       kflushing.PolicyKFlushing,
+		K:            5,
+		MemoryBudget: 4 << 20,
+		SyncFlush:    true,
+		Durable:      true,
+	}
+}
+
+func TestDurableRestartKeepsMemoryContents(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := kflushing.Open(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		if _, err := sys.Ingest(mb(int64(i), fmt.Sprintf("k%d", i%9))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := kflushing.Open(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	st := re.Stats()
+	if st.StoreRecords != 100 {
+		t.Fatalf("recovered %d records, want 100", st.StoreRecords)
+	}
+	res, err := re.SearchKeyword("k1", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MemoryHit {
+		t.Fatal("recovered memory did not serve the query")
+	}
+	if len(res.Items) != 5 {
+		t.Fatalf("got %d items", len(res.Items))
+	}
+	// Ranking order and IDs survive recovery.
+	for i := 1; i < len(res.Items); i++ {
+		if res.Items[i-1].Score < res.Items[i].Score {
+			t.Fatal("recovered answers not ranked")
+		}
+	}
+	// New ingests continue past the recovered ID space.
+	id, err := re.Ingest(mb(101, "k1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= 100 {
+		t.Fatalf("new ID %d collides with recovered records", id)
+	}
+}
+
+func TestDurableCrashRecoveryFromTornWAL(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := kflushing.Open(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		if _, err := sys.Ingest(mb(int64(i), "crashkey")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash: no Close (no snapshot); tear the newest WAL
+	// file mid-record.
+	files, err := filepath.Glob(filepath.Join(dir, "wal", "wal-*.kfw"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("wal files: %v err=%v", files, err)
+	}
+	newest := files[len(files)-1]
+	b, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, b[:len(b)-11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := kflushing.Open(dir, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	st := re.Stats()
+	// The torn final record is lost; everything else survives.
+	if st.StoreRecords != 49 {
+		t.Fatalf("recovered %d records, want 49", st.StoreRecords)
+	}
+	res, err := re.SearchKeyword("crashkey", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MemoryHit || len(res.Items) != 5 {
+		t.Fatalf("hit=%v items=%d", res.MemoryHit, len(res.Items))
+	}
+	if res.Items[0].MB.Timestamp != 49 {
+		t.Fatalf("newest surviving record ts=%d, want 49", res.Items[0].MB.Timestamp)
+	}
+}
+
+func TestDurableRecoveryAfterFlushesDeduplicates(t *testing.T) {
+	dir := t.TempDir()
+	opts := durableOpts()
+	opts.MemoryBudget = 64 << 10 // force flushing
+	sys, err := kflushing.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 1500; i++ {
+		if _, err := sys.Ingest(mb(int64(i), fmt.Sprintf("k%d", i%7))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sys.Stats().Disk.Segments == 0 {
+		t.Fatal("expected flushed segments")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := kflushing.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	// Queries across recovered memory + disk see each record once.
+	res, err := re.Search([]string{"k1"}, kflushing.OpSingle, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[kflushing.ID]bool{}
+	for _, it := range res.Items {
+		if seen[it.MB.ID] {
+			t.Fatalf("duplicate record %d in answer", it.MB.ID)
+		}
+		seen[it.MB.ID] = true
+	}
+	// The newest record for k1 must be present and ranked first.
+	want := int64(0)
+	for i := 1; i <= 1500; i++ {
+		if i%7 == 1 {
+			want = int64(i)
+		}
+	}
+	if int64(res.Items[0].MB.Timestamp) != want {
+		t.Fatalf("newest k1 record ts=%d, want %d", res.Items[0].MB.Timestamp, want)
+	}
+}

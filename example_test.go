@@ -1,0 +1,86 @@
+package kflushing_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"kflushing"
+)
+
+// Example demonstrates the basic lifecycle: open a system, digest a few
+// microblogs, and run the three query forms.
+func Example() {
+	dir, err := os.MkdirTemp("", "kflushing-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sys, err := kflushing.Open(dir, kflushing.Options{SyncFlush: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	posts := []kflushing.Microblog{
+		{Keywords: []string{"go", "databases"}, Text: "a flushing policy"},
+		{Keywords: []string{"go"}, Text: "generic indexes"},
+		{Keywords: []string{"databases"}, Text: "top-k search"},
+	}
+	for i := range posts {
+		if _, err := sys.Ingest(&posts[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// k=1: the single AND match is a complete in-memory answer. (A
+	// larger k would be a "miss": fewer than k results forces a disk
+	// check, which is exactly the event the hit ratio prices.)
+	res, err := sys.Search([]string{"go", "databases"}, kflushing.OpAnd, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, it := range res.Items {
+		fmt.Println(it.MB.Text)
+	}
+	fmt.Println("from memory:", res.MemoryHit)
+	// Output:
+	// a flushing policy
+	// from memory: true
+}
+
+// ExampleOpenUser shows the user-timeline attribute.
+func ExampleOpenUser() {
+	dir, err := os.MkdirTemp("", "kflushing-example-user")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sys, err := kflushing.OpenUser(dir, kflushing.Options{SyncFlush: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	for i := 1; i <= 3; i++ {
+		_, err := sys.Ingest(&kflushing.Microblog{
+			UserID: 7,
+			Text:   fmt.Sprintf("post %d", i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := sys.SearchUser(7, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, it := range res.Items {
+		fmt.Println(it.MB.Text)
+	}
+	// Output:
+	// post 3
+	// post 2
+}

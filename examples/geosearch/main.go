@@ -1,0 +1,83 @@
+// Geosearch: the location-based rescue-service scenario (the paper's
+// introduction cites flood response over geotagged posts). A geotagged
+// stream is indexed by 4 mi² grid tiles; queries ask for the most
+// recent k posts around given coordinates. The kFlushing policy keeps
+// the per-tile top-k in memory even for quieter tiles.
+//
+//	go run ./examples/geosearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"kflushing"
+	"kflushing/internal/gen"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "kflushing-geo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sys, err := kflushing.OpenSpatial(dir, nil /* default US grid */, kflushing.Options{
+		Policy:       kflushing.PolicyKFlushing,
+		MemoryBudget: 12 << 20,
+		K:            10,
+		SyncFlush:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	cfg := gen.DefaultConfig()
+	cfg.GeoFraction = 1.0
+	stream := gen.New(cfg)
+	// Track recent activity per tile so the demo queries a busy spot —
+	// a rescue service watches where the posts are.
+	grid := sys.Grid()
+	activity := map[kflushing.Cell]int{}
+	var probeLat, probeLon float64
+	var probeMax int
+	for i := 0; i < 150_000; i++ {
+		mb := stream.Next()
+		if i >= 140_000 {
+			c := grid.CellOf(mb.Lat, mb.Lon)
+			activity[c]++
+			if activity[c] > probeMax {
+				probeMax = activity[c]
+				probeLat, probeLon = mb.Lat, mb.Lon
+			}
+		}
+		if _, err := sys.Ingest(mb); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := sys.SearchAt(probeLat, probeLon, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cell := grid.CellOf(probeLat, probeLon)
+	fmt.Printf("most recent posts in %v (around %.3f,%.3f), memory hit: %v\n",
+		cell, probeLat, probeLon, res.MemoryHit)
+	for _, it := range res.Items {
+		fmt.Printf("  t=%-12d user=%-6d (%.3f, %.3f)\n",
+			it.MB.Timestamp, it.MB.UserID, it.MB.Lat, it.MB.Lon)
+	}
+
+	// Widen to a 10-mile radius around the same point.
+	res, err = sys.SearchRadius(probeLat, probeLon, 10, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("within 10 miles: %d posts (memory hit: %v)\n", len(res.Items), res.MemoryHit)
+
+	st := sys.Stats()
+	fmt.Printf("\n%d tiles in memory, %d can answer top-%d from memory; %d segments on disk\n",
+		st.Census.Entries, st.Census.KFilled, st.K, st.Disk.Segments)
+}

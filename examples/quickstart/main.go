@@ -1,0 +1,83 @@
+// Quickstart: open a keyword system, ingest a few microblogs, run the
+// three query forms, and print what the flushing layer is doing.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"kflushing"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "kflushing-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Open with the paper's defaults: k=20, B=10%, kFlushing policy.
+	sys, err := kflushing.Open(dir, kflushing.Options{
+		MemoryBudget: 8 << 20, // small budget so flushing is visible
+		SyncFlush:    true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Ingest a small stream. The engine assigns IDs and timestamps.
+	posts := []struct {
+		keywords []string
+		text     string
+	}{
+		{[]string{"golang", "databases"}, "flushing policies in Go"},
+		{[]string{"golang"}, "generics for index keys"},
+		{[]string{"databases", "memory"}, "anti-caching vs buffer pools"},
+		{[]string{"golang", "memory"}, "tracking bytes without malloc hooks"},
+		{[]string{"microblogs"}, "top-k search is the common case"},
+	}
+	for _, p := range posts {
+		if _, err := sys.Ingest(&kflushing.Microblog{Keywords: p.keywords, Text: p.text}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Single-keyword top-k: the most recent k posts containing the key.
+	res, err := sys.SearchKeyword("golang", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("single golang (k=2):")
+	for _, it := range res.Items {
+		fmt.Printf("  %v %q\n", it.MB.Keywords, it.MB.Text)
+	}
+
+	// OR: posts containing any of the keywords.
+	res, err = sys.Search([]string{"databases", "microblogs"}, kflushing.OpOr, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("databases OR microblogs (k=3):")
+	for _, it := range res.Items {
+		fmt.Printf("  %v %q\n", it.MB.Keywords, it.MB.Text)
+	}
+
+	// AND: posts containing all of the keywords.
+	res, err = sys.Search([]string{"golang", "memory"}, kflushing.OpAnd, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("golang AND memory (k=5):")
+	for _, it := range res.Items {
+		fmt.Printf("  %v %q\n", it.MB.Keywords, it.MB.Text)
+	}
+
+	st := sys.Stats()
+	fmt.Printf("\nstats: ingested=%d queries=%d hit-ratio=%.0f%% memory=%dB of %dB\n",
+		st.Metrics.Ingested, st.Metrics.Queries, st.Metrics.HitRatio*100,
+		st.MemoryUsed, st.MemoryBudget)
+}

@@ -1,0 +1,3 @@
+module kflushing
+
+go 1.22

@@ -1,0 +1,101 @@
+// Package attr binds the generic engine to the three concrete search
+// attributes the paper evaluates (Section IV-A / V-D): keywords
+// (hashtags), spatial grid tiles, and user IDs. Each binding supplies
+// the key extractor, hash, size model, and disk encoding the generic
+// index and disk tier need.
+package attr
+
+import (
+	"strconv"
+
+	"kflushing/internal/spatial"
+	"kflushing/internal/types"
+)
+
+// HashString hashes a string key for index sharding (FNV-1a).
+// Deliberately deterministic across processes so experiment runs are
+// reproducible for a given seed; shard selection is not an adversarial
+// surface here.
+func HashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// HashUint64 mixes an integer key (splitmix64 finalizer) so sequential
+// IDs spread across shards.
+func HashUint64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// KeywordKeys extracts a microblog's deduplicated keywords. Duplicated
+// keywords within one record would otherwise double-count references.
+func KeywordKeys(m *types.Microblog) []string {
+	switch len(m.Keywords) {
+	case 0:
+		return nil
+	case 1:
+		return m.Keywords
+	}
+	out := make([]string, 0, len(m.Keywords))
+	for _, kw := range m.Keywords {
+		dup := false
+		for _, seen := range out {
+			if seen == kw {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, kw)
+		}
+	}
+	return out
+}
+
+// KeywordLen is the memory-model size of a keyword key.
+func KeywordLen(s string) int { return len(s) }
+
+// KeywordEncode is the disk-directory encoding of a keyword key.
+func KeywordEncode(s string) string { return s }
+
+// UserKeys extracts the user-timeline key of a microblog.
+func UserKeys(m *types.Microblog) []uint64 { return []uint64{m.UserID} }
+
+// UserLen is the memory-model size of a user key (fixed-size integer,
+// already covered by the entry header).
+func UserLen(uint64) int { return 0 }
+
+// UserEncode is the disk-directory encoding of a user key.
+func UserEncode(u uint64) string { return strconv.FormatUint(u, 10) }
+
+// SpatialKeys returns a key extractor mapping geotagged microblogs onto
+// the given grid's tiles. Records without a location carry no spatial
+// key.
+func SpatialKeys(g *spatial.Grid) func(*types.Microblog) []spatial.Cell {
+	return func(m *types.Microblog) []spatial.Cell {
+		if !m.HasGeo {
+			return nil
+		}
+		return []spatial.Cell{g.CellOf(m.Lat, m.Lon)}
+	}
+}
+
+// HashCell hashes a grid tile for index sharding.
+func HashCell(c spatial.Cell) uint64 {
+	return HashUint64(uint64(uint32(c.Row))<<32 | uint64(uint32(c.Col)))
+}
+
+// CellLen is the memory-model size of a tile key (fixed-size).
+func CellLen(spatial.Cell) int { return 0 }
+
+// CellEncode is the disk-directory encoding of a tile key.
+func CellEncode(c spatial.Cell) string {
+	return strconv.Itoa(int(c.Row)) + "," + strconv.Itoa(int(c.Col))
+}

@@ -1,0 +1,98 @@
+package attr
+
+import (
+	"testing"
+
+	"kflushing/internal/spatial"
+	"kflushing/internal/types"
+)
+
+func TestKeywordKeysDedupes(t *testing.T) {
+	m := &types.Microblog{Keywords: []string{"a", "b", "a", "c", "b"}}
+	got := KeywordKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestKeywordKeysFastPaths(t *testing.T) {
+	if KeywordKeys(&types.Microblog{}) != nil {
+		t.Fatal("empty keywords must return nil")
+	}
+	m := &types.Microblog{Keywords: []string{"only"}}
+	got := KeywordKeys(m)
+	if len(got) != 1 || got[0] != "only" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestHashStringSpreads(t *testing.T) {
+	shards := map[uint64]int{}
+	for i := 0; i < 1000; i++ {
+		shards[HashString(string(rune('a'+i%26))+string(rune('0'+i%10)))%16]++
+	}
+	for s, n := range shards {
+		if n == 0 {
+			t.Fatalf("shard %d empty", s)
+		}
+	}
+}
+
+func TestHashUint64SpreadsSequentialIDs(t *testing.T) {
+	shards := map[uint64]int{}
+	for i := uint64(0); i < 1024; i++ {
+		shards[HashUint64(i)%16]++
+	}
+	// Sequential inputs must not collapse onto few shards.
+	for s := uint64(0); s < 16; s++ {
+		if shards[s] < 16 {
+			t.Fatalf("shard %d underpopulated: %d", s, shards[s])
+		}
+	}
+}
+
+func TestUserKeys(t *testing.T) {
+	m := &types.Microblog{UserID: 42}
+	got := UserKeys(m)
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("got %v", got)
+	}
+	if UserEncode(42) != "42" {
+		t.Fatal("UserEncode")
+	}
+	if UserLen(42) != 0 {
+		t.Fatal("UserLen must be 0 for fixed-size keys")
+	}
+}
+
+func TestSpatialKeys(t *testing.T) {
+	g := spatial.DefaultGrid()
+	keys := SpatialKeys(g)
+	if got := keys(&types.Microblog{}); got != nil {
+		t.Fatal("non-geo record must have no spatial key")
+	}
+	m := &types.Microblog{HasGeo: true, Lat: 40, Lon: -90}
+	got := keys(m)
+	if len(got) != 1 || got[0] != g.CellOf(40, -90) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCellEncodeDistinct(t *testing.T) {
+	a := CellEncode(spatial.Cell{Row: 1, Col: 23})
+	b := CellEncode(spatial.Cell{Row: 12, Col: 3})
+	if a == b {
+		t.Fatalf("cells encode identically: %q", a)
+	}
+	if CellLen(spatial.Cell{}) != 0 {
+		t.Fatal("CellLen must be 0")
+	}
+}
+
+func TestHashCellDistinguishesRowCol(t *testing.T) {
+	a := HashCell(spatial.Cell{Row: 1, Col: 2})
+	b := HashCell(spatial.Cell{Row: 2, Col: 1})
+	if a == b {
+		t.Fatal("transposed cells hash identically")
+	}
+}

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"kflushing/internal/attr"
+	"kflushing/internal/clock"
+	"kflushing/internal/engine"
+	"kflushing/internal/gen"
+	"kflushing/internal/spatial"
+	"kflushing/internal/types"
+	"kflushing/internal/workload"
+)
+
+// RunKeyword executes one steady-state run on the keyword attribute.
+func RunKeyword(rc RunConfig) RunResult {
+	rc = rc.Defaults()
+	dir, cleanup := tempDiskDir(rc)
+	defer cleanup()
+
+	pc := buildPolicy[string](rc)
+	clk := clock.NewLogical(1, 0)
+	eng, err := engine.New(engine.Config[string]{
+		K:             rc.K,
+		MemoryBudget:  rc.Budget,
+		FlushFraction: rc.FlushFrac,
+		KeysOf:        attr.KeywordKeys,
+		KeyHash:       attr.HashString,
+		KeyLen:        attr.KeywordLen,
+		EncodeKey:     attr.KeywordEncode,
+		Clock:         clk,
+		DiskDir:       dir,
+		Policy:        pc.pol,
+		TrackTopK:     pc.trackTopK,
+		TrackOverK:    pc.trackOverK,
+		SyncFlush:     true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	streamCfg := rc.Stream
+	streamCfg.GeoFraction = 0 // keyword runs need no locations
+	g := gen.New(streamCfg)
+
+	var wl workload.Source[string]
+	if !rc.NoQueries {
+		if rc.Correlated {
+			wl = workload.KeywordCorrelated(rc.Stream, rc.Seed+1000)
+		} else {
+			wl = workload.KeywordUniform(rc.Stream, rc.Seed+1000)
+		}
+	}
+	return run(rc, eng, clk, func() *types.Microblog { return g.Next() }, wl)
+}
+
+// RunSpatial executes one steady-state run on the spatial attribute
+// (Figure 11): the stream is fully geotagged and queries target grid
+// tiles.
+func RunSpatial(rc RunConfig) RunResult {
+	rc = rc.Defaults()
+	dir, cleanup := tempDiskDir(rc)
+	defer cleanup()
+
+	grid := spatial.DefaultGrid()
+	pc := buildPolicy[spatial.Cell](rc)
+	clk := clock.NewLogical(1, 0)
+	eng, err := engine.New(engine.Config[spatial.Cell]{
+		K:             rc.K,
+		MemoryBudget:  rc.Budget,
+		FlushFraction: rc.FlushFrac,
+		KeysOf:        attr.SpatialKeys(grid),
+		KeyHash:       attr.HashCell,
+		KeyLen:        attr.CellLen,
+		EncodeKey:     attr.CellEncode,
+		Clock:         clk,
+		DiskDir:       dir,
+		Policy:        pc.pol,
+		TrackTopK:     pc.trackTopK,
+		TrackOverK:    pc.trackOverK,
+		SyncFlush:     true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	streamCfg := rc.Stream
+	streamCfg.GeoFraction = 1
+	g := gen.New(streamCfg)
+
+	var wl workload.Source[spatial.Cell]
+	if !rc.NoQueries {
+		if rc.Correlated {
+			wl = workload.SpatialCorrelated(rc.Stream, grid, rc.Seed+1000)
+		} else {
+			wl = workload.SpatialUniform(rc.Stream, grid, rc.Seed+1000, 20_000)
+		}
+	}
+	return run(rc, eng, clk, func() *types.Microblog { return g.Next() }, wl)
+}
+
+// RunUser executes one steady-state run on the user attribute
+// (Figure 12): queries are single-key user timelines.
+func RunUser(rc RunConfig) RunResult {
+	rc = rc.Defaults()
+	dir, cleanup := tempDiskDir(rc)
+	defer cleanup()
+
+	pc := buildPolicy[uint64](rc)
+	clk := clock.NewLogical(1, 0)
+	eng, err := engine.New(engine.Config[uint64]{
+		K:             rc.K,
+		MemoryBudget:  rc.Budget,
+		FlushFraction: rc.FlushFrac,
+		KeysOf:        attr.UserKeys,
+		KeyHash:       attr.HashUint64,
+		KeyLen:        attr.UserLen,
+		EncodeKey:     attr.UserEncode,
+		Clock:         clk,
+		DiskDir:       dir,
+		Policy:        pc.pol,
+		TrackTopK:     pc.trackTopK,
+		TrackOverK:    pc.trackOverK,
+		SyncFlush:     true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	streamCfg := rc.Stream
+	streamCfg.GeoFraction = 0
+	g := gen.New(streamCfg)
+
+	var wl workload.Source[uint64]
+	if !rc.NoQueries {
+		if rc.Correlated {
+			wl = workload.UserCorrelated(rc.Stream, rc.Seed+1000)
+		} else {
+			wl = workload.UserUniform(rc.Stream, rc.Seed+1000)
+		}
+	}
+	return run(rc, eng, clk, func() *types.Microblog { return g.Next() }, wl)
+}

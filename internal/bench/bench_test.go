@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickScale shrinks runs further than QuickScale for unit testing.
+func quickScale() Scale {
+	s := QuickScale()
+	s.MeasureQueries = 800
+	s.WarmFlushes = 2
+	return s
+}
+
+func TestRunKeywordProducesSaneResult(t *testing.T) {
+	rc := quickScale().baseRun()
+	rc.Policy = PolKFlushing
+	rc.K = 10
+	rc.Correlated = true
+	res := RunKeyword(rc)
+	if res.Ingested == 0 || res.Flushes == 0 {
+		t.Fatalf("run did not reach steady state: %+v", res)
+	}
+	if res.Hits+res.Misses == 0 {
+		t.Fatal("no measured queries")
+	}
+	if res.HitRatio < 0 || res.HitRatio > 1 {
+		t.Fatalf("hit ratio %v out of range", res.HitRatio)
+	}
+	if res.Census.Entries == 0 {
+		t.Fatal("empty census")
+	}
+	if res.MemUsed <= 0 || res.MemUsed > 3*rc.Budget {
+		t.Fatalf("memory used %d vs budget %d", res.MemUsed, rc.Budget)
+	}
+}
+
+func TestRunSpatialAndUser(t *testing.T) {
+	for name, run := range map[string]func(RunConfig) RunResult{
+		"spatial": RunSpatial,
+		"user":    RunUser,
+	} {
+		rc := quickScale().baseRun()
+		rc.Policy = PolFIFO
+		rc.K = 10
+		rc.Correlated = true
+		res := run(rc)
+		if res.Flushes == 0 || res.Hits+res.Misses == 0 {
+			t.Fatalf("%s run incomplete: %+v", name, res)
+		}
+	}
+}
+
+func TestAllPoliciesRunnable(t *testing.T) {
+	for _, pol := range AllPolicies {
+		rc := quickScale().baseRun()
+		rc.Policy = pol
+		rc.K = 10
+		rc.Correlated = false
+		res := RunKeyword(rc)
+		if res.Policy != pol {
+			t.Fatalf("result policy %q, want %q", res.Policy, pol)
+		}
+		if res.OverheadBytes < 0 {
+			t.Fatalf("%s: negative overhead", pol)
+		}
+	}
+}
+
+func TestSnapshotTableShape(t *testing.T) {
+	tab := Snapshot(quickScale())
+	if len(tab.Rows) != len(AllPolicies) {
+		t.Fatalf("snapshot rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("ragged row: %v", row)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "T",
+		Note:   "note",
+		Header: []string{"a", "bb"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== T ==", "note", "a    bb", "333  4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	csv := tab.CSV()
+	if csv != "a,bb\n1,2\n333,4\n" {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestExperimentsRegistryComplete(t *testing.T) {
+	exps := Experiments(quickScale())
+	for _, id := range ExperimentOrder {
+		if _, ok := exps[id]; !ok {
+			t.Errorf("ExperimentOrder lists %q but Experiments lacks it", id)
+		}
+	}
+	if len(exps) != len(ExperimentOrder) {
+		t.Errorf("registry has %d experiments, order lists %d", len(exps), len(ExperimentOrder))
+	}
+}

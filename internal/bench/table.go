@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's printable result: a title (the paper figure
+// it regenerates), a column header, and rows of pre-formatted cells.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(fmt.Sprintf("%-*s", widths[i], c))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the table as comma-separated values for downstream
+// plotting.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Formatting helpers shared by the experiments.
+
+func fPct(v float64) string  { return fmt.Sprintf("%.2f%%", v*100) }
+func fInt(v int64) string    { return fmt.Sprintf("%d", v) }
+func fMiB(v int64) string    { return fmt.Sprintf("%.1fMiB", float64(v)/(1<<20)) }
+func fF2(v float64) string   { return fmt.Sprintf("%.2f", v) }
+func fRate(v float64) string { return fmt.Sprintf("%.0f/s", v) }

@@ -1,0 +1,71 @@
+// Package clock provides the time source used across the system.
+//
+// All flushing decisions in the paper depend only on the *ordering* of
+// timestamps (last arrival, last queried), never on wall-clock durations.
+// Experiments therefore run on a deterministic logical clock so that
+// every run is reproducible; the server binary uses the wall clock.
+package clock
+
+import (
+	"sync/atomic"
+	"time"
+
+	"kflushing/internal/types"
+)
+
+// Clock produces monotonically non-decreasing timestamps.
+type Clock interface {
+	// Now returns the current time. Successive calls never go backward.
+	Now() types.Timestamp
+}
+
+// Logical is a deterministic clock that advances only when told to, plus
+// an optional automatic increment per reading so that two consecutive
+// reads are distinguishable. The zero value is ready to use.
+type Logical struct {
+	now  atomic.Int64
+	step int64
+}
+
+// NewLogical returns a logical clock starting at start that advances by
+// step on every Now call. step may be zero for a fully manual clock.
+func NewLogical(start types.Timestamp, step int64) *Logical {
+	l := &Logical{step: step}
+	l.now.Store(int64(start))
+	return l
+}
+
+// Now returns the current logical time, advancing it by the configured
+// step. Safe for concurrent use.
+func (l *Logical) Now() types.Timestamp {
+	if l.step == 0 {
+		return types.Timestamp(l.now.Load())
+	}
+	return types.Timestamp(l.now.Add(l.step))
+}
+
+// Advance moves the clock forward by d logical units.
+func (l *Logical) Advance(d int64) { l.now.Add(d) }
+
+// Set moves the clock to t if t is later than the current time. Setting
+// an earlier time is ignored, preserving monotonicity.
+func (l *Logical) Set(t types.Timestamp) {
+	for {
+		cur := l.now.Load()
+		if int64(t) <= cur {
+			return
+		}
+		if l.now.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
+// Wall is a Clock backed by the operating system clock with microsecond
+// resolution.
+type Wall struct{}
+
+// Now returns the wall-clock time in microseconds since the Unix epoch.
+func (Wall) Now() types.Timestamp {
+	return types.Timestamp(time.Now().UnixMicro())
+}

@@ -1,0 +1,66 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"kflushing/internal/types"
+)
+
+func TestLogicalManual(t *testing.T) {
+	c := NewLogical(10, 0)
+	if c.Now() != 10 {
+		t.Fatalf("Now = %d", c.Now())
+	}
+	c.Advance(5)
+	if c.Now() != 15 {
+		t.Fatalf("after Advance: %d", c.Now())
+	}
+	c.Set(100)
+	if c.Now() != 100 {
+		t.Fatalf("after Set: %d", c.Now())
+	}
+	c.Set(50) // earlier: ignored
+	if c.Now() != 100 {
+		t.Fatalf("Set went backward: %d", c.Now())
+	}
+}
+
+func TestLogicalAutoStep(t *testing.T) {
+	c := NewLogical(0, 1)
+	a, b := c.Now(), c.Now()
+	if b <= a {
+		t.Fatalf("auto-step not monotone: %d then %d", a, b)
+	}
+}
+
+func TestLogicalConcurrentMonotone(t *testing.T) {
+	c := NewLogical(0, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last types.Timestamp
+			for i := 0; i < 1000; i++ {
+				now := c.Now()
+				if now < last {
+					t.Error("clock went backward")
+					return
+				}
+				last = now
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestWallIsCurrent(t *testing.T) {
+	w := Wall{}
+	got := w.Now()
+	want := time.Now().UnixMicro()
+	if d := int64(got) - want; d < -2_000_000 || d > 2_000_000 {
+		t.Fatalf("wall clock off by %dµs", d)
+	}
+}

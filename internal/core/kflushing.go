@@ -1,0 +1,269 @@
+// Package core implements kFlushing, the paper's contribution: a
+// query-aware main-memory flushing policy for top-k microblog search.
+//
+// kFlushing runs three consecutive phases, each invoked only when its
+// predecessors could not free the requested budget B:
+//
+//	Phase 1 — regular flushing (Section III-A): trim the postings ranked
+//	outside the top-k of every over-full index entry. These are the
+//	"useless microblogs" that can never appear in a top-k answer; on
+//	real data they occupy ~75% of memory for k=20. The over-k entries
+//	are found through the list L maintained at insertion time, so the
+//	phase never scans the whole key space.
+//
+//	Phase 2 — aggressive flushing (Section III-B): evict whole entries
+//	holding fewer than k postings — queries on them would miss anyway,
+//	so evicting them cannot add disk accesses. Victims are the least
+//	recently *arrived* entries, selected by a single-pass O(n) heap
+//	algorithm rather than an O(n log n) sort.
+//
+//	Phase 3 — forced flushing (Section III-C): every remaining entry
+//	holds exactly k postings and anything flushed may now cost hits, so
+//	evict the least recently *queried* entries — query streams show
+//	strong temporal locality, so recently queried keys stay.
+//
+// The MK variant (Section IV-D) retains a posting in all of its entries
+// while it remains inside the top-k of any entry, trading a little
+// memory for higher AND-query hit ratios.
+package core
+
+import (
+	"kflushing/internal/index"
+	"kflushing/internal/memsize"
+	"kflushing/internal/policy"
+	"kflushing/internal/store"
+)
+
+// KFlushing implements policy.Policy. The zero value is not usable; use
+// New or NewMK.
+type KFlushing[K comparable] struct {
+	// maxPhase caps execution for ablation studies: 1 runs only regular
+	// flushing, 2 adds aggressive flushing, 3 (default) all phases.
+	maxPhase int
+	// mk enables the multiple-keyword extension.
+	mk bool
+	// selector picks Phase 2/3 victims; the heap selector is the
+	// paper's O(n) algorithm, the sort selector the strawman baseline.
+	selector Selector[K]
+
+	r *policy.Resources[K]
+}
+
+// Option configures a KFlushing policy.
+type Option[K comparable] func(*KFlushing[K])
+
+// WithMaxPhase caps the executed phases at p in [1,3], for the Figure 5
+// ablation.
+func WithMaxPhase[K comparable](p int) Option[K] {
+	return func(f *KFlushing[K]) {
+		if p >= 1 && p <= 3 {
+			f.maxPhase = p
+		}
+	}
+}
+
+// WithSelector overrides the Phase 2/3 victim selector.
+func WithSelector[K comparable](s Selector[K]) Option[K] {
+	return func(f *KFlushing[K]) { f.selector = s }
+}
+
+// New returns the kFlushing policy for single-key workloads.
+func New[K comparable](opts ...Option[K]) *KFlushing[K] {
+	f := &KFlushing[K]{maxPhase: 3, selector: HeapSelector[K]{}}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// NewMK returns the kFlushing-MK policy with the multiple-keyword
+// extension enabled. The index must be built with TrackTopK.
+func NewMK[K comparable](opts ...Option[K]) *KFlushing[K] {
+	f := New(opts...)
+	f.mk = true
+	return f
+}
+
+// Name implements policy.Policy.
+func (f *KFlushing[K]) Name() string {
+	if f.mk {
+		return "kflushing-mk"
+	}
+	return "kflushing"
+}
+
+// MK reports whether the multiple-keyword extension is active.
+func (f *KFlushing[K]) MK() bool { return f.mk }
+
+// Attach implements policy.Policy.
+func (f *KFlushing[K]) Attach(r *policy.Resources[K]) { f.r = r }
+
+// OnIngest implements policy.Policy. kFlushing needs no per-ingest work
+// beyond what the index already maintains (the over-k list and
+// per-entry arrival timestamps).
+func (f *KFlushing[K]) OnIngest(*store.Record, []K) {}
+
+// OnAccess implements policy.Policy. Query-time bookkeeping is the
+// per-entry last-queried timestamp, written by the query engine; no
+// per-record tracking is needed — that is the policy's overhead
+// advantage over LRU.
+func (f *KFlushing[K]) OnAccess([]*store.Record) {}
+
+// Flush implements policy.Policy, running the phases in order until the
+// target is met.
+func (f *KFlushing[K]) Flush(target int64) (int64, error) {
+	k := f.r.Index.K()
+	buf := policy.NewVictimBuffer(f.r.Mem, f.r.Sink, true)
+	freed := f.phase1(k, buf)
+	if freed < target && f.maxPhase >= 2 {
+		freed += f.phase2(k, target-freed, buf)
+	}
+	if freed < target && f.maxPhase >= 3 {
+		freed += f.phase3(k, target-freed, buf)
+	}
+	return freed, buf.Close()
+}
+
+// phase1 trims all postings beyond the top-k of every entry in the
+// over-k list L. It intentionally ignores the budget: useless postings
+// are free wins, so the phase removes them all (Figure 5(a) shows early
+// Phase 1 runs flushing far more than B).
+func (f *KFlushing[K]) phase1(k int, buf *policy.VictimBuffer) int64 {
+	var keep func(*store.Record) bool
+	if f.mk {
+		// MK retention rule: a posting beyond this entry's top-k stays
+		// while it is still a top-k posting somewhere else.
+		keep = func(rec *store.Record) bool { return rec.TopKCount() > 0 }
+	}
+	var freed int64
+	for _, e := range f.r.Index.TakeOverK() {
+		removed := e.TrimBeyondTopK(k, keep)
+		f.r.Index.NotePostingsRemoved(len(removed))
+		freed += int64(len(removed)) * memsize.PostingSize
+		for _, rec := range removed {
+			n := f.r.Unref(rec, buf)
+			freed += n
+			if n == 0 {
+				// Still referenced by other entries: the record stays
+				// in memory, but persist a copy so disk search remains
+				// complete for the key it just left.
+				buf.AddPartial(rec)
+			}
+		}
+		if e.BeyondTopK(k) > 0 {
+			// MK retention left the entry above k; keep it on L so the
+			// next Phase 1 re-examines it.
+			f.r.Index.ReRegisterOverK(e)
+		}
+	}
+	return freed
+}
+
+// phase2 evicts whole under-k entries, least recently arrived first,
+// until target bytes are freed.
+func (f *KFlushing[K]) phase2(k int, target int64, buf *policy.VictimBuffer) int64 {
+	victims := f.selector.Select(f.r.Index, target, func(e *index.Entry[K]) (int64, bool) {
+		n := e.Len()
+		if n == 0 || n >= k {
+			return 0, false
+		}
+		return int64(e.LastArrival()), true
+	})
+	var freed int64
+	for _, e := range victims {
+		if freed >= target {
+			break
+		}
+		var keep func(*store.Record) bool
+		if f.mk {
+			// Extended rule: keep postings that also live in a
+			// frequent (>= k postings) entry, so AND queries pairing
+			// this key with a frequent one can still be answered from
+			// memory. The victim entry itself is excluded: its lock
+			// is held while the predicate runs.
+			victim := e
+			keep = func(rec *store.Record) bool { return f.inFrequentEntryExcept(rec, k, victim) }
+		}
+		freed += f.evictEntry(e, keep, buf)
+	}
+	return freed
+}
+
+// phase3 evicts entries in least-recently-queried order regardless of
+// size. Per Section IV-D, Phase 3 is identical under MK: everything
+// still in memory could cause a hit, so victims are chosen purely by
+// query recency.
+func (f *KFlushing[K]) phase3(_ int, target int64, buf *policy.VictimBuffer) int64 {
+	victims := f.selector.Select(f.r.Index, target, func(e *index.Entry[K]) (int64, bool) {
+		if e.Len() == 0 {
+			return 0, false
+		}
+		return int64(e.LastQueried()), true
+	})
+	var freed int64
+	for _, e := range victims {
+		if freed >= target {
+			break
+		}
+		freed += f.evictEntry(e, nil, buf)
+	}
+	return freed
+}
+
+// inFrequentEntryExcept reports whether rec is currently referenced by
+// an index entry other than except holding at least k postings. The
+// exclusion matters for correctness and locking: the caller holds
+// except's lock, and a key being evicted cannot count as the frequent
+// partner anyway.
+func (f *KFlushing[K]) inFrequentEntryExcept(rec *store.Record, k int, except *index.Entry[K]) bool {
+	for _, key := range f.r.KeysOf(rec.MB) {
+		e := f.r.Index.Entry(key)
+		if e == nil || e == except {
+			continue
+		}
+		if e.Len() >= k && e.Contains(rec) {
+			return true
+		}
+	}
+	return false
+}
+
+// evictEntry removes e from the index (entirely, or shrunken to its kept
+// postings under the MK rule) and releases the removed records,
+// returning the budget-relevant bytes freed.
+func (f *KFlushing[K]) evictEntry(e *index.Entry[K], keep func(*store.Record) bool, buf *policy.VictimBuffer) int64 {
+	var removed []*store.Record
+	var retained int
+	k := f.r.Index.K()
+	if keep == nil {
+		removed = e.DetachAll(k)
+	} else {
+		removed, retained = e.DetachExcept(k, keep)
+	}
+	var freed int64
+	if retained == 0 {
+		f.r.Index.DetachEntry(e)
+		freed += memsize.EntryBytes(f.r.Index.KeyLen(e.Key()))
+	}
+	f.r.Index.NotePostingsRemoved(len(removed))
+	freed += int64(len(removed)) * memsize.PostingSize
+	for _, rec := range removed {
+		n := f.r.Unref(rec, buf)
+		freed += n
+		if n == 0 {
+			buf.AddPartial(rec)
+		}
+	}
+	return freed
+}
+
+// OverheadBytes reports kFlushing's bookkeeping: one arrival and one
+// query timestamp per *entry* (not per item), the over-k list L, the MK
+// top-k counters when enabled, and the peak temporary flush buffer.
+func (f *KFlushing[K]) OverheadBytes() int64 {
+	n := f.r.Index.Entries()*16 + int64(f.r.Index.OverKLen())*8
+	if f.mk {
+		n += f.r.Store.Len() * 4 // one top-k membership counter per record
+	}
+	return n + f.r.Mem.PeakTemp()
+}

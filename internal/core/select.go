@@ -1,0 +1,112 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+
+	"kflushing/internal/index"
+)
+
+// Selector picks the victim entries for Phases 2 and 3. classify maps an
+// entry to its eviction timestamp (arrival time for Phase 2, query time
+// for Phase 3) and reports whether it is a candidate at all. The
+// returned victims are ordered least-recent first and their estimated
+// freeable bytes sum to at least target when enough candidates exist.
+type Selector[K comparable] interface {
+	Select(ix *index.Index[K], target int64, classify func(*index.Entry[K]) (ts int64, ok bool)) []*index.Entry[K]
+}
+
+type victim[K comparable] struct {
+	e  *index.Entry[K]
+	ts int64
+	fb int64
+}
+
+// victimHeap is a max-heap on timestamp: the most recent buffered victim
+// sits at the top, ready to be displaced by older candidates.
+type victimHeap[K comparable] []victim[K]
+
+func (h victimHeap[K]) Len() int            { return len(h) }
+func (h victimHeap[K]) Less(i, j int) bool  { return h[i].ts > h[j].ts }
+func (h victimHeap[K]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *victimHeap[K]) Push(x interface{}) { *h = append(*h, x.(victim[K])) }
+func (h *victimHeap[K]) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// HeapSelector is the paper's single-pass O(n) victim selection: one
+// traversal over the candidate entries maintaining an on-the-go buffer
+// (a max-heap on recency) whose total memory consumption stays at or
+// just above the target, always holding the least recently used
+// candidates seen so far.
+type HeapSelector[K comparable] struct{}
+
+// Select implements Selector.
+func (HeapSelector[K]) Select(ix *index.Index[K], target int64, classify func(*index.Entry[K]) (int64, bool)) []*index.Entry[K] {
+	var h victimHeap[K]
+	var total int64
+	ix.Range(func(e *index.Entry[K]) bool {
+		ts, ok := classify(e)
+		if !ok {
+			return true
+		}
+		fb := e.FreeableBytes(ix.KeyLen(e.Key()))
+		switch {
+		case total < target:
+			// Still filling the buffer up to the target.
+			heap.Push(&h, victim[K]{e: e, ts: ts, fb: fb})
+			total += fb
+		case len(h) > 0 && ts < h[0].ts:
+			// Older than the most recent buffered victim: admit it,
+			// then shed the most recent victims while the buffer still
+			// meets the target without them.
+			heap.Push(&h, victim[K]{e: e, ts: ts, fb: fb})
+			total += fb
+			for len(h) > 0 && total-h[0].fb >= target {
+				total -= h[0].fb
+				heap.Pop(&h)
+			}
+		}
+		return true
+	})
+	out := make([]victim[K], len(h))
+	copy(out, h)
+	sort.Slice(out, func(i, j int) bool { return out[i].ts < out[j].ts })
+	entries := make([]*index.Entry[K], len(out))
+	for i, v := range out {
+		entries[i] = v.e
+	}
+	return entries
+}
+
+// SortSelector is the straightforward O(n log n) alternative the paper
+// rejects: sort every candidate by recency, then take the least recent
+// prefix whose freeable bytes reach the target. Kept as the ablation
+// baseline for the selection benchmarks.
+type SortSelector[K comparable] struct{}
+
+// Select implements Selector.
+func (SortSelector[K]) Select(ix *index.Index[K], target int64, classify func(*index.Entry[K]) (int64, bool)) []*index.Entry[K] {
+	var all []victim[K]
+	ix.Range(func(e *index.Entry[K]) bool {
+		if ts, ok := classify(e); ok {
+			all = append(all, victim[K]{e: e, ts: ts, fb: e.FreeableBytes(ix.KeyLen(e.Key()))})
+		}
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool { return all[i].ts < all[j].ts })
+	var total int64
+	var out []*index.Entry[K]
+	for _, v := range all {
+		if total >= target {
+			break
+		}
+		out = append(out, v.e)
+		total += v.fb
+	}
+	return out
+}

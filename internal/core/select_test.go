@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kflushing/internal/attr"
+	"kflushing/internal/index"
+	"kflushing/internal/store"
+	"kflushing/internal/types"
+)
+
+// buildSelectorIndex creates n single-posting entries with the given
+// timestamps (entry i named k<i> with arrival ts[i]).
+func buildSelectorIndex(ts []int64) *index.Index[string] {
+	ix := index.New(index.Config[string]{
+		Hash:       attr.HashString,
+		KeyLen:     attr.KeywordLen,
+		K:          5,
+		TrackOverK: true,
+	})
+	for i, t := range ts {
+		mb := &types.Microblog{
+			ID:        types.ID(i + 1),
+			Timestamp: types.Timestamp(t),
+			Keywords:  []string{"k" + string(rune('A'+i%26)) + string(rune('0'+i/26))},
+		}
+		ix.Insert(mb.Keywords[0], store.NewRecord(mb, float64(t)))
+	}
+	return ix
+}
+
+func classifyArrival(e *index.Entry[string]) (int64, bool) {
+	return int64(e.LastArrival()), true
+}
+
+// TestSelectorProperties checks the invariants both victim selectors
+// must satisfy: victims are real candidates ordered least-recent first,
+// and their estimated freeable bytes meet the target whenever the whole
+// candidate set can.
+func TestSelectorProperties(t *testing.T) {
+	selectors := map[string]Selector[string]{
+		"heap": HeapSelector[string]{},
+		"sort": SortSelector[string]{},
+	}
+	f := func(seed int64, nRaw, targetRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%80) + 1
+		ts := make([]int64, n)
+		for i := range ts {
+			ts[i] = int64(rng.Intn(1_000_000) + 1)
+		}
+		ix := buildSelectorIndex(ts)
+
+		// Total freeable across all candidates.
+		var totalAvail int64
+		ix.Range(func(e *index.Entry[string]) bool {
+			totalAvail += e.FreeableBytes(ix.KeyLen(e.Key()))
+			return true
+		})
+		target := int64(targetRaw) * 8
+
+		for name, sel := range selectors {
+			victims := sel.Select(ix, target, classifyArrival)
+			var sum int64
+			last := int64(-1 << 62)
+			for _, e := range victims {
+				if int64(e.LastArrival()) < last {
+					t.Logf("%s: victims not in ascending recency", name)
+					return false
+				}
+				last = int64(e.LastArrival())
+				sum += e.FreeableBytes(ix.KeyLen(e.Key()))
+			}
+			if target <= totalAvail && sum < target {
+				t.Logf("%s: freeable %d < achievable target %d", name, sum, target)
+				return false
+			}
+			if target > totalAvail && len(victims) != n {
+				t.Logf("%s: target unachievable but not all candidates selected", name)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelectorPrefersOldest verifies that with distinct timestamps and a
+// one-entry target, both selectors pick the oldest entry first.
+func TestSelectorPrefersOldest(t *testing.T) {
+	ts := []int64{500, 100, 900, 300, 700}
+	for name, sel := range map[string]Selector[string]{
+		"heap": HeapSelector[string]{},
+		"sort": SortSelector[string]{},
+	} {
+		ix := buildSelectorIndex(ts)
+		victims := sel.Select(ix, 1, classifyArrival)
+		if len(victims) == 0 || victims[0].LastArrival() != 100 {
+			t.Errorf("%s: first victim arrival = %v, want 100", name, victims)
+		}
+	}
+}
+
+// TestSelectorEmptyIndex covers the degenerate cases.
+func TestSelectorEmptyIndex(t *testing.T) {
+	ix := buildSelectorIndex(nil)
+	for name, sel := range map[string]Selector[string]{
+		"heap": HeapSelector[string]{},
+		"sort": SortSelector[string]{},
+	} {
+		if v := sel.Select(ix, 1000, classifyArrival); len(v) != 0 {
+			t.Errorf("%s: victims from empty index: %v", name, v)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package disk
+
+import (
+	"fmt"
+	"testing"
+
+	"kflushing/internal/query"
+	"kflushing/internal/types"
+)
+
+// benchTier builds a tier with several populated segments.
+func benchTier(b *testing.B, segments, recsPerSeg int) *Tier[string] {
+	b.Helper()
+	tier, err := Open(Config[string]{
+		Dir:    b.TempDir(),
+		KeysOf: func(m *types.Microblog) []string { return m.Keywords },
+		Encode: func(s string) string { return s },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { tier.Close() })
+	id := uint64(0)
+	for s := 0; s < segments; s++ {
+		recs := make([]FlushRecord, recsPerSeg)
+		for i := range recs {
+			id++
+			recs[i] = fr(id, float64(id), fmt.Sprintf("k%d", id%257), "common")
+		}
+		if err := tier.Flush(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tier
+}
+
+// BenchmarkFlush measures segment-write throughput.
+func BenchmarkFlush(b *testing.B) {
+	tier, err := Open(Config[string]{
+		Dir:    b.TempDir(),
+		KeysOf: func(m *types.Microblog) []string { return m.Keywords },
+		Encode: func(s string) string { return s },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tier.Close()
+	recs := make([]FlushRecord, 1000)
+	for i := range recs {
+		recs[i] = fr(uint64(i+1), float64(i+1), "a", "b")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tier.Flush(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(recs)))
+}
+
+// BenchmarkSearchHot measures a miss-path query on a popular key that
+// terminates early via the max-score bound.
+func BenchmarkSearchHot(b *testing.B) {
+	tier := benchTier(b, 16, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items, err := tier.Search([]string{"common"}, query.OpSingle, 20)
+		if err != nil || len(items) != 20 {
+			b.Fatalf("items=%d err=%v", len(items), err)
+		}
+	}
+}
+
+// BenchmarkSearchCold measures a query on a sparse key that must visit
+// every segment directory.
+func BenchmarkSearchCold(b *testing.B) {
+	tier := benchTier(b, 16, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tier.Search([]string{"k13"}, query.OpSingle, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompact measures merging 8 segments of 500 records.
+func BenchmarkCompact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tier := benchTier(b, 8, 500)
+		b.StartTimer()
+		if err := tier.CompactOldest(8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

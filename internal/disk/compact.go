@@ -1,0 +1,192 @@
+package disk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Compaction merges old segments into fewer, larger ones. Every flush
+// writes one segment, so segment counts grow without bound and each
+// memory miss pays one directory probe per segment; merging bounds that
+// cost. Compaction also deduplicates records: a record trimmed from one
+// entry while still memory-resident is persisted early (see
+// VictimBuffer.AddPartial), and its keys may appear across several
+// segments' directories.
+//
+// A merge rewrites the N oldest segments into one, ranked best score
+// first, with a rebuilt directory. The merged file takes the newest
+// input's sequence number, so recovery ordering (lexicographic file
+// names) is preserved; the write is atomic (temp file + rename) and the
+// inputs are deleted only after the rename succeeds.
+
+// CompactOldest merges the n oldest segments into one. It is a no-op
+// when fewer than two segments exist. Concurrent searches keep working
+// on the old segments until the swap, then see the merged one.
+func (t *Tier[K]) CompactOldest(n int) error {
+	if n < 2 {
+		return nil
+	}
+	t.mu.Lock()
+	if len(t.segs) < 2 {
+		t.mu.Unlock()
+		return nil
+	}
+	if n > len(t.segs) {
+		n = len(t.segs)
+	}
+	inputs := append([]*segment(nil), t.segs[:n]...)
+	t.mu.Unlock()
+
+	merged, err := mergeSegments(inputs)
+	if err != nil {
+		return err
+	}
+	t.compactions.Add(1)
+
+	t.mu.Lock()
+	// The inputs are still the oldest prefix (only Flush appends and
+	// only compaction removes, and compactions are serialized by the
+	// caller); swap them for the merged segment.
+	t.segs = append([]*segment{merged}, t.segs[n:]...)
+	t.mu.Unlock()
+
+	// Retire the inputs. Unlinking while readers still hold the file
+	// open is safe (the inode survives until the last close); the
+	// newest input's path was already replaced by the rename, so only
+	// the older paths are unlinked. File handles close when the last
+	// in-flight search releases its reference.
+	for i, s := range inputs {
+		if i != len(inputs)-1 {
+			if err := os.Remove(s.path); err != nil {
+				return fmt.Errorf("disk: remove compacted input: %w", err)
+			}
+		}
+		s.release()
+	}
+	return nil
+}
+
+// AutoCompact merges the oldest half of the segments whenever more than
+// maxSegments exist. Call after Flush; maxSegments <= 1 disables.
+func (t *Tier[K]) AutoCompact(maxSegments int) error {
+	if maxSegments <= 1 {
+		return nil
+	}
+	t.mu.RLock()
+	n := len(t.segs)
+	t.mu.RUnlock()
+	if n <= maxSegments {
+		return nil
+	}
+	return t.CompactOldest(n/2 + 1)
+}
+
+// mergeSegments reads every record of the inputs, deduplicates by
+// record ID (copies are identical), and writes one merged segment. The
+// merged directory is the union of the input directories with ordinals
+// remapped — directories are carried over, not recomputed, so the merge
+// is attribute-agnostic and preserves whatever keys the writer indexed.
+func mergeSegments(inputs []*segment) (*segment, error) {
+	// Pass 1: collect unique records newest-input-first, remembering
+	// each input ordinal's record ID for the directory remap.
+	ids := make([][]uint64, len(inputs)) // per input: ordinal → record ID
+	seen := make(map[uint64]struct{})
+	var recs []FlushRecord
+	for i := len(inputs) - 1; i >= 0; i-- {
+		s := inputs[i]
+		ids[i] = make([]uint64, s.count)
+		for ord := uint32(0); ord < s.count; ord++ {
+			fr, err := s.readRecord(ord)
+			if err != nil {
+				return nil, fmt.Errorf("disk: compact read %s: %w", s.path, err)
+			}
+			ids[i][ord] = uint64(fr.MB.ID)
+			if _, dup := seen[uint64(fr.MB.ID)]; dup {
+				continue
+			}
+			seen[uint64(fr.MB.ID)] = struct{}{}
+			recs = append(recs, fr)
+		}
+	}
+	// Rank the merged records best-score-first, fixing the mapping.
+	order := make([]int, len(recs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		x, y := recs[order[a]], recs[order[b]]
+		if x.Score != y.Score {
+			return x.Score > y.Score
+		}
+		return x.MB.ID > y.MB.ID
+	})
+	ranked := make([]FlushRecord, len(recs))
+	finalOrd := make(map[uint64]uint32, len(recs))
+	for newPos, oldPos := range order {
+		ranked[newPos] = recs[oldPos]
+		finalOrd[uint64(recs[oldPos].MB.ID)] = uint32(newPos)
+	}
+
+	// Pass 2: union the input directories under the remapped ordinals.
+	dir := make(map[string][]uint32)
+	seenKeyOrd := make(map[string]map[uint32]struct{})
+	for i := len(inputs) - 1; i >= 0; i-- {
+		s := inputs[i]
+		for key, ords := range s.dir {
+			ko := seenKeyOrd[key]
+			if ko == nil {
+				ko = make(map[uint32]struct{})
+				seenKeyOrd[key] = ko
+			}
+			for _, ord := range ords {
+				mapped := finalOrd[ids[i][ord]]
+				if _, dup := ko[mapped]; dup {
+					continue
+				}
+				ko[mapped] = struct{}{}
+				dir[key] = append(dir[key], mapped)
+			}
+		}
+	}
+	for key := range dir {
+		ords := dir[key]
+		sort.Slice(ords, func(a, b int) bool { return ords[a] < ords[b] })
+	}
+
+	// The merged file inherits the newest input's name so recovery
+	// ordering holds; write to a temp path first for atomicity.
+	final := inputs[len(inputs)-1].path
+	tmp := final + ".compact"
+	merged, err := writeSegment(tmp, ranked, dir)
+	if err != nil {
+		return nil, err
+	}
+	// Close the temp handle, rename over, and reopen under the final
+	// name. The rename is atomic on POSIX filesystems; the newest
+	// input's old inode lives on until its last reference closes.
+	if err := merged.close(); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return nil, err
+	}
+	reopened, err := openSegment(final)
+	if err != nil {
+		return nil, fmt.Errorf("disk: reopen merged segment: %w", err)
+	}
+	return reopened, nil
+}
+
+// Segments returns the live segment paths oldest-first, for tests and
+// tooling.
+func (t *Tier[K]) Segments() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, len(t.segs))
+	for i, s := range t.segs {
+		out[i] = filepath.Base(s.path)
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package disk
+
+import (
+	"testing"
+
+	"kflushing/internal/types"
+)
+
+// FuzzDecodeRecord throws arbitrary bytes at the record decoder: it must
+// never panic or over-read, only return ErrCorrupt-style failures.
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendRecord(nil, FlushRecord{
+		MB:    &types.Microblog{ID: 1, Keywords: []string{"a"}, Text: "t"},
+		Score: 1,
+	}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := decodeRecord(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("decoder consumed %d of %d bytes", n, len(data))
+		}
+		if fr.MB == nil {
+			t.Fatal("nil microblog without error")
+		}
+	})
+}
+
+// FuzzRecordRoundTrip checks encode→decode identity over fuzzed fields.
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add(uint64(1), int64(2), uint64(3), uint32(4), 1.5, -2.5, true, "kw", "text")
+	f.Fuzz(func(t *testing.T, id uint64, ts int64, user uint64, fol uint32,
+		lat, lon float64, geo bool, kw, text string) {
+		if len(kw) > 1<<16-1 || len(text) > 1<<20 {
+			t.Skip()
+		}
+		in := FlushRecord{
+			MB: &types.Microblog{
+				ID: types.ID(id), Timestamp: types.Timestamp(ts),
+				UserID: user, Followers: fol, Lat: lat, Lon: lon,
+				HasGeo: geo, Keywords: []string{kw}, Text: text,
+			},
+			Score: float64(ts),
+		}
+		buf := appendRecord(nil, in)
+		out, n, err := decodeRecord(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if n != len(buf) {
+			t.Fatalf("consumed %d of %d", n, len(buf))
+		}
+		m := out.MB
+		if m.ID != in.MB.ID || m.Timestamp != in.MB.Timestamp ||
+			m.UserID != user || m.Followers != fol ||
+			m.HasGeo != geo || m.Keywords[0] != kw || m.Text != text {
+			t.Fatal("round trip mismatch")
+		}
+		// NaN lat/lon compare unequal to themselves; compare bits via
+		// re-encode instead.
+		buf2 := appendRecord(nil, out)
+		if string(buf) != string(buf2) {
+			t.Fatal("re-encode mismatch")
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package disk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SegmentInfo describes one on-disk segment for tooling.
+type SegmentInfo struct {
+	// Path is the file name (not the full path).
+	Path string
+	// Records is the number of stored records.
+	Records int
+	// Keys is the number of distinct directory keys.
+	Keys int
+	// Postings is the total directory posting count.
+	Postings int
+	// MaxScore is the best ranking score in the segment.
+	MaxScore float64
+	// Bytes is the file size.
+	Bytes int64
+}
+
+// Inspect summarizes every segment under dir without constructing a
+// Tier — the admin tool's view. Attribute-agnostic: it reads the
+// directory as opaque keys.
+func Inspect(dir string) ([]SegmentInfo, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "seg-*.kfs"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	infos := make([]SegmentInfo, 0, len(paths))
+	for _, p := range paths {
+		s, err := openSegment(p)
+		if err != nil {
+			return nil, fmt.Errorf("disk: inspect %s: %w", filepath.Base(p), err)
+		}
+		postings := 0
+		for _, ords := range s.dir {
+			postings += len(ords)
+		}
+		st, err := s.f.Stat()
+		size := int64(0)
+		if err == nil {
+			size = st.Size()
+		}
+		infos = append(infos, SegmentInfo{
+			Path:     filepath.Base(p),
+			Records:  int(s.count),
+			Keys:     len(s.dir),
+			Postings: postings,
+			MaxScore: s.maxScore,
+			Bytes:    size,
+		})
+		s.release()
+	}
+	return infos, nil
+}
+
+// DumpSegment streams every record of one segment file to fn in stored
+// (ranked) order.
+func DumpSegment(path string, fn func(FlushRecord) error) error {
+	s, err := openSegment(path)
+	if err != nil {
+		return err
+	}
+	defer s.release()
+	for ord := uint32(0); ord < s.count; ord++ {
+		fr, err := s.readRecord(ord)
+		if err != nil {
+			return fmt.Errorf("disk: dump %s ordinal %d: %w", filepath.Base(path), ord, err)
+		}
+		if err := fn(fr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify opens every segment under dir and reads every record and
+// directory entry, reporting totals. It fails on the first corruption.
+func Verify(dir string) (segments, records int, err error) {
+	infos, err := Inspect(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, info := range infos {
+		if err := DumpSegment(filepath.Join(dir, info.Path), func(FlushRecord) error { return nil }); err != nil {
+			return segments, records, err
+		}
+		segments++
+		records += info.Records
+	}
+	return segments, records, nil
+}
+
+// CompactDir merges the n oldest segments under dir into one, outside
+// any running Tier. Attribute-agnostic (directories are carried over).
+// The directory must not be in use by a live system.
+func CompactDir(dir string, n int) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "seg-*.kfs"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	if len(paths) < 2 {
+		return nil
+	}
+	if n > len(paths) {
+		n = len(paths)
+	}
+	if n < 2 {
+		return nil
+	}
+	inputs := make([]*segment, 0, n)
+	for _, p := range paths[:n] {
+		s, err := openSegment(p)
+		if err != nil {
+			return err
+		}
+		inputs = append(inputs, s)
+	}
+	merged, err := mergeSegments(inputs)
+	if err != nil {
+		return err
+	}
+	merged.release()
+	for i, s := range inputs {
+		if i != len(inputs)-1 {
+			if err := os.Remove(s.path); err != nil {
+				return err
+			}
+		}
+		s.release()
+	}
+	return nil
+}

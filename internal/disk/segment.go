@@ -1,0 +1,334 @@
+package disk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync/atomic"
+
+	"kflushing/internal/types"
+)
+
+// Segment file layout (all integers little-endian):
+//
+//	header : magic "KFSG" | u16 version | u16 reserved | u32 count
+//	records: count serialized records, back to back, best score first
+//	offsets: count × u64 file offset of each record (ordinal order)
+//	dir    : u32 nkeys, then per key:
+//	         u16 keyLen | key bytes | u32 n | n × u32 record ordinals
+//	footer : u64 offsetsPos | u64 dirPos | f64 maxScore | magic "KFND"
+//
+// Records are written in descending score order, so every per-key
+// ordinal list is already ranked and a reader can stop after k hits.
+const (
+	segMagic    = "KFSG"
+	segEndMagic = "KFND"
+	segVersion  = 1
+	footerSize  = 8 + 8 + 8 + 4
+)
+
+// ErrCorrupt reports a malformed or truncated segment file.
+var ErrCorrupt = errors.New("disk: corrupt segment")
+
+// FlushRecord is one record handed to the disk tier: the microblog and
+// the ranking score computed at its arrival.
+type FlushRecord struct {
+	MB    *types.Microblog
+	Score float64
+}
+
+// segment is one immutable on-disk file plus its in-memory directory.
+// Segments are reference counted: the tier holds one reference for a
+// live segment and every in-flight search holds one per snapshot
+// member, so compaction can retire a segment (unlink is safe while the
+// file is open) without yanking it from under concurrent readers.
+type segment struct {
+	path     string
+	f        *os.File
+	count    uint32
+	offsets  []uint64
+	dir      map[string][]uint32
+	maxScore float64
+	end      uint64 // file offset just past the last record
+
+	refs atomic.Int32
+}
+
+// acquire takes a reference for a reader.
+func (s *segment) acquire() { s.refs.Add(1) }
+
+// release drops a reference, closing the file handle when the last one
+// goes away.
+func (s *segment) release() {
+	if s.refs.Add(-1) == 0 {
+		s.f.Close()
+	}
+}
+
+// EncodeRecord appends the binary encoding of fr to buf and returns the
+// extended slice. The format is shared with the write-ahead log.
+func EncodeRecord(buf []byte, fr FlushRecord) []byte { return appendRecord(buf, fr) }
+
+// DecodeRecord decodes one record from the front of b, returning it and
+// the number of bytes consumed.
+func DecodeRecord(b []byte) (FlushRecord, int, error) { return decodeRecord(b) }
+
+func appendRecord(buf []byte, fr FlushRecord) []byte {
+	m := fr.MB
+	var tmp [8]byte
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:8]...)
+	}
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put16 := func(v uint16) {
+		binary.LittleEndian.PutUint16(tmp[:2], v)
+		buf = append(buf, tmp[:2]...)
+	}
+	put64(uint64(m.ID))
+	put64(uint64(m.Timestamp))
+	put64(m.UserID)
+	put32(m.Followers)
+	if m.HasGeo {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	put64(math.Float64bits(fr.Score))
+	put64(math.Float64bits(m.Lat))
+	put64(math.Float64bits(m.Lon))
+	put16(uint16(len(m.Keywords)))
+	for _, kw := range m.Keywords {
+		put16(uint16(len(kw)))
+		buf = append(buf, kw...)
+	}
+	put32(uint32(len(m.Text)))
+	buf = append(buf, m.Text...)
+	return buf
+}
+
+func decodeRecord(b []byte) (FlushRecord, int, error) {
+	var fr FlushRecord
+	m := &types.Microblog{}
+	pos := 0
+	need := func(n int) bool { return pos+n <= len(b) }
+	if !need(8*2 + 8 + 4 + 1 + 8*3 + 2) {
+		return fr, 0, ErrCorrupt
+	}
+	m.ID = types.ID(binary.LittleEndian.Uint64(b[pos:]))
+	pos += 8
+	m.Timestamp = types.Timestamp(binary.LittleEndian.Uint64(b[pos:]))
+	pos += 8
+	m.UserID = binary.LittleEndian.Uint64(b[pos:])
+	pos += 8
+	m.Followers = binary.LittleEndian.Uint32(b[pos:])
+	pos += 4
+	m.HasGeo = b[pos] == 1
+	pos++
+	fr.Score = math.Float64frombits(binary.LittleEndian.Uint64(b[pos:]))
+	pos += 8
+	m.Lat = math.Float64frombits(binary.LittleEndian.Uint64(b[pos:]))
+	pos += 8
+	m.Lon = math.Float64frombits(binary.LittleEndian.Uint64(b[pos:]))
+	pos += 8
+	nkw := int(binary.LittleEndian.Uint16(b[pos:]))
+	pos += 2
+	if nkw > 0 {
+		m.Keywords = make([]string, nkw)
+		for i := 0; i < nkw; i++ {
+			if !need(2) {
+				return fr, 0, ErrCorrupt
+			}
+			l := int(binary.LittleEndian.Uint16(b[pos:]))
+			pos += 2
+			if !need(l) {
+				return fr, 0, ErrCorrupt
+			}
+			m.Keywords[i] = string(b[pos : pos+l])
+			pos += l
+		}
+	}
+	if !need(4) {
+		return fr, 0, ErrCorrupt
+	}
+	tl := int(binary.LittleEndian.Uint32(b[pos:]))
+	pos += 4
+	if !need(tl) {
+		return fr, 0, ErrCorrupt
+	}
+	m.Text = string(b[pos : pos+tl])
+	pos += tl
+	fr.MB = m
+	return fr, pos, nil
+}
+
+// writeSegment serializes recs (already sorted best score first) with
+// their directory to path and returns the opened segment.
+func writeSegment(path string, recs []FlushRecord, dir map[string][]uint32) (*segment, error) {
+	buf := make([]byte, 0, 64*len(recs)+64)
+	buf = append(buf, segMagic...)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint16(tmp[:2], segVersion)
+	buf = append(buf, tmp[:2]...)
+	buf = append(buf, 0, 0)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(recs)))
+	buf = append(buf, tmp[:4]...)
+
+	offsets := make([]uint64, len(recs))
+	maxScore := math.Inf(-1)
+	for i, fr := range recs {
+		offsets[i] = uint64(len(buf))
+		buf = appendRecord(buf, fr)
+		if fr.Score > maxScore {
+			maxScore = fr.Score
+		}
+	}
+	end := uint64(len(buf))
+
+	offsetsPos := uint64(len(buf))
+	for _, off := range offsets {
+		binary.LittleEndian.PutUint64(tmp[:], off)
+		buf = append(buf, tmp[:8]...)
+	}
+
+	dirPos := uint64(len(buf))
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(dir)))
+	buf = append(buf, tmp[:4]...)
+	for key, ords := range dir {
+		binary.LittleEndian.PutUint16(tmp[:2], uint16(len(key)))
+		buf = append(buf, tmp[:2]...)
+		buf = append(buf, key...)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(ords)))
+		buf = append(buf, tmp[:4]...)
+		for _, o := range ords {
+			binary.LittleEndian.PutUint32(tmp[:4], o)
+			buf = append(buf, tmp[:4]...)
+		}
+	}
+
+	binary.LittleEndian.PutUint64(tmp[:], offsetsPos)
+	buf = append(buf, tmp[:8]...)
+	binary.LittleEndian.PutUint64(tmp[:], dirPos)
+	buf = append(buf, tmp[:8]...)
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(maxScore))
+	buf = append(buf, tmp[:8]...)
+	buf = append(buf, segEndMagic...)
+
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return nil, fmt.Errorf("disk: write segment: %w", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &segment{
+		path: path, f: f, count: uint32(len(recs)),
+		offsets: offsets, dir: dir, maxScore: maxScore, end: end,
+	}
+	s.refs.Store(1) // the tier's reference
+	return s, nil
+}
+
+// openSegment reads back a segment's offsets table and directory,
+// supporting recovery of a disk tier across process restarts.
+func openSegment(path string) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < footerSize+12 {
+		f.Close()
+		return nil, ErrCorrupt
+	}
+	foot := make([]byte, footerSize)
+	if _, err := f.ReadAt(foot, st.Size()-footerSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(foot[24:28]) != segEndMagic {
+		f.Close()
+		return nil, ErrCorrupt
+	}
+	offsetsPos := binary.LittleEndian.Uint64(foot[0:])
+	dirPos := binary.LittleEndian.Uint64(foot[8:])
+	maxScore := math.Float64frombits(binary.LittleEndian.Uint64(foot[16:]))
+
+	head := make([]byte, 12)
+	if _, err := f.ReadAt(head, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(head[:4]) != segMagic {
+		f.Close()
+		return nil, ErrCorrupt
+	}
+	count := binary.LittleEndian.Uint32(head[8:])
+
+	tail := make([]byte, st.Size()-footerSize-int64(offsetsPos))
+	if _, err := f.ReadAt(tail, int64(offsetsPos)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	offsets := make([]uint64, count)
+	for i := range offsets {
+		offsets[i] = binary.LittleEndian.Uint64(tail[i*8:])
+	}
+	db := tail[dirPos-offsetsPos:]
+	pos := 0
+	nkeys := int(binary.LittleEndian.Uint32(db[pos:]))
+	pos += 4
+	dir := make(map[string][]uint32, nkeys)
+	for i := 0; i < nkeys; i++ {
+		kl := int(binary.LittleEndian.Uint16(db[pos:]))
+		pos += 2
+		key := string(db[pos : pos+kl])
+		pos += kl
+		n := int(binary.LittleEndian.Uint32(db[pos:]))
+		pos += 4
+		ords := make([]uint32, n)
+		for j := 0; j < n; j++ {
+			ords[j] = binary.LittleEndian.Uint32(db[pos:])
+			pos += 4
+		}
+		dir[key] = ords
+	}
+	s := &segment{
+		path: path, f: f, count: count,
+		offsets: offsets, dir: dir, maxScore: maxScore, end: offsetsPos,
+	}
+	s.refs.Store(1) // the tier's reference
+	return s, nil
+}
+
+// readRecord loads the record with the given ordinal.
+func (s *segment) readRecord(ord uint32) (FlushRecord, error) {
+	if int(ord) >= len(s.offsets) {
+		return FlushRecord{}, ErrCorrupt
+	}
+	start := s.offsets[ord]
+	var limit uint64
+	if int(ord)+1 < len(s.offsets) {
+		limit = s.offsets[ord+1]
+	} else {
+		limit = s.end
+	}
+	b := make([]byte, limit-start)
+	if _, err := s.f.ReadAt(b, int64(start)); err != nil && err != io.EOF {
+		return FlushRecord{}, err
+	}
+	fr, _, err := decodeRecord(b)
+	return fr, err
+}
+
+func (s *segment) close() error { return s.f.Close() }

@@ -1,0 +1,272 @@
+// Package disk implements the disk tier microblogs are flushed to and
+// that memory misses fall back to (Figure 2).
+//
+// Every flush writes one immutable append-only segment file containing
+// the evicted records, ranked best-score-first, with a per-key directory
+// so disk search touches only the matching records. A memory miss
+// searches segments newest-first with a max-score bound for early
+// termination. The tier is deliberately simple — the paper only
+// characterizes disk access as "expensive" — but it is real I/O: misses
+// pay file reads, which is what the memory-hit-ratio metric prices.
+package disk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"kflushing/internal/query"
+	"kflushing/internal/types"
+)
+
+// Config parameterizes a Tier for one search attribute.
+type Config[K comparable] struct {
+	// Dir is the directory segment files are written to. Required.
+	Dir string
+	// KeysOf extracts the attribute keys of a record, defining which
+	// directory entries it appears under. Required.
+	KeysOf func(*types.Microblog) []K
+	// Encode renders a key for the on-disk directory. Required.
+	Encode func(K) string
+	// MaxSegments triggers automatic compaction after a flush leaves
+	// more than this many segments; <= 1 disables auto-compaction.
+	MaxSegments int
+}
+
+// Stats summarizes tier activity.
+type Stats struct {
+	Segments       int
+	RecordsWritten int64
+	BytesWritten   int64
+	Searches       int64
+	RecordReads    int64
+	Compactions    int64
+}
+
+// Tier is the disk storage for one attribute. Safe for concurrent use;
+// flushes serialize internally while searches proceed under a read lock.
+type Tier[K comparable] struct {
+	cfg Config[K]
+
+	mu   sync.RWMutex
+	segs []*segment // oldest first
+	seq  int
+
+	recordsWritten atomic.Int64
+	bytesWritten   atomic.Int64
+	searches       atomic.Int64
+	recordReads    atomic.Int64
+	compactions    atomic.Int64
+}
+
+// Open creates a tier over cfg.Dir, recovering any segment files a
+// previous process left there.
+func Open[K comparable](cfg Config[K]) (*Tier[K], error) {
+	if cfg.Dir == "" || cfg.KeysOf == nil || cfg.Encode == nil {
+		return nil, fmt.Errorf("disk: Dir, KeysOf and Encode are required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	t := &Tier[K]{cfg: cfg}
+	paths, err := filepath.Glob(filepath.Join(cfg.Dir, "seg-*.kfs"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		s, err := openSegment(p)
+		if err != nil {
+			return nil, fmt.Errorf("disk: recover %s: %w", p, err)
+		}
+		t.segs = append(t.segs, s)
+		t.seq++
+	}
+	return t, nil
+}
+
+// Flush durably writes the evicted records as one new segment. The input
+// order is irrelevant; the tier ranks records by score before writing.
+func (t *Tier[K]) Flush(recs []FlushRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	sorted := append([]FlushRecord(nil), recs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Score != sorted[j].Score {
+			return sorted[i].Score > sorted[j].Score
+		}
+		return sorted[i].MB.ID > sorted[j].MB.ID
+	})
+	dir := make(map[string][]uint32)
+	for ord, fr := range sorted {
+		for _, key := range t.cfg.KeysOf(fr.MB) {
+			ek := t.cfg.Encode(key)
+			dir[ek] = append(dir[ek], uint32(ord))
+		}
+	}
+
+	t.mu.Lock()
+	t.seq++
+	path := filepath.Join(t.cfg.Dir, fmt.Sprintf("seg-%08d.kfs", t.seq))
+	s, err := writeSegment(path, sorted, dir)
+	if err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	t.segs = append(t.segs, s)
+	t.mu.Unlock()
+
+	t.recordsWritten.Add(int64(len(sorted)))
+	if st, err := os.Stat(path); err == nil {
+		t.bytesWritten.Add(st.Size())
+	}
+	return t.AutoCompact(t.cfg.MaxSegments)
+}
+
+// Search returns the top-k records matching keys under op across all
+// segments, newest first, ranked by score. It performs real file reads
+// for every candidate record.
+func (t *Tier[K]) Search(keys []K, op query.Op, k int) ([]query.Item, error) {
+	t.searches.Add(1)
+	enc := make([]string, len(keys))
+	for i, key := range keys {
+		enc[i] = t.cfg.Encode(key)
+	}
+
+	t.mu.RLock()
+	segs := append([]*segment(nil), t.segs...)
+	for _, s := range segs {
+		s.acquire()
+	}
+	t.mu.RUnlock()
+	defer func() {
+		for _, s := range segs {
+			s.release()
+		}
+	}()
+
+	var lists [][]query.Item
+	var have []query.Item
+	for i := len(segs) - 1; i >= 0; i-- {
+		s := segs[i]
+		// Early exit: if we already hold k results all scoring at
+		// least as high as anything this (and every older) segment can
+		// offer, stop. Segments are not strictly score-ordered, so the
+		// bound uses each segment's own max score.
+		if len(have) >= k && have[k-1].Score >= s.maxScore {
+			if !t.anyOlderBetter(segs[:i+1], have[k-1].Score) {
+				break
+			}
+		}
+		items, err := t.searchSegment(s, enc, op, k)
+		if err != nil {
+			return nil, err
+		}
+		if len(items) > 0 {
+			lists = append(lists, items)
+			have = query.MergeTopK(lists, k)
+		}
+	}
+	return query.MergeTopK(lists, k), nil
+}
+
+// anyOlderBetter reports whether any of the given segments could contain
+// a record scoring above bound.
+func (t *Tier[K]) anyOlderBetter(segs []*segment, bound float64) bool {
+	for _, s := range segs {
+		if s.maxScore > bound {
+			return true
+		}
+	}
+	return false
+}
+
+// searchSegment collects up to k ranked matches from one segment.
+func (t *Tier[K]) searchSegment(s *segment, keys []string, op query.Op, k int) ([]query.Item, error) {
+	var ords []uint32
+	switch op {
+	case query.OpSingle:
+		ords = s.dir[keys[0]]
+		if len(ords) > k {
+			ords = ords[:k] // ordinal lists are ranked best-first
+		}
+	case query.OpOr:
+		seen := make(map[uint32]struct{})
+		for _, key := range keys {
+			n := 0
+			for _, o := range s.dir[key] {
+				if n >= k {
+					break
+				}
+				n++
+				if _, dup := seen[o]; !dup {
+					seen[o] = struct{}{}
+					ords = append(ords, o)
+				}
+			}
+		}
+		sort.Slice(ords, func(i, j int) bool { return ords[i] < ords[j] })
+		if len(ords) > k*len(keys) {
+			ords = ords[:k*len(keys)]
+		}
+	case query.OpAnd:
+		// Intersect the ordinal lists; they are short (per-key,
+		// per-segment) so a counting pass suffices.
+		counts := make(map[uint32]int)
+		for _, key := range keys {
+			for _, o := range s.dir[key] {
+				counts[o]++
+			}
+		}
+		for o, c := range counts {
+			if c == len(keys) {
+				ords = append(ords, o)
+			}
+		}
+		sort.Slice(ords, func(i, j int) bool { return ords[i] < ords[j] })
+		if len(ords) > k {
+			ords = ords[:k]
+		}
+	}
+	items := make([]query.Item, 0, len(ords))
+	for _, o := range ords {
+		fr, err := s.readRecord(o)
+		if err != nil {
+			return nil, err
+		}
+		t.recordReads.Add(1)
+		items = append(items, query.Item{MB: fr.MB, Score: fr.Score})
+	}
+	return items, nil
+}
+
+// Stats returns a snapshot of tier activity.
+func (t *Tier[K]) Stats() Stats {
+	t.mu.RLock()
+	n := len(t.segs)
+	t.mu.RUnlock()
+	return Stats{
+		Segments:       n,
+		RecordsWritten: t.recordsWritten.Load(),
+		BytesWritten:   t.bytesWritten.Load(),
+		Searches:       t.searches.Load(),
+		RecordReads:    t.recordReads.Load(),
+		Compactions:    t.compactions.Load(),
+	}
+}
+
+// Close releases the tier's references to all segments; handles close
+// once in-flight searches drain.
+func (t *Tier[K]) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range t.segs {
+		s.release()
+	}
+	t.segs = nil
+	return nil
+}

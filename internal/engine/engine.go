@@ -1,0 +1,519 @@
+// Package engine assembles the full microblogs data management pipeline
+// of Figure 2: the stream is digested into the raw data store and the
+// in-memory inverted index; a configurable flushing policy evicts to the
+// disk tier when the memory budget fills; and incoming top-k queries are
+// answered from memory when possible, falling back to disk on a miss.
+//
+// The engine is generic over the attribute key type, so the same code
+// serves keyword search (K = string), spatial search (K = spatial.Cell),
+// and user-timeline search (K = uint64) — the paper's Section IV-A
+// extensibility in one implementation.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"kflushing/internal/clock"
+	"kflushing/internal/disk"
+	"kflushing/internal/index"
+	"kflushing/internal/memsize"
+	"kflushing/internal/metrics"
+	"kflushing/internal/policy"
+	"kflushing/internal/query"
+	"kflushing/internal/ranking"
+	"kflushing/internal/store"
+	"kflushing/internal/types"
+	"kflushing/internal/wal"
+)
+
+// ErrNoKeys reports an ingested microblog carrying no keys for this
+// engine's attribute (e.g. a tweet without hashtags on a keyword
+// engine); such records are not digestible.
+var ErrNoKeys = errors.New("engine: microblog has no keys for this attribute")
+
+// ErrClosed reports use after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Config assembles an engine. KeysOf, KeyHash, KeyLen, EncodeKey,
+// DiskDir and Policy are required.
+type Config[K comparable] struct {
+	// K is the default top-k result limit (paper default: 20).
+	K int
+	// MemoryBudget is the modeled main-memory budget in bytes.
+	MemoryBudget int64
+	// FlushFraction is the budget ratio B flushed per invocation
+	// (paper default: 0.10).
+	FlushFraction float64
+	// KeysOf extracts the attribute keys of a microblog.
+	KeysOf func(*types.Microblog) []K
+	// KeyHash maps a key to a hash for index sharding.
+	KeyHash func(K) uint64
+	// KeyLen returns a key's encoded size for the memory model.
+	KeyLen func(K) int
+	// EncodeKey renders a key for the disk directory.
+	EncodeKey func(K) string
+	// Ranker scores records at arrival; nil selects temporal ranking.
+	Ranker ranking.Ranker
+	// Clock is the time source; nil selects an auto-advancing logical
+	// clock.
+	Clock clock.Clock
+	// DiskDir is the disk tier directory.
+	DiskDir string
+	// DiskMaxSegments bounds the number of disk segments via automatic
+	// compaction after flushes; 0 selects a default, negative disables.
+	DiskMaxSegments int
+	// WALDir enables write-ahead logging of ingested records into the
+	// given directory: memory contents survive restarts (replayed on
+	// New) and crashes (torn tails are tolerated). Empty disables
+	// durability for memory contents, the paper's model.
+	WALDir string
+	// WALOptions tunes the write-ahead log when WALDir is set.
+	WALOptions wal.Options
+	// Policy is the flushing policy instance.
+	Policy policy.Policy[K]
+	// TrackTopK enables per-record top-k membership counters (required
+	// by kFlushing-MK).
+	TrackTopK bool
+	// TrackOverK enables the index's over-k list L (required by the
+	// kFlushing variants; FIFO and LRU leave it off).
+	TrackOverK bool
+	// SyncFlush runs flushes inline on the ingesting goroutine instead
+	// of a background flushing thread. Deterministic; used by tests
+	// and experiments.
+	SyncFlush bool
+	// Shards overrides the index shard count; 0 selects the default.
+	Shards int
+}
+
+// Engine is one attribute's complete data management system. All
+// methods are safe for concurrent use.
+type Engine[K comparable] struct {
+	cfg   Config[K]
+	ids   atomic.Uint64
+	mem   memsize.Tracker
+	store *store.Store
+	idx   *index.Index[K]
+	tier  *disk.Tier[K]
+	pol   policy.Policy[K]
+	reg   metrics.Registry
+	clk   clock.Clock
+
+	wal *wal.Log
+
+	lastFlushUsed atomic.Int64
+	flushing      atomic.Bool
+	lastError     atomic.Value // error
+	closed        atomic.Bool
+}
+
+// New builds and wires an engine from cfg.
+func New[K comparable](cfg Config[K]) (*Engine[K], error) {
+	if cfg.KeysOf == nil || cfg.KeyHash == nil || cfg.KeyLen == nil || cfg.EncodeKey == nil {
+		return nil, fmt.Errorf("engine: KeysOf, KeyHash, KeyLen and EncodeKey are required")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("engine: Policy is required")
+	}
+	if cfg.K <= 0 {
+		cfg.K = 20
+	}
+	if cfg.MemoryBudget <= 0 {
+		cfg.MemoryBudget = 64 << 20
+	}
+	if cfg.FlushFraction <= 0 || cfg.FlushFraction > 1 {
+		cfg.FlushFraction = 0.10
+	}
+	if cfg.Ranker == nil {
+		cfg.Ranker = ranking.Temporal{}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewLogical(1, 1)
+	}
+	e := &Engine[K]{cfg: cfg, store: store.New(), clk: cfg.Clock}
+	e.idx = index.New(index.Config[K]{
+		Hash:       cfg.KeyHash,
+		KeyLen:     cfg.KeyLen,
+		K:          cfg.K,
+		TrackTopK:  cfg.TrackTopK,
+		TrackOverK: cfg.TrackOverK,
+		Tracker:    &e.mem,
+		Shards:     cfg.Shards,
+	})
+	maxSegs := cfg.DiskMaxSegments
+	if maxSegs == 0 {
+		maxSegs = 48
+	}
+	tier, err := disk.Open(disk.Config[K]{
+		Dir:         cfg.DiskDir,
+		KeysOf:      cfg.KeysOf,
+		Encode:      cfg.EncodeKey,
+		MaxSegments: maxSegs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.tier = tier
+	e.pol = cfg.Policy
+	e.pol.Attach(&policy.Resources[K]{
+		Index:  e.idx,
+		Store:  e.store,
+		Mem:    &e.mem,
+		Sink:   tier,
+		KeysOf: cfg.KeysOf,
+		Clock:  cfg.Clock,
+	})
+	if cfg.WALDir != "" {
+		w, err := wal.Open(cfg.WALDir, cfg.WALOptions)
+		if err != nil {
+			tier.Close()
+			return nil, err
+		}
+		e.wal = w
+		if err := e.recoverFromWAL(); err != nil {
+			w.Close()
+			tier.Close()
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// recoverFromWAL rebuilds memory contents from the snapshot and log,
+// deduplicating records that appear in both. Replayed records keep
+// their original IDs, timestamps and scores; the ID counter resumes
+// past the highest seen. A single flush runs afterwards if the replay
+// overfilled the budget.
+func (e *Engine[K]) recoverFromWAL() error {
+	var maxID uint64
+	err := e.wal.Replay(func(fr disk.FlushRecord) error {
+		mb := fr.MB
+		if e.store.Get(mb.ID) != nil {
+			return nil // snapshot/log overlap
+		}
+		keys := e.cfg.KeysOf(mb)
+		if len(keys) == 0 {
+			return nil
+		}
+		rec := store.NewRecord(mb, fr.Score)
+		e.store.Put(rec)
+		e.mem.AddData(rec.Bytes)
+		for _, key := range keys {
+			e.idx.Insert(key, rec)
+		}
+		e.pol.OnIngest(rec, keys)
+		if uint64(mb.ID) > maxID {
+			maxID = uint64(mb.ID)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if maxID > e.ids.Load() {
+		e.ids.Store(maxID)
+	}
+	if e.mem.Used() >= e.cfg.MemoryBudget {
+		e.maybeFlush()
+	}
+	return nil
+}
+
+// Ingest digests one microblog: the engine takes ownership of mb,
+// assigns its ID (and timestamp, when zero), stores and indexes it, and
+// triggers a flush when the memory budget is full. It returns the
+// assigned ID.
+func (e *Engine[K]) Ingest(mb *types.Microblog) (types.ID, error) {
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	keys := e.cfg.KeysOf(mb)
+	if len(keys) == 0 {
+		return 0, ErrNoKeys
+	}
+	if mb.Timestamp == 0 {
+		mb.Timestamp = e.clk.Now()
+	}
+	mb.ID = types.ID(e.ids.Add(1))
+	rec := store.NewRecord(mb, e.cfg.Ranker.Score(mb))
+	if e.wal != nil {
+		if err := e.wal.Append(disk.FlushRecord{MB: mb, Score: rec.Score}); err != nil {
+			return 0, fmt.Errorf("engine: wal append: %w", err)
+		}
+	}
+	e.store.Put(rec)
+	e.mem.AddData(rec.Bytes)
+	for _, key := range keys {
+		e.idx.Insert(key, rec)
+	}
+	e.pol.OnIngest(rec, keys)
+	e.reg.Ingested.Add(1)
+	e.maybeFlush()
+	return mb.ID, nil
+}
+
+// maybeFlush triggers the policy when the budget is exhausted. In
+// background mode at most one flush runs at a time and digestion
+// continues concurrently, as the paper requires.
+//
+// Hysteresis: when a flush cannot free the full budget (the saturation
+// regime of Figure 5(a)), memory stays at or above the budget and every
+// ingest would otherwise re-trigger a flush — the costly
+// every-few-seconds flushing the paper's Section II-C warns about. A
+// new flush is therefore allowed only after memory grew by at least
+// 0.5% of the budget since the previous one ended.
+func (e *Engine[K]) maybeFlush() {
+	used := e.mem.Used()
+	if used < e.cfg.MemoryBudget {
+		return
+	}
+	if used < e.lastFlushUsed.Load()+e.cfg.MemoryBudget/200 {
+		return
+	}
+	if !e.flushing.CompareAndSwap(false, true) {
+		return
+	}
+	if e.cfg.SyncFlush {
+		e.runFlush()
+		return
+	}
+	go e.runFlush()
+}
+
+func (e *Engine[K]) runFlush() {
+	defer e.flushing.Store(false)
+	target := int64(e.cfg.FlushFraction * float64(e.cfg.MemoryBudget))
+	freed, err := e.pol.Flush(target)
+	e.reg.Flushes.Add(1)
+	e.reg.FlushedBytes.Add(freed)
+	e.lastFlushUsed.Store(e.mem.Used())
+	if err != nil {
+		e.lastError.Store(err)
+	}
+}
+
+// FlushNow synchronously runs one flush cycle regardless of memory
+// pressure, returning the bytes freed. Intended for tests, experiments,
+// and administrative draining.
+func (e *Engine[K]) FlushNow() (int64, error) {
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	for !e.flushing.CompareAndSwap(false, true) {
+		time.Sleep(time.Millisecond)
+	}
+	defer e.flushing.Store(false)
+	target := int64(e.cfg.FlushFraction * float64(e.cfg.MemoryBudget))
+	freed, err := e.pol.Flush(target)
+	e.reg.Flushes.Add(1)
+	e.reg.FlushedBytes.Add(freed)
+	e.lastFlushUsed.Store(e.mem.Used())
+	return freed, err
+}
+
+// Search evaluates one basic top-k search query (Section II-B). The
+// answer is ranked best-first; Result.MemoryHit reports whether memory
+// alone supplied the full k answers — the paper's hit-ratio event.
+func (e *Engine[K]) Search(req query.Request[K]) (query.Result, error) {
+	if e.closed.Load() {
+		return query.Result{}, ErrClosed
+	}
+	if len(req.Keys) == 0 {
+		return query.Result{}, fmt.Errorf("engine: query has no keys")
+	}
+	k := req.K
+	if k <= 0 {
+		k = e.idx.K()
+	}
+	op := req.Op
+	if len(req.Keys) == 1 {
+		op = query.OpSingle
+	}
+	start := time.Now()
+	now := e.clk.Now()
+
+	// Gather per-key candidates from memory, touching each entry's
+	// last-queried timestamp (Phase 3 bookkeeping).
+	recsByID := make(map[types.ID]*store.Record)
+	lists := make([][]query.Item, 0, len(req.Keys))
+	everyKeyFilled := true // every queried key contributed >= k candidates
+	for _, key := range req.Keys {
+		en := e.idx.Entry(key)
+		if en == nil {
+			lists = append(lists, nil)
+			everyKeyFilled = false
+			continue
+		}
+		en.Touch(now)
+		var recs []*store.Record
+		if op == query.OpAnd {
+			// Intersection needs every posting: under the MK extension
+			// entries may hold beyond-top-k postings kept exactly for
+			// AND queries.
+			recs = en.All()
+		} else {
+			recs = en.TopK(k)
+		}
+		if len(recs) < k {
+			everyKeyFilled = false
+		}
+		items := make([]query.Item, len(recs))
+		for i, r := range recs {
+			items[i] = query.Item{MB: r.MB, Score: r.Score}
+			recsByID[r.MB.ID] = r
+		}
+		lists = append(lists, items)
+	}
+
+	// Hit determination follows Section IV-D: a single-key query hits
+	// when its entry holds k postings; an OR query hits only when EVERY
+	// queried key holds k ("if any of the keywords has less than k
+	// microblogs, there is a possibility that Lm may not contain the
+	// final answer"); an AND query hits when the in-memory intersection
+	// reaches k.
+	var mem []query.Item
+	var hit bool
+	switch op {
+	case query.OpSingle:
+		mem = lists[0]
+		if len(mem) > k {
+			mem = mem[:k]
+		}
+		hit = len(mem) >= k
+	case query.OpOr:
+		mem = query.MergeTopK(lists, k)
+		hit = everyKeyFilled && len(mem) >= k
+	case query.OpAnd:
+		mem = query.IntersectTopK(lists, k)
+		hit = len(mem) >= k
+	}
+
+	res := query.Result{Items: mem, MemoryHit: hit}
+	if !res.MemoryHit {
+		res.DiskChecked = true
+		diskItems, err := e.tier.Search(req.Keys, op, k)
+		if err != nil {
+			return query.Result{}, err
+		}
+		res.Items = query.MergeTopK([][]query.Item{mem, diskItems}, k)
+	}
+
+	// Inform the policy which memory records the answer used (LRU
+	// relinks them; kFlushing and FIFO ignore the call).
+	touched := make([]*store.Record, 0, len(res.Items))
+	for _, it := range res.Items {
+		if r, ok := recsByID[it.MB.ID]; ok {
+			touched = append(touched, r)
+		}
+	}
+	if len(touched) > 0 {
+		e.pol.OnAccess(touched)
+	}
+
+	e.reg.RecordQuery(op.String(), res.MemoryHit, time.Since(start))
+	return res, nil
+}
+
+// SetK changes the default top-k threshold at run time (Section IV-C).
+// The new value applies to subsequent queries immediately and to
+// flushing decisions from the next flush cycle.
+func (e *Engine[K]) SetK(k int) {
+	if k > 0 {
+		e.idx.SetK(k)
+	}
+}
+
+// K returns the current default top-k threshold.
+func (e *Engine[K]) K() int { return e.idx.K() }
+
+// Index exposes the underlying index for experiments and tests.
+func (e *Engine[K]) Index() *index.Index[K] { return e.idx }
+
+// Store exposes the raw data store for experiments and tests.
+func (e *Engine[K]) Store() *store.Store { return e.store }
+
+// Mem exposes the memory tracker for experiments and tests.
+func (e *Engine[K]) Mem() *memsize.Tracker { return &e.mem }
+
+// Metrics exposes the counter registry.
+func (e *Engine[K]) Metrics() *metrics.Registry { return &e.reg }
+
+// Policy exposes the attached flushing policy.
+func (e *Engine[K]) Policy() policy.Policy[K] { return e.pol }
+
+// Err returns the most recent background flush error, if any.
+func (e *Engine[K]) Err() error {
+	if v := e.lastError.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Stats is a point-in-time summary of the whole engine.
+type Stats struct {
+	Policy         string
+	K              int
+	MemoryBudget   int64
+	MemoryUsed     int64
+	DataBytes      int64
+	IndexBytes     int64
+	PolicyOverhead int64
+	StoreRecords   int64
+	Census         index.Census
+	Metrics        metrics.Snapshot
+	Disk           disk.Stats
+}
+
+// Stats gathers a snapshot. Taking a census scans the index; avoid
+// calling it on latency-critical paths.
+func (e *Engine[K]) Stats() Stats {
+	return Stats{
+		Policy:         e.pol.Name(),
+		K:              e.idx.K(),
+		MemoryBudget:   e.cfg.MemoryBudget,
+		MemoryUsed:     e.mem.Used(),
+		DataBytes:      e.mem.Data(),
+		IndexBytes:     e.mem.Index(),
+		PolicyOverhead: e.pol.OverheadBytes(),
+		StoreRecords:   e.store.Len(),
+		Census:         e.idx.TakeCensus(),
+		Metrics:        e.reg.Snap(),
+		Disk:           e.tier.Stats(),
+	}
+}
+
+// Close drains in-flight flushing, snapshots memory contents to the
+// write-ahead log (when enabled) so the next open recovers instantly,
+// and releases the disk tier.
+func (e *Engine[K]) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Drain any in-flight background flush. The flushing flag is set
+	// before the flush goroutine is spawned and cleared when it ends,
+	// so polling it is race-free (unlike a WaitGroup, whose Add could
+	// race with Wait through a concurrent Ingest).
+	for e.flushing.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	var firstErr error
+	if e.wal != nil {
+		var recs []disk.FlushRecord
+		e.store.Range(func(rec *store.Record) bool {
+			recs = append(recs, disk.FlushRecord{MB: rec.MB, Score: rec.Score})
+			return true
+		})
+		if err := e.wal.WriteSnapshot(recs); err != nil {
+			firstErr = err
+		}
+		if err := e.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := e.tier.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

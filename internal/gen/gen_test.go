@@ -1,0 +1,210 @@
+package gen
+
+import (
+	"testing"
+
+	"kflushing/internal/types"
+)
+
+func smallConfig() Config {
+	c := DefaultConfig()
+	c.Vocab = 5000
+	c.Users = 1000
+	return c
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(smallConfig()), New(smallConfig())
+	for i := 0; i < 500; i++ {
+		ma, mb := a.Next(), b.Next()
+		if ma.Timestamp != mb.Timestamp || ma.UserID != mb.UserID ||
+			ma.Text != mb.Text || len(ma.Keywords) != len(mb.Keywords) {
+			t.Fatalf("divergence at %d: %v vs %v", i, ma, mb)
+		}
+		for j := range ma.Keywords {
+			if ma.Keywords[j] != mb.Keywords[j] {
+				t.Fatalf("keyword divergence at %d", i)
+			}
+		}
+	}
+}
+
+func TestTimestampsStrictlyIncrease(t *testing.T) {
+	g := New(smallConfig())
+	var last types.Timestamp
+	for i := 0; i < 1000; i++ {
+		mb := g.Next()
+		if mb.Timestamp <= last {
+			t.Fatalf("timestamp %d not after %d", mb.Timestamp, last)
+		}
+		last = mb.Timestamp
+	}
+}
+
+func TestKeywordInvariants(t *testing.T) {
+	g := New(smallConfig())
+	for i := 0; i < 5000; i++ {
+		mb := g.Next()
+		if len(mb.Keywords) < 1 || len(mb.Keywords) > 3 {
+			t.Fatalf("keyword count %d out of [1,3]", len(mb.Keywords))
+		}
+		seen := map[string]bool{}
+		for _, kw := range mb.Keywords {
+			if seen[kw] {
+				t.Fatalf("duplicate keyword %q in one record", kw)
+			}
+			seen[kw] = true
+		}
+	}
+}
+
+func TestKeywordSkewHeadDominates(t *testing.T) {
+	g := New(smallConfig())
+	counts := map[string]int{}
+	total := 0
+	for i := 0; i < 30_000; i++ {
+		for _, kw := range g.Next().Keywords {
+			counts[kw]++
+			total++
+		}
+	}
+	top := g.Vocab()[0]
+	// The most popular keyword must dwarf the per-key average.
+	avg := float64(total) / float64(len(counts))
+	if float64(counts[top]) < 10*avg {
+		t.Fatalf("head keyword count %d not ≫ avg %.1f", counts[top], avg)
+	}
+}
+
+func TestCoOccurrenceGroups(t *testing.T) {
+	cfg := smallConfig()
+	cfg.RelatedProb = 1.0 // every extra keyword from the same group
+	g := New(cfg)
+	vocabRank := map[string]int{}
+	for i, kw := range g.Vocab() {
+		vocabRank[kw] = i
+	}
+	for i := 0; i < 5000; i++ {
+		mb := g.Next()
+		if len(mb.Keywords) < 2 {
+			continue
+		}
+		g0 := vocabRank[mb.Keywords[0]] / cfg.GroupSize
+		for _, kw := range mb.Keywords[1:] {
+			if vocabRank[kw]/cfg.GroupSize != g0 {
+				t.Fatalf("keyword %q outside group of %q", kw, mb.Keywords[0])
+			}
+		}
+	}
+}
+
+func TestGeoFractionRespected(t *testing.T) {
+	cfg := smallConfig()
+	cfg.GeoFraction = 0
+	g := New(cfg)
+	for i := 0; i < 1000; i++ {
+		if g.Next().HasGeo {
+			t.Fatal("geotagged record with GeoFraction=0")
+		}
+	}
+	cfg.GeoFraction = 1
+	g = New(cfg)
+	for i := 0; i < 1000; i++ {
+		mb := g.Next()
+		if !mb.HasGeo {
+			t.Fatal("non-geotagged record with GeoFraction=1")
+		}
+		if mb.Lat < 24 || mb.Lat > 50 || mb.Lon < -125 || mb.Lon > -66 {
+			t.Fatalf("location (%v,%v) outside the default grid bounds", mb.Lat, mb.Lon)
+		}
+	}
+}
+
+func TestUserIDsPositiveAndSkewed(t *testing.T) {
+	g := New(smallConfig())
+	counts := map[uint64]int{}
+	for i := 0; i < 20_000; i++ {
+		mb := g.Next()
+		if mb.UserID == 0 {
+			t.Fatal("zero user ID")
+		}
+		counts[mb.UserID]++
+	}
+	avg := 20_000.0 / float64(len(counts))
+	if float64(counts[1]) < 5*avg {
+		t.Fatalf("most active user count %d not ≫ avg %.1f", counts[1], avg)
+	}
+}
+
+func TestTextLengthBounds(t *testing.T) {
+	g := New(smallConfig())
+	for i := 0; i < 2000; i++ {
+		n := len(g.Next().Text)
+		if n < 10 || n > 300 {
+			t.Fatalf("text length %d outside sane bounds", n)
+		}
+	}
+}
+
+func TestCountTracksGenerated(t *testing.T) {
+	g := New(smallConfig())
+	for i := 0; i < 7; i++ {
+		g.Next()
+	}
+	if g.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", g.Count())
+	}
+}
+
+func TestBurstRotation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.HeadTags = 16
+	cfg.HeadProb = 0.5
+	cfg.EpochLen = 2000
+	g := New(cfg)
+	vocabRank := map[string]int{}
+	for i, kw := range g.Vocab() {
+		vocabRank[kw] = i
+	}
+	inBurst := func(rank, base int) bool {
+		for r := 0; r < cfg.HeadTags; r++ {
+			if (base+r)%cfg.Vocab == rank {
+				return true
+			}
+		}
+		return false
+	}
+	// Count first-keyword draws landing in the active burst set per
+	// epoch; with HeadProb=0.5 the share must be large (global draws
+	// rarely land there by chance).
+	for epoch := 0; epoch < 3; epoch++ {
+		base := g.BurstBase(g.Count() + 1)
+		hits := 0
+		for i := 0; i < cfg.EpochLen; i++ {
+			mb := g.Next()
+			if inBurst(vocabRank[mb.Keywords[0]], base) {
+				hits++
+			}
+		}
+		share := float64(hits) / float64(cfg.EpochLen)
+		if share < 0.35 {
+			t.Fatalf("epoch %d: burst share %.2f, want >= 0.35", epoch, share)
+		}
+	}
+	// Consecutive epochs use different burst bases.
+	if g.BurstBase(0) == g.BurstBase(int64(cfg.EpochLen)) {
+		t.Fatal("burst base did not rotate across epochs")
+	}
+}
+
+func TestNoBurstWhenDisabled(t *testing.T) {
+	cfg := smallConfig()
+	cfg.HeadTags = 0
+	g := New(cfg)
+	if g.BurstBase(12345) != 0 {
+		t.Fatal("BurstBase nonzero with bursts disabled")
+	}
+	for i := 0; i < 100; i++ {
+		g.Next() // must not panic
+	}
+}

@@ -1,0 +1,312 @@
+// Package index implements the in-memory inverted index of Figure 3: a
+// sharded hash table mapping each key (keyword, spatial tile, user ID)
+// to a posting list ordered by ranking score.
+//
+// The index is generic over the key type, which is the code-level form
+// of the paper's Section IV-A extensibility claim: the same structure —
+// and therefore the same flushing policies — serves keyword, spatial,
+// and user attributes.
+//
+// Beyond plain lookups the index maintains the bookkeeping kFlushing
+// needs at negligible per-insert cost:
+//
+//   - the over-k list L: pointers to entries holding more than k
+//     postings, so Phase 1 never scans the full key space;
+//   - per-entry last-arrival and last-queried timestamps (one timestamp
+//     per *key*, not per item — the paper's overhead argument against
+//     LRU), driving Phases 2 and 3;
+//   - optional per-record top-k membership counters for the
+//     kFlushing-MK extension, maintained in O(1) per insertion.
+package index
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"kflushing/internal/memsize"
+	"kflushing/internal/store"
+)
+
+// Config parameterizes an Index.
+type Config[K comparable] struct {
+	// Hash maps a key to a shard-selection hash. Required.
+	Hash func(K) uint64
+	// KeyLen returns the encoded size of a key in bytes for the memory
+	// model (string length for keywords, 0 for fixed-size keys).
+	// Required.
+	KeyLen func(K) int
+	// K is the initial top-k threshold.
+	K int
+	// TrackTopK enables the per-record top-k membership counters used
+	// by kFlushing-MK.
+	TrackTopK bool
+	// TrackOverK enables the over-k list L consumed by kFlushing's
+	// Phase 1. Policies that never drain L (FIFO, LRU) leave it
+	// disabled so it cannot grow unboundedly.
+	TrackOverK bool
+	// Tracker receives index memory accounting; may be nil.
+	Tracker *memsize.Tracker
+	// Shards is the number of hash shards; 0 selects a default.
+	Shards int
+}
+
+type shard[K comparable] struct {
+	mu      sync.RWMutex
+	entries map[K]*Entry[K]
+}
+
+// Index is the sharded inverted index. All methods are safe for
+// concurrent use.
+type Index[K comparable] struct {
+	cfg    Config[K]
+	shards []shard[K]
+	mask   uint64
+
+	k atomic.Int32
+
+	entryCount   atomic.Int64
+	postingCount atomic.Int64
+
+	// overMu guards overK, the paper's list L of entries that exceeded
+	// k postings since the last Phase 1 run.
+	overMu sync.Mutex
+	overK  []*Entry[K]
+}
+
+// New builds an index from cfg.
+func New[K comparable](cfg Config[K]) *Index[K] {
+	if cfg.Hash == nil || cfg.KeyLen == nil {
+		panic("index: Hash and KeyLen are required")
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = 64
+	}
+	// Round up to a power of two for mask selection.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	ix := &Index[K]{cfg: cfg, shards: make([]shard[K], p), mask: uint64(p - 1)}
+	for i := range ix.shards {
+		ix.shards[i].entries = make(map[K]*Entry[K])
+	}
+	ix.k.Store(int32(cfg.K))
+	return ix
+}
+
+// K returns the current top-k threshold.
+func (ix *Index[K]) K() int { return int(ix.k.Load()) }
+
+// SetK changes the top-k threshold. Per Section IV-C the change applies
+// to subsequent flushes; in-flight flushes keep the k they started with.
+func (ix *Index[K]) SetK(k int) { ix.k.Store(int32(k)) }
+
+// TrackTopK reports whether MK top-k counters are maintained.
+func (ix *Index[K]) TrackTopK() bool { return ix.cfg.TrackTopK }
+
+// KeyLen exposes the key-size model for policies computing freeable
+// bytes.
+func (ix *Index[K]) KeyLen(key K) int { return ix.cfg.KeyLen(key) }
+
+func (ix *Index[K]) shardFor(key K) *shard[K] {
+	return &ix.shards[ix.cfg.Hash(key)&ix.mask]
+}
+
+// Insert adds a posting for rec under key, creating the entry if needed,
+// and increments rec's reference count. It retries transparently if the
+// entry is concurrently detached by a flush.
+func (ix *Index[K]) Insert(key K, rec *store.Record) {
+	k := int(ix.k.Load())
+	for {
+		e := ix.getOrCreate(key)
+		ok, crossedK := e.insert(rec, k, ix.cfg.TrackTopK)
+		if !ok {
+			continue // entry detached under us; re-create and retry
+		}
+		rec.Ref(1)
+		ix.postingCount.Add(1)
+		if ix.cfg.Tracker != nil {
+			ix.cfg.Tracker.AddIndex(memsize.PostingSize)
+		}
+		if crossedK {
+			ix.registerOverK(e)
+		}
+		return
+	}
+}
+
+func (ix *Index[K]) getOrCreate(key K) *Entry[K] {
+	sh := ix.shardFor(key)
+	sh.mu.RLock()
+	e := sh.entries[key]
+	sh.mu.RUnlock()
+	if e != nil && !e.IsDead() {
+		return e
+	}
+	sh.mu.Lock()
+	e = sh.entries[key]
+	if e != nil && e.IsDead() {
+		// A flush detached this entry but has not (or will not)
+		// removed it from the map yet; replace it so ingestion never
+		// spins on a dead entry.
+		delete(sh.entries, key)
+		ix.entryCount.Add(-1)
+		if ix.cfg.Tracker != nil {
+			ix.cfg.Tracker.AddIndex(-memsize.EntryBytes(ix.cfg.KeyLen(key)))
+		}
+		e = nil
+	}
+	if e == nil {
+		e = &Entry[K]{key: key, trackTopK: ix.cfg.TrackTopK}
+		sh.entries[key] = e
+		ix.entryCount.Add(1)
+		if ix.cfg.Tracker != nil {
+			ix.cfg.Tracker.AddIndex(memsize.EntryBytes(ix.cfg.KeyLen(key)))
+		}
+	}
+	sh.mu.Unlock()
+	return e
+}
+
+// Entry returns the entry for key, or nil if absent.
+func (ix *Index[K]) Entry(key K) *Entry[K] {
+	sh := ix.shardFor(key)
+	sh.mu.RLock()
+	e := sh.entries[key]
+	sh.mu.RUnlock()
+	return e
+}
+
+// registerOverK appends e to the over-k list if not already present.
+func (ix *Index[K]) registerOverK(e *Entry[K]) {
+	if !ix.cfg.TrackOverK {
+		return
+	}
+	ix.overMu.Lock()
+	e.mu.Lock()
+	if !e.inOverK && !e.dead {
+		e.inOverK = true
+		ix.overK = append(ix.overK, e)
+	}
+	e.mu.Unlock()
+	ix.overMu.Unlock()
+}
+
+// TakeOverK returns the current over-k list and resets it (the paper
+// wipes L after Phase 1 completes), clearing each entry's membership
+// flag so subsequent crossings — or the caller via ReRegisterOverK,
+// when the MK retention rule leaves an entry above k — re-register it.
+func (ix *Index[K]) TakeOverK() []*Entry[K] {
+	ix.overMu.Lock()
+	l := ix.overK
+	ix.overK = nil
+	for _, e := range l {
+		e.mu.Lock()
+		e.inOverK = false
+		e.mu.Unlock()
+	}
+	ix.overMu.Unlock()
+	return l
+}
+
+// ReRegisterOverK re-inserts an entry into L after a trim left it above
+// k postings.
+func (ix *Index[K]) ReRegisterOverK(e *Entry[K]) { ix.registerOverK(e) }
+
+// OverKLen returns the current length of L, for stats and tests.
+func (ix *Index[K]) OverKLen() int {
+	ix.overMu.Lock()
+	n := len(ix.overK)
+	ix.overMu.Unlock()
+	return n
+}
+
+// DetachEntry removes the entry for key from the map (if it is the given
+// entry) so a concurrent ingest re-creates a fresh one. The caller must
+// subsequently drain the entry with DetachAll/DetachExcept.
+func (ix *Index[K]) DetachEntry(e *Entry[K]) {
+	sh := ix.shardFor(e.key)
+	sh.mu.Lock()
+	if sh.entries[e.key] == e {
+		delete(sh.entries, e.key)
+		ix.entryCount.Add(-1)
+		if ix.cfg.Tracker != nil {
+			ix.cfg.Tracker.AddIndex(-memsize.EntryBytes(ix.cfg.KeyLen(e.key)))
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// NotePostingsRemoved adjusts the posting count and index gauge after a
+// trim removed n postings from an entry.
+func (ix *Index[K]) NotePostingsRemoved(n int) {
+	if n == 0 {
+		return
+	}
+	ix.postingCount.Add(int64(-n))
+	if ix.cfg.Tracker != nil {
+		ix.cfg.Tracker.AddIndex(int64(-n) * memsize.PostingSize)
+	}
+}
+
+// Range calls fn for every live entry until fn returns false. Iteration
+// snapshots one shard at a time; entries detached mid-iteration may
+// still be visited.
+func (ix *Index[K]) Range(fn func(*Entry[K]) bool) {
+	for i := range ix.shards {
+		sh := &ix.shards[i]
+		sh.mu.RLock()
+		snapshot := make([]*Entry[K], 0, len(sh.entries))
+		for _, e := range sh.entries {
+			snapshot = append(snapshot, e)
+		}
+		sh.mu.RUnlock()
+		for _, e := range snapshot {
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}
+
+// Entries returns the number of live entries.
+func (ix *Index[K]) Entries() int64 { return ix.entryCount.Load() }
+
+// Postings returns the number of live postings.
+func (ix *Index[K]) Postings() int64 { return ix.postingCount.Load() }
+
+// Census summarizes the in-memory frequency distribution the paper's
+// Figure 1 and Section V-A discuss.
+type Census struct {
+	// Entries is the number of index entries.
+	Entries int
+	// KFilled counts entries holding at least k postings — queries on
+	// these keys hit memory.
+	KFilled int
+	// Postings is the total posting count.
+	Postings int
+	// BeyondTopK counts postings outside their entry's top-k — the
+	// paper's "useless microblogs".
+	BeyondTopK int
+}
+
+// TakeCensus scans the index and reports the distribution snapshot for
+// the current k.
+func (ix *Index[K]) TakeCensus() Census {
+	k := int(ix.k.Load())
+	var c Census
+	ix.Range(func(e *Entry[K]) bool {
+		n := e.Len()
+		c.Entries++
+		c.Postings += n
+		if n >= k {
+			c.KFilled++
+		}
+		if n > k {
+			c.BeyondTopK += n - k
+		}
+		return true
+	})
+	return c
+}

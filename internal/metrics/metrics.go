@@ -1,0 +1,184 @@
+// Package metrics collects the performance measures the paper evaluates:
+// memory hit ratio (the headline metric), digestion counts, flushing
+// activity, and query latencies split by hit/miss.
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free power-of-two latency histogram. Bucket i
+// counts observations in [2^i, 2^(i+1)) nanoseconds.
+type Histogram struct {
+	buckets [48]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	n := d.Nanoseconds()
+	if n < 1 {
+		n = 1
+	}
+	b := 63 - leadingZeros(uint64(n))
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(n)
+}
+
+func leadingZeros(x uint64) int {
+	n := 0
+	for x&(1<<63) == 0 && n < 64 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observation, or 0 with no data.
+func (h *Histogram) Mean() time.Duration {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / c)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in
+// [0,1]) using bucket upper edges.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return time.Duration(int64(1) << uint(i+1))
+		}
+	}
+	return time.Duration(int64(1) << uint(len(h.buckets)))
+}
+
+// Registry aggregates one engine's counters. All methods are safe for
+// concurrent use.
+type Registry struct {
+	Ingested atomic.Int64
+
+	Queries atomic.Int64
+	Hits    atomic.Int64
+	Misses  atomic.Int64
+
+	// Per-operator hit/miss breakdown: single, or, and.
+	SingleHits, SingleMisses atomic.Int64
+	OrHits, OrMisses         atomic.Int64
+	AndHits, AndMisses       atomic.Int64
+
+	Flushes       atomic.Int64
+	FlushedBytes  atomic.Int64
+	FlushedIntoOp atomic.Int64 // cumulative records handed to the sink
+
+	HitLatency  Histogram
+	MissLatency Histogram
+}
+
+// HitRatio returns the fraction of queries answered entirely from
+// memory, in [0,1]; 0 with no queries.
+func (r *Registry) HitRatio() float64 {
+	q := r.Queries.Load()
+	if q == 0 {
+		return 0
+	}
+	return float64(r.Hits.Load()) / float64(q)
+}
+
+// RecordQuery tallies one query outcome for the given operator hit/miss
+// counters.
+func (r *Registry) RecordQuery(op string, hit bool, d time.Duration) {
+	r.Queries.Add(1)
+	if hit {
+		r.Hits.Add(1)
+		r.HitLatency.Observe(d)
+	} else {
+		r.Misses.Add(1)
+		r.MissLatency.Observe(d)
+	}
+	switch op {
+	case "single":
+		if hit {
+			r.SingleHits.Add(1)
+		} else {
+			r.SingleMisses.Add(1)
+		}
+	case "or":
+		if hit {
+			r.OrHits.Add(1)
+		} else {
+			r.OrMisses.Add(1)
+		}
+	case "and":
+		if hit {
+			r.AndHits.Add(1)
+		} else {
+			r.AndMisses.Add(1)
+		}
+	}
+}
+
+// Snapshot is a point-in-time copy of the registry for reporting.
+type Snapshot struct {
+	Ingested     int64
+	Queries      int64
+	Hits         int64
+	Misses       int64
+	HitRatio     float64
+	SingleHits   int64
+	SingleMisses int64
+	OrHits       int64
+	OrMisses     int64
+	AndHits      int64
+	AndMisses    int64
+	Flushes      int64
+	FlushedBytes int64
+	MeanHit      time.Duration
+	MeanMiss     time.Duration
+	P99Hit       time.Duration
+	P99Miss      time.Duration
+}
+
+// Snap returns a snapshot of all counters.
+func (r *Registry) Snap() Snapshot {
+	return Snapshot{
+		Ingested:     r.Ingested.Load(),
+		Queries:      r.Queries.Load(),
+		Hits:         r.Hits.Load(),
+		Misses:       r.Misses.Load(),
+		HitRatio:     r.HitRatio(),
+		SingleHits:   r.SingleHits.Load(),
+		SingleMisses: r.SingleMisses.Load(),
+		OrHits:       r.OrHits.Load(),
+		OrMisses:     r.OrMisses.Load(),
+		AndHits:      r.AndHits.Load(),
+		AndMisses:    r.AndMisses.Load(),
+		Flushes:      r.Flushes.Load(),
+		FlushedBytes: r.FlushedBytes.Load(),
+		MeanHit:      r.HitLatency.Mean(),
+		MeanMiss:     r.MissLatency.Mean(),
+		P99Hit:       r.HitLatency.Quantile(0.99),
+		P99Miss:      r.MissLatency.Quantile(0.99),
+	}
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(100 * time.Nanosecond)
+	h.Observe(1 * time.Millisecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	mean := h.Mean()
+	if mean < 100*time.Nanosecond || mean > time.Millisecond {
+		t.Fatalf("Mean = %v", mean)
+	}
+	// Median bucket upper bound must be near 100ns (within 2x).
+	if q := h.Quantile(0.5); q < 100*time.Nanosecond || q > 400*time.Nanosecond {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := h.Quantile(1.0); q < time.Millisecond {
+		t.Fatalf("p100 = %v", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramSubNanosecond(t *testing.T) {
+	var h Histogram
+	h.Observe(0) // clamped to 1ns
+	if h.Count() != 1 {
+		t.Fatal("zero duration dropped")
+	}
+}
+
+func TestRecordQueryBreakdown(t *testing.T) {
+	var r Registry
+	r.RecordQuery("single", true, time.Microsecond)
+	r.RecordQuery("single", false, time.Millisecond)
+	r.RecordQuery("or", true, time.Microsecond)
+	r.RecordQuery("and", false, time.Millisecond)
+	s := r.Snap()
+	if s.Queries != 4 || s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("totals: %+v", s)
+	}
+	if s.SingleHits != 1 || s.SingleMisses != 1 || s.OrHits != 1 || s.AndMisses != 1 {
+		t.Fatalf("breakdown: %+v", s)
+	}
+	if s.HitRatio != 0.5 {
+		t.Fatalf("HitRatio = %v", s.HitRatio)
+	}
+	if s.MeanHit == 0 || s.MeanMiss == 0 || s.P99Hit == 0 {
+		t.Fatalf("latency summary empty: %+v", s)
+	}
+}
+
+func TestHitRatioNoQueries(t *testing.T) {
+	var r Registry
+	if r.HitRatio() != 0 {
+		t.Fatal("hit ratio with no queries")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	var r Registry
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(hit bool) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.RecordQuery("single", hit, time.Microsecond)
+			}
+		}(w%2 == 0)
+	}
+	wg.Wait()
+	s := r.Snap()
+	if s.Queries != 8000 || s.Hits != 4000 || s.Misses != 4000 {
+		t.Fatalf("concurrent totals: %+v", s)
+	}
+}

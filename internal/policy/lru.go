@@ -1,0 +1,141 @@
+package policy
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"kflushing/internal/memsize"
+	"kflushing/internal/store"
+)
+
+// LRU is the anti-caching baseline modeled on H-Store (Section V setup):
+// a single global doubly-linked list orders every in-memory record by
+// last use; eviction pops from the tail. The list pointers are embedded
+// in the records themselves — as the paper notes H-Store does to reduce
+// memory overhead — but the list head is still a global hot spot: every
+// ingestion pushes to it and every query relinks the records it touched,
+// which is exactly the contention that caps LRU's digestion rate in
+// Figure 10(b).
+type LRU[K comparable] struct {
+	r *Resources[K]
+
+	mu   sync.Mutex
+	head *store.Record // most recently used
+	tail *store.Record // least recently used
+	len  atomic.Int64
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU[K comparable]() *LRU[K] { return &LRU[K]{} }
+
+// Name implements Policy.
+func (l *LRU[K]) Name() string { return "lru" }
+
+// Attach implements Policy.
+func (l *LRU[K]) Attach(r *Resources[K]) { l.r = r }
+
+// linked reports whether rec is currently on the list. Callers must hold
+// l.mu. Unlinked records have both hooks nil and are not the head.
+func (l *LRU[K]) linked(rec *store.Record) bool {
+	return rec.LRUPrev != nil || rec.LRUNext != nil || l.head == rec
+}
+
+func (l *LRU[K]) pushHead(rec *store.Record) {
+	rec.LRUPrev = nil
+	rec.LRUNext = l.head
+	if l.head != nil {
+		l.head.LRUPrev = rec
+	}
+	l.head = rec
+	if l.tail == nil {
+		l.tail = rec
+	}
+}
+
+func (l *LRU[K]) unlink(rec *store.Record) {
+	if rec.LRUPrev != nil {
+		rec.LRUPrev.LRUNext = rec.LRUNext
+	} else if l.head == rec {
+		l.head = rec.LRUNext
+	}
+	if rec.LRUNext != nil {
+		rec.LRUNext.LRUPrev = rec.LRUPrev
+	} else if l.tail == rec {
+		l.tail = rec.LRUPrev
+	}
+	rec.LRUPrev, rec.LRUNext = nil, nil
+}
+
+// OnIngest pushes the new record to the list head.
+func (l *LRU[K]) OnIngest(rec *store.Record, _ []K) {
+	l.mu.Lock()
+	l.pushHead(rec)
+	l.mu.Unlock()
+	l.len.Add(1)
+}
+
+// OnAccess moves the touched records to the list head — the per-query
+// relinking that makes the global list a contention point.
+func (l *LRU[K]) OnAccess(recs []*store.Record) {
+	l.mu.Lock()
+	for _, rec := range recs {
+		if !l.linked(rec) {
+			continue // already evicted by a concurrent flush
+		}
+		if l.head == rec {
+			continue
+		}
+		l.unlink(rec)
+		l.pushHead(rec)
+	}
+	l.mu.Unlock()
+}
+
+// Flush evicts records from the list tail until at least target bytes
+// are freed or the list empties.
+func (l *LRU[K]) Flush(target int64) (int64, error) {
+	buf := NewVictimBuffer(l.r.Mem, l.r.Sink, true)
+	var freed int64
+	for freed < target {
+		l.mu.Lock()
+		rec := l.tail
+		if rec == nil {
+			l.mu.Unlock()
+			break
+		}
+		l.unlink(rec)
+		l.mu.Unlock()
+		l.len.Add(-1)
+		freed += l.evict(rec, buf)
+	}
+	return freed, buf.Close()
+}
+
+// evict removes every index posting of rec and releases it.
+func (l *LRU[K]) evict(rec *store.Record, buf *VictimBuffer) int64 {
+	var freed int64
+	for _, key := range l.r.KeysOf(rec.MB) {
+		e := l.r.Index.Entry(key)
+		if e == nil {
+			continue
+		}
+		removed, died := e.RemovePostingDieIfEmpty(rec, l.r.Index.K())
+		if !removed {
+			continue
+		}
+		l.r.Index.NotePostingsRemoved(1)
+		freed += 16
+		if died {
+			l.r.Index.DetachEntry(e)
+			freed += memsize.EntryBytes(l.r.Index.KeyLen(key))
+		}
+		freed += l.r.Unref(rec, buf)
+	}
+	return freed
+}
+
+// OverheadBytes reports the embedded list-pointer cost: two pointers per
+// tracked record, plus the flush buffer's peak.
+func (l *LRU[K]) OverheadBytes() int64 {
+	return l.len.Load()*16 + l.r.Mem.PeakTemp()
+}

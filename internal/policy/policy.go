@@ -1,0 +1,147 @@
+// Package policy defines the flushing-policy contract and implements the
+// two baselines the paper evaluates against: FIFO (temporally segmented
+// flushing, the implicit policy of existing microblog systems) and LRU
+// (H-Store-style anti-caching over individual records).
+//
+// The kFlushing policy itself — the paper's contribution — lives in
+// package core and implements the same interface, so the engine and
+// every experiment treat all policies uniformly.
+package policy
+
+import (
+	"kflushing/internal/clock"
+	"kflushing/internal/disk"
+	"kflushing/internal/index"
+	"kflushing/internal/memsize"
+	"kflushing/internal/store"
+	"kflushing/internal/types"
+)
+
+// Sink receives flushed records; in production it is the disk tier.
+type Sink interface {
+	Flush([]disk.FlushRecord) error
+}
+
+// Resources grants a policy access to the engine's shared structures. A
+// policy receives it once via Attach before any other call.
+type Resources[K comparable] struct {
+	// Index is the in-memory inverted index for the attribute.
+	Index *index.Index[K]
+	// Store is the raw data store.
+	Store *store.Store
+	// Mem is the engine's memory tracker.
+	Mem *memsize.Tracker
+	// Sink receives evicted records.
+	Sink Sink
+	// KeysOf extracts the attribute keys of a microblog.
+	KeysOf func(*types.Microblog) []K
+	// Clock is the engine time source.
+	Clock clock.Clock
+}
+
+// Unref releases one index reference on rec. When the count reaches zero
+// the record leaves the raw data store and joins the victim buffer; the
+// returned byte count is the budget-relevant memory this call freed.
+func (r *Resources[K]) Unref(rec *store.Record, buf *VictimBuffer) int64 {
+	if rec.Unref() > 0 {
+		return 0
+	}
+	r.Store.Remove(rec.MB.ID)
+	r.Mem.AddData(-rec.Bytes)
+	buf.Add(rec)
+	return rec.Bytes
+}
+
+// Policy selects flush victims when memory fills. Implementations must
+// tolerate ingestion and queries proceeding concurrently with Flush —
+// the paper requires flushing to run on its own thread without stalling
+// digestion.
+type Policy[K comparable] interface {
+	// Name identifies the policy in stats and experiment output.
+	Name() string
+	// Attach wires the policy to the engine's resources; called once
+	// before any other method.
+	Attach(r *Resources[K])
+	// OnIngest runs after a record is stored and indexed under keys.
+	OnIngest(rec *store.Record, keys []K)
+	// OnAccess runs after a query touched the given records from
+	// memory. Only access-ordered policies (LRU) need it.
+	OnAccess(recs []*store.Record)
+	// Flush evicts at least target bytes when possible, returning the
+	// bytes actually freed from the budget-relevant gauges.
+	Flush(target int64) (freed int64, err error)
+	// OverheadBytes reports the policy's current bookkeeping memory —
+	// the quantity of the paper's Figure 10(a) — including the peak
+	// temporary flush buffer.
+	OverheadBytes() int64
+}
+
+// VictimBuffer accumulates records whose last reference was trimmed,
+// then writes them to the sink in one batch — the paper's temporary
+// main-memory buffer that reduces the number of I/O operations. When
+// chargeTemp is set its occupancy is charged to the tracker's temporary
+// gauge (FIFO flushes whole segments and needs no such buffer, so it
+// opts out).
+type VictimBuffer struct {
+	mem        *memsize.Tracker
+	sink       Sink
+	chargeTemp bool
+	recs       []disk.FlushRecord
+	bytes      int64
+}
+
+// NewVictimBuffer returns an empty buffer writing to sink on Close.
+func NewVictimBuffer(mem *memsize.Tracker, sink Sink, chargeTemp bool) *VictimBuffer {
+	return &VictimBuffer{mem: mem, sink: sink, chargeTemp: chargeTemp}
+}
+
+// Add appends a fully-released record. If an earlier partial flush
+// already wrote the record's payload to disk, the buffer skips the
+// duplicate write; the memory was still freed either way.
+func (b *VictimBuffer) Add(rec *store.Record) {
+	if !rec.MarkOnDisk() {
+		return
+	}
+	b.append(rec)
+}
+
+// AddPartial writes a record that remains memory-resident (its reference
+// count is still positive) but has been trimmed from at least one index
+// entry. Persisting it now keeps disk answers complete for the keys it
+// is no longer indexed under in memory. At most one copy is ever
+// written; the disk directory lists the record under all of its keys.
+func (b *VictimBuffer) AddPartial(rec *store.Record) {
+	if !rec.MarkOnDisk() {
+		return
+	}
+	b.append(rec)
+}
+
+func (b *VictimBuffer) append(rec *store.Record) {
+	b.recs = append(b.recs, disk.FlushRecord{MB: rec.MB, Score: rec.Score})
+	b.bytes += rec.Bytes
+	if b.chargeTemp && b.mem != nil {
+		b.mem.AddTemp(rec.Bytes)
+	}
+}
+
+// Len returns the number of buffered records.
+func (b *VictimBuffer) Len() int { return len(b.recs) }
+
+// Bytes returns the modeled size of buffered records.
+func (b *VictimBuffer) Bytes() int64 { return b.bytes }
+
+// Close writes the buffered records to the sink and releases the
+// temporary-buffer charge.
+func (b *VictimBuffer) Close() error {
+	var err error
+	if len(b.recs) > 0 && b.sink != nil {
+		err = b.sink.Flush(b.recs)
+	}
+	if b.chargeTemp && b.mem != nil {
+		b.mem.AddTemp(-b.bytes)
+	}
+	b.recs = nil
+	b.bytes = 0
+	return err
+}

@@ -1,0 +1,66 @@
+// Package ranking defines the ranking functions that order top-k query
+// answers.
+//
+// The paper's extensibility argument (Section IV-B) requires only that a
+// microblog's ranking score be computable at arrival time, before any
+// query sees it. Every Ranker here satisfies that: the engine scores each
+// record once at ingestion and index postings stay sorted by that score,
+// so the top-k of any entry is always its k highest-scored postings.
+package ranking
+
+import "kflushing/internal/types"
+
+// Ranker computes a microblog's ranking score at arrival. Higher scores
+// rank earlier in query answers. Implementations must be pure functions
+// of the record and safe for concurrent use.
+type Ranker interface {
+	// Score returns the ranking score of m.
+	Score(m *types.Microblog) float64
+	// Name identifies the ranker in stats and experiment output.
+	Name() string
+}
+
+// Temporal ranks by recency — the paper's default ("most recent k").
+type Temporal struct{}
+
+// Score returns the arrival timestamp, so newer records rank higher.
+func (Temporal) Score(m *types.Microblog) float64 { return float64(m.Timestamp) }
+
+// Name implements Ranker.
+func (Temporal) Name() string { return "temporal" }
+
+// Popularity ranks by the posting user's follower count, breaking ties
+// by recency. It models Twitter's "Top" ranking mode.
+type Popularity struct{}
+
+// Score combines follower count (dominant) with the timestamp (tiebreak).
+func (Popularity) Score(m *types.Microblog) float64 {
+	return float64(m.Followers)*1e12 + float64(m.Timestamp)
+}
+
+// Name implements Ranker.
+func (Popularity) Name() string { return "popularity" }
+
+// Weighted blends recency and popularity with a tunable weight, modeling
+// the hybrid relevance functions the paper cites (time + popularity +
+// textual relevance). Alpha is the weight of recency in [0,1].
+type Weighted struct {
+	// Alpha is the recency weight; 1 reduces to Temporal, 0 to pure
+	// popularity.
+	Alpha float64
+	// TimeScale converts timestamps into the popularity scale; it
+	// should approximate the stream duration in timestamp units.
+	TimeScale float64
+}
+
+// Score implements Ranker.
+func (w Weighted) Score(m *types.Microblog) float64 {
+	ts := w.TimeScale
+	if ts <= 0 {
+		ts = 1
+	}
+	return w.Alpha*float64(m.Timestamp)/ts + (1-w.Alpha)*float64(m.Followers)
+}
+
+// Name implements Ranker.
+func (w Weighted) Name() string { return "weighted" }

@@ -1,0 +1,68 @@
+package ranking
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kflushing/internal/types"
+)
+
+func TestTemporalOrdersByRecency(t *testing.T) {
+	r := Temporal{}
+	old := &types.Microblog{Timestamp: 1}
+	new_ := &types.Microblog{Timestamp: 2}
+	if r.Score(new_) <= r.Score(old) {
+		t.Fatal("newer record must score higher")
+	}
+	if r.Name() != "temporal" {
+		t.Fatal("name")
+	}
+}
+
+func TestPopularityDominatesTimestamp(t *testing.T) {
+	r := Popularity{}
+	popularOld := &types.Microblog{Timestamp: 1, Followers: 1000}
+	obscureNew := &types.Microblog{Timestamp: 1 << 40, Followers: 1}
+	if r.Score(popularOld) <= r.Score(obscureNew) {
+		t.Fatal("follower count must dominate")
+	}
+	// Ties broken by recency.
+	a := &types.Microblog{Timestamp: 1, Followers: 10}
+	b := &types.Microblog{Timestamp: 2, Followers: 10}
+	if r.Score(b) <= r.Score(a) {
+		t.Fatal("tie not broken by recency")
+	}
+}
+
+func TestWeightedExtremes(t *testing.T) {
+	recent := &types.Microblog{Timestamp: 100, Followers: 1}
+	popular := &types.Microblog{Timestamp: 1, Followers: 100}
+	wRecency := Weighted{Alpha: 1, TimeScale: 100}
+	if wRecency.Score(recent) <= wRecency.Score(popular) {
+		t.Fatal("alpha=1 must rank by recency")
+	}
+	wPop := Weighted{Alpha: 0, TimeScale: 100}
+	if wPop.Score(popular) <= wPop.Score(recent) {
+		t.Fatal("alpha=0 must rank by popularity")
+	}
+	if (Weighted{}).Name() != "weighted" {
+		t.Fatal("name")
+	}
+}
+
+// Property: all rankers are pure — same input, same score.
+func TestScoresDeterministic(t *testing.T) {
+	rankers := []Ranker{Temporal{}, Popularity{}, Weighted{Alpha: 0.5, TimeScale: 1000}}
+	f := func(ts int64, followers uint32) bool {
+		m := &types.Microblog{Timestamp: types.Timestamp(ts), Followers: followers}
+		for _, r := range rankers {
+			if r.Score(m) != r.Score(m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

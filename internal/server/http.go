@@ -1,0 +1,269 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kflushing"
+)
+
+// Handler returns the HTTP API over the store:
+//
+//	POST /microblogs            one JSON object or a stream of objects
+//	GET  /search/keywords?q=a,b&op=single|and|or&k=20
+//	GET  /search/nearby?lat=40.7&lon=-74.0&k=20[&radius=5]   (miles)
+//	GET  /search/user?id=42&k=20
+//	GET  /stats                 per-attribute gauges and counters
+//	GET  /metrics               Prometheus text exposition
+//	GET  /healthz               liveness probe
+func (s *Store) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/microblogs", s.handleIngest)
+	mux.HandleFunc("/search/keywords", s.handleSearchKeywords)
+	mux.HandleFunc("/search/nearby", s.handleSearchNearby)
+	mux.HandleFunc("/search/user", s.handleSearchUser)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// ingestReq is the JSON shape of one incoming microblog.
+type ingestReq struct {
+	Keywords  []string `json:"keywords"`
+	Text      string   `json:"text"`
+	UserID    uint64   `json:"user_id"`
+	Followers uint32   `json:"followers"`
+	Lat       *float64 `json:"lat"`
+	Lon       *float64 `json:"lon"`
+}
+
+func (r ingestReq) toMicroblog() *kflushing.Microblog {
+	mb := &kflushing.Microblog{
+		Keywords:  r.Keywords,
+		Text:      r.Text,
+		UserID:    r.UserID,
+		Followers: r.Followers,
+	}
+	if r.Lat != nil && r.Lon != nil {
+		mb.Lat, mb.Lon, mb.HasGeo = *r.Lat, *r.Lon, true
+	}
+	return mb
+}
+
+// itemResp is the JSON shape of one ranked answer.
+type itemResp struct {
+	ID        uint64   `json:"id"`
+	Timestamp int64    `json:"timestamp"`
+	UserID    uint64   `json:"user_id"`
+	Keywords  []string `json:"keywords,omitempty"`
+	Text      string   `json:"text"`
+	Lat       float64  `json:"lat,omitempty"`
+	Lon       float64  `json:"lon,omitempty"`
+	Score     float64  `json:"score"`
+}
+
+func toItems(res kflushing.Result) []itemResp {
+	items := make([]itemResp, len(res.Items))
+	for i, it := range res.Items {
+		items[i] = itemResp{
+			ID:        uint64(it.MB.ID),
+			Timestamp: int64(it.MB.Timestamp),
+			UserID:    it.MB.UserID,
+			Keywords:  it.MB.Keywords,
+			Text:      it.MB.Text,
+			Score:     it.Score,
+		}
+		if it.MB.HasGeo {
+			items[i].Lat, items[i].Lon = it.MB.Lat, it.MB.Lon
+		}
+	}
+	return items
+}
+
+func (s *Store) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	var results []IngestResult
+	for {
+		var req ingestReq
+		if err := dec.Decode(&req); err != nil {
+			if len(results) == 0 {
+				http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			break
+		}
+		res, err := s.Ingest(req.toMicroblog())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		results = append(results, res)
+		if !dec.More() {
+			break
+		}
+	}
+	writeJSON(w, map[string]any{"ingested": results})
+}
+
+// parseK validates the k query parameter; 0 means "system default".
+func parseK(r *http.Request) (int, error) {
+	ks := r.URL.Query().Get("k")
+	if ks == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(ks)
+	if err != nil || v < 1 || v > 10_000 {
+		return 0, fmt.Errorf("k must be an integer in [1,10000]")
+	}
+	return v, nil
+}
+
+func (s *Store) handleSearchKeywords(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var keywords []string
+	for _, kw := range strings.Split(q.Get("q"), ",") {
+		if kw = strings.TrimSpace(kw); kw != "" {
+			keywords = append(keywords, kw)
+		}
+	}
+	if len(keywords) == 0 {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	op := kflushing.OpSingle
+	switch q.Get("op") {
+	case "", "single":
+	case "and":
+		op = kflushing.OpAnd
+	case "or":
+		op = kflushing.OpOr
+	default:
+		http.Error(w, "op must be single|and|or", http.StatusBadRequest)
+		return
+	}
+	k, err := parseK(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.SearchKeywords(keywords, op, k)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{"items": toItems(res), "memory_hit": res.MemoryHit})
+}
+
+func (s *Store) handleSearchNearby(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	lat, errLat := strconv.ParseFloat(q.Get("lat"), 64)
+	lon, errLon := strconv.ParseFloat(q.Get("lon"), 64)
+	if errLat != nil || errLon != nil {
+		http.Error(w, "lat and lon are required numbers", http.StatusBadRequest)
+		return
+	}
+	radius := 0.0
+	if rs := q.Get("radius"); rs != "" {
+		v, err := strconv.ParseFloat(rs, 64)
+		if err != nil || v < 0 || v > 500 {
+			http.Error(w, "radius must be a number of miles in [0,500]", http.StatusBadRequest)
+			return
+		}
+		radius = v
+	}
+	k, err := parseK(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.SearchNearby(lat, lon, radius, k)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{"items": toItems(res), "memory_hit": res.MemoryHit})
+}
+
+func (s *Store) handleSearchUser(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+	if err != nil || id == 0 {
+		http.Error(w, "id must be a positive integer", http.StatusBadRequest)
+		return
+	}
+	k, err := parseK(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.SearchUser(id, k)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{"items": toItems(res), "memory_hit": res.MemoryHit})
+}
+
+func (s *Store) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+// handleMetrics writes the Prometheus text exposition format.
+func (s *Store) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	stats := s.Stats()
+	attrs := make([]string, 0, len(stats))
+	for a := range stats {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+
+	emit := func(name, help string, value func(kflushing.Stats) float64) {
+		fmt.Fprintf(w, "# HELP kflushing_%s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE kflushing_%s gauge\n", name)
+		for _, a := range attrs {
+			fmt.Fprintf(w, "kflushing_%s{attr=%q,policy=%q} %g\n",
+				name, a, stats[a].Policy, value(stats[a]))
+		}
+	}
+	emit("memory_used_bytes", "budget-relevant memory in use",
+		func(st kflushing.Stats) float64 { return float64(st.MemoryUsed) })
+	emit("memory_budget_bytes", "configured memory budget",
+		func(st kflushing.Stats) float64 { return float64(st.MemoryBudget) })
+	emit("policy_overhead_bytes", "flushing-policy bookkeeping memory",
+		func(st kflushing.Stats) float64 { return float64(st.PolicyOverhead) })
+	emit("records", "records in the raw data store",
+		func(st kflushing.Stats) float64 { return float64(st.StoreRecords) })
+	emit("index_entries", "live index entries",
+		func(st kflushing.Stats) float64 { return float64(st.Census.Entries) })
+	emit("kfilled_entries", "entries able to serve top-k from memory",
+		func(st kflushing.Stats) float64 { return float64(st.Census.KFilled) })
+	emit("ingested_total", "records digested",
+		func(st kflushing.Stats) float64 { return float64(st.Metrics.Ingested) })
+	emit("queries_total", "queries evaluated",
+		func(st kflushing.Stats) float64 { return float64(st.Metrics.Queries) })
+	emit("query_hits_total", "queries answered entirely from memory",
+		func(st kflushing.Stats) float64 { return float64(st.Metrics.Hits) })
+	emit("flushes_total", "flush cycles executed",
+		func(st kflushing.Stats) float64 { return float64(st.Metrics.Flushes) })
+	emit("disk_segments", "live disk segments",
+		func(st kflushing.Stats) float64 { return float64(st.Disk.Segments) })
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("server: encode response: %v", err)
+	}
+}

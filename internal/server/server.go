@@ -1,0 +1,145 @@
+// Package server implements the multi-attribute microblogs store behind
+// cmd/kflushd: one ingested stream is indexed under all three of the
+// paper's search attributes — keywords, spatial grid tiles, and user
+// timelines — each with its own memory budget, flushing policy instance,
+// and disk tier, mirroring how the paper treats attributes as separate
+// index structures (Section IV-A).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"kflushing"
+	"kflushing/internal/textutil"
+)
+
+// ErrNotIndexed reports a record that no attribute could index (no
+// keywords, no location, no user).
+var ErrNotIndexed = errors.New("server: microblog not indexable under any attribute")
+
+// Store bundles the three attribute systems over one logical stream.
+type Store struct {
+	kw *kflushing.System
+	sp *kflushing.SpatialSystem
+	us *kflushing.UserSystem
+}
+
+// OpenStore opens (or recovers) the three attribute systems under dir.
+// opt applies per attribute: each system gets its own MemoryBudget and
+// policy instance.
+func OpenStore(dir string, opt kflushing.Options) (*Store, error) {
+	kw, err := kflushing.Open(filepath.Join(dir, "keyword"), opt)
+	if err != nil {
+		return nil, fmt.Errorf("open keyword system: %w", err)
+	}
+	sp, err := kflushing.OpenSpatial(filepath.Join(dir, "spatial"), nil, opt)
+	if err != nil {
+		kw.Close()
+		return nil, fmt.Errorf("open spatial system: %w", err)
+	}
+	us, err := kflushing.OpenUser(filepath.Join(dir, "user"), opt)
+	if err != nil {
+		kw.Close()
+		sp.Close()
+		return nil, fmt.Errorf("open user system: %w", err)
+	}
+	return &Store{kw: kw, sp: sp, us: us}, nil
+}
+
+// IngestResult reports which attributes indexed a record.
+type IngestResult struct {
+	KeywordID kflushing.ID `json:"keyword_id,omitempty"`
+	SpatialID kflushing.ID `json:"spatial_id,omitempty"`
+	UserID    kflushing.ID `json:"user_id,omitempty"`
+}
+
+// Ingest digests one microblog into every attribute that can index it:
+// keywords when hashtags are present, the spatial grid when geotagged,
+// and the posting user's timeline when a user is set. Records arriving
+// with raw text but no keywords get them extracted (hashtags first,
+// significant terms as fallback). Each system gets its own copy
+// (systems take ownership and assign attribute-local IDs).
+func (s *Store) Ingest(mb *kflushing.Microblog) (IngestResult, error) {
+	if len(mb.Keywords) == 0 && mb.Text != "" {
+		mb.Keywords = textutil.Keywords(mb.Text, 5)
+	}
+	var res IngestResult
+	indexed := false
+	if len(mb.Keywords) > 0 {
+		id, err := s.kw.Ingest(mb.Clone())
+		if err != nil {
+			return res, err
+		}
+		res.KeywordID = id
+		indexed = true
+	}
+	if mb.HasGeo {
+		id, err := s.sp.Ingest(mb.Clone())
+		if err != nil {
+			return res, err
+		}
+		res.SpatialID = id
+		indexed = true
+	}
+	if mb.UserID != 0 {
+		id, err := s.us.Ingest(mb.Clone())
+		if err != nil {
+			return res, err
+		}
+		res.UserID = id
+		indexed = true
+	}
+	if !indexed {
+		return res, ErrNotIndexed
+	}
+	return res, nil
+}
+
+// SearchKeywords runs a top-k keyword query (single/AND/OR).
+func (s *Store) SearchKeywords(keywords []string, op kflushing.Op, k int) (kflushing.Result, error) {
+	return s.kw.Search(keywords, op, k)
+}
+
+// SearchNearby returns the most recent k posts near (lat, lon): within
+// the containing grid tile when radiusMiles <= 0, else within the given
+// radius (an OR query across the covered tiles).
+func (s *Store) SearchNearby(lat, lon, radiusMiles float64, k int) (kflushing.Result, error) {
+	if radiusMiles <= 0 {
+		return s.sp.SearchAt(lat, lon, k)
+	}
+	return s.sp.SearchRadius(lat, lon, radiusMiles, k)
+}
+
+// SearchUser returns the top-k timeline of one user.
+func (s *Store) SearchUser(id uint64, k int) (kflushing.Result, error) {
+	return s.us.SearchUser(id, k)
+}
+
+// SetK changes the default top-k threshold of all attribute systems.
+func (s *Store) SetK(k int) {
+	s.kw.SetK(k)
+	s.sp.SetK(k)
+	s.us.SetK(k)
+}
+
+// Stats returns per-attribute snapshots.
+func (s *Store) Stats() map[string]kflushing.Stats {
+	return map[string]kflushing.Stats{
+		"keyword": s.kw.Stats(),
+		"spatial": s.sp.Stats(),
+		"user":    s.us.Stats(),
+	}
+}
+
+// Close shuts down all attribute systems, returning the first error.
+func (s *Store) Close() error {
+	var first error
+	for _, c := range []func() error{s.kw.Close, s.sp.Close, s.us.Close} {
+		if err := c(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,128 @@
+// Package spatial implements the uniform grid index keying used for the
+// paper's spatial attribute experiments (Section V-D): the world is
+// partitioned into equal-area tiles of 4 mi² (2 mi × 2 mi), and a
+// location query asks for the most recent k microblogs posted inside one
+// tile.
+package spatial
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cell identifies one grid tile. Cells are comparable and serve directly
+// as index keys.
+type Cell struct {
+	Row, Col int32
+}
+
+// String renders the cell for logs and the disk directory.
+func (c Cell) String() string { return fmt.Sprintf("cell(%d,%d)", c.Row, c.Col) }
+
+// Grid maps latitude/longitude coordinates onto tiles. A Grid is
+// immutable after construction and safe for concurrent use.
+type Grid struct {
+	tileDeg float64 // tile edge length in degrees of latitude
+	minLat  float64
+	minLon  float64
+	rows    int32
+	cols    int32
+}
+
+const (
+	// milesPerDegree approximates one degree of latitude in miles.
+	milesPerDegree = 69.0
+	// DefaultTileMiles is the tile edge used in the paper (4 mi² tiles).
+	DefaultTileMiles = 2.0
+)
+
+// NewGrid builds a grid covering [minLat,maxLat] × [minLon,maxLon] with
+// square tiles whose edge is tileMiles miles at the equator-scaled
+// latitude approximation. Coordinates outside the bounds are clamped to
+// the border tiles.
+func NewGrid(minLat, maxLat, minLon, maxLon, tileMiles float64) *Grid {
+	if tileMiles <= 0 {
+		tileMiles = DefaultTileMiles
+	}
+	deg := tileMiles / milesPerDegree
+	rows := int32(math.Ceil((maxLat - minLat) / deg))
+	cols := int32(math.Ceil((maxLon - minLon) / deg))
+	if rows < 1 {
+		rows = 1
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	return &Grid{tileDeg: deg, minLat: minLat, minLon: minLon, rows: rows, cols: cols}
+}
+
+// DefaultGrid covers the continental United States with 4 mi² tiles,
+// matching the paper's spatial setup on US-centric Twitter data.
+func DefaultGrid() *Grid {
+	return NewGrid(24.0, 50.0, -125.0, -66.0, DefaultTileMiles)
+}
+
+// CellOf returns the tile containing the given coordinates.
+func (g *Grid) CellOf(lat, lon float64) Cell {
+	r := int32((lat - g.minLat) / g.tileDeg)
+	c := int32((lon - g.minLon) / g.tileDeg)
+	if r < 0 {
+		r = 0
+	}
+	if r >= g.rows {
+		r = g.rows - 1
+	}
+	if c < 0 {
+		c = 0
+	}
+	if c >= g.cols {
+		c = g.cols - 1
+	}
+	return Cell{Row: r, Col: c}
+}
+
+// Center returns the coordinates of the tile's center point.
+func (g *Grid) Center(c Cell) (lat, lon float64) {
+	return g.minLat + (float64(c.Row)+0.5)*g.tileDeg,
+		g.minLon + (float64(c.Col)+0.5)*g.tileDeg
+}
+
+// CellsWithin returns the tiles whose centers lie within radiusMiles of
+// (lat, lon), always including the tile containing the point itself.
+// The result drives radius queries: an OR query over the returned tiles.
+func (g *Grid) CellsWithin(lat, lon, radiusMiles float64) []Cell {
+	center := g.CellOf(lat, lon)
+	if radiusMiles <= 0 {
+		return []Cell{center}
+	}
+	span := int32(radiusMiles/(g.tileDeg*milesPerDegree)) + 1
+	out := []Cell{center}
+	for dr := -span; dr <= span; dr++ {
+		for dc := -span; dc <= span; dc++ {
+			if dr == 0 && dc == 0 {
+				continue
+			}
+			r, c := center.Row+dr, center.Col+dc
+			if r < 0 || r >= g.rows || c < 0 || c >= g.cols {
+				continue
+			}
+			cell := Cell{Row: r, Col: c}
+			clat, clon := g.Center(cell)
+			dy := (clat - lat) * milesPerDegree
+			dx := (clon - lon) * milesPerDegree
+			if dy*dy+dx*dx <= radiusMiles*radiusMiles {
+				out = append(out, cell)
+			}
+		}
+	}
+	return out
+}
+
+// Rows returns the number of tile rows.
+func (g *Grid) Rows() int32 { return g.rows }
+
+// Cols returns the number of tile columns.
+func (g *Grid) Cols() int32 { return g.cols }
+
+// Cells returns the total number of tiles.
+func (g *Grid) Cells() int64 { return int64(g.rows) * int64(g.cols) }

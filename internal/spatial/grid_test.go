@@ -1,0 +1,118 @@
+package spatial
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCellOfRoundTripsThroughCenter(t *testing.T) {
+	g := DefaultGrid()
+	f := func(latRaw, lonRaw uint16) bool {
+		lat := 24 + float64(latRaw)/65535*26
+		lon := -125 + float64(lonRaw)/65535*59
+		c := g.CellOf(lat, lon)
+		clat, clon := g.Center(c)
+		return g.CellOf(clat, clon) == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClampOutOfBounds(t *testing.T) {
+	g := DefaultGrid()
+	if c := g.CellOf(-90, -500); c.Row != 0 || c.Col != 0 {
+		t.Fatalf("underflow not clamped: %v", c)
+	}
+	c := g.CellOf(90, 500)
+	if c.Row != g.Rows()-1 || c.Col != g.Cols()-1 {
+		t.Fatalf("overflow not clamped: %v", c)
+	}
+}
+
+func TestTileSizeMatchesPaper(t *testing.T) {
+	// 2-mile tiles: adjacent points within ~1 mile of a tile center
+	// share the tile.
+	g := DefaultGrid()
+	lat, lon := 40.0, -90.0
+	c := g.CellOf(lat, lon)
+	clat, clon := g.Center(c)
+	nearby := g.CellOf(clat+0.01, clon+0.01) // ~0.7 miles away
+	if nearby != c {
+		t.Fatalf("nearby point in different tile: %v vs %v", nearby, c)
+	}
+	far := g.CellOf(clat+0.1, clon) // ~7 miles away
+	if far == c {
+		t.Fatal("far point in same tile")
+	}
+}
+
+func TestDegenerateGrid(t *testing.T) {
+	g := NewGrid(10, 10, 20, 20, 0) // zero-area bounds, default tile
+	if g.Rows() < 1 || g.Cols() < 1 {
+		t.Fatal("degenerate grid has no tiles")
+	}
+	_ = g.CellOf(10, 20)
+}
+
+func TestCellsCount(t *testing.T) {
+	g := NewGrid(0, 1, 0, 1, 69.0/2) // tileDeg = 0.5° → 2x2
+	if g.Cells() != 4 {
+		t.Fatalf("Cells = %d, want 4", g.Cells())
+	}
+}
+
+func TestCellString(t *testing.T) {
+	if s := (Cell{Row: 3, Col: 7}).String(); s != "cell(3,7)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestCellsWithin(t *testing.T) {
+	g := DefaultGrid()
+	lat, lon := 40.0, -90.0
+	center := g.CellOf(lat, lon)
+
+	// Zero radius: just the containing tile.
+	got := g.CellsWithin(lat, lon, 0)
+	if len(got) != 1 || got[0] != center {
+		t.Fatalf("zero radius: %v", got)
+	}
+
+	// 5-mile radius: multiple tiles, all within distance, center first.
+	got = g.CellsWithin(lat, lon, 5)
+	if len(got) < 5 {
+		t.Fatalf("5mi radius returned only %d tiles", len(got))
+	}
+	if got[0] != center {
+		t.Fatal("center tile not first")
+	}
+	seen := map[Cell]bool{}
+	for _, c := range got {
+		if seen[c] {
+			t.Fatalf("duplicate tile %v", c)
+		}
+		seen[c] = true
+		clat, clon := g.Center(c)
+		dy := (clat - lat) * milesPerDegree
+		dx := (clon - lon) * milesPerDegree
+		if c != center && dy*dy+dx*dx > 25+1e-9 {
+			t.Fatalf("tile %v center %.1f miles away", c, dy*dy+dx*dx)
+		}
+	}
+
+	// A bigger radius strictly grows the coverage.
+	if len(g.CellsWithin(lat, lon, 10)) <= len(got) {
+		t.Fatal("larger radius did not grow coverage")
+	}
+}
+
+func TestCellsWithinClampsAtBorders(t *testing.T) {
+	g := DefaultGrid()
+	got := g.CellsWithin(24.0, -125.0, 20) // grid corner
+	for _, c := range got {
+		if c.Row < 0 || c.Col < 0 || c.Row >= g.Rows() || c.Col >= g.Cols() {
+			t.Fatalf("out-of-grid tile %v", c)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package textutil extracts searchable keywords from raw microblog
+// text. The paper's evaluation uses hashtags as keywords; ingestion
+// paths that receive plain text (the HTTP server, the replay tool) use
+// this package to produce the keyword attribute the same way: explicit
+// #hashtags when present, falling back to significant terms otherwise.
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// maxKeywordLen bounds a single keyword; longer tokens are truncated
+// (the disk format caps keys at 64 KiB, practical keys are far smaller).
+const maxKeywordLen = 64
+
+// stopwords are high-frequency English terms excluded from fallback
+// term extraction (hashtags are never filtered — a tag is deliberate).
+var stopwords = map[string]struct{}{
+	"a": {}, "an": {}, "and": {}, "are": {}, "as": {}, "at": {}, "be": {},
+	"but": {}, "by": {}, "for": {}, "from": {}, "has": {}, "have": {},
+	"he": {}, "her": {}, "his": {}, "i": {}, "in": {}, "is": {}, "it": {},
+	"its": {}, "my": {}, "not": {}, "of": {}, "on": {}, "or": {},
+	"our": {}, "she": {}, "so": {}, "that": {}, "the": {}, "their": {},
+	"they": {}, "this": {}, "to": {}, "was": {}, "we": {}, "were": {},
+	"will": {}, "with": {}, "you": {}, "your": {},
+}
+
+// Hashtags returns the #tags of text, lowercased, without the marker,
+// deduplicated in order of first appearance.
+func Hashtags(text string) []string {
+	var out []string
+	seen := map[string]struct{}{}
+	for i := 0; i < len(text); i++ {
+		if text[i] != '#' {
+			continue
+		}
+		j := i + 1
+		for j < len(text) && isTagByte(text[j]) {
+			j++
+		}
+		if j == i+1 {
+			continue // bare '#'
+		}
+		tag := strings.ToLower(text[i+1 : j])
+		if len(tag) > maxKeywordLen {
+			tag = tag[:maxKeywordLen]
+		}
+		if _, dup := seen[tag]; !dup {
+			seen[tag] = struct{}{}
+			out = append(out, tag)
+		}
+		i = j - 1
+	}
+	return out
+}
+
+// isTagByte reports whether b may appear inside a hashtag (ASCII
+// letters, digits, underscore — Twitter's rule, ASCII subset).
+func isTagByte(b byte) bool {
+	return b == '_' ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') ||
+		(b >= '0' && b <= '9')
+}
+
+// Terms tokenizes text into lowercase alphanumeric terms, dropping
+// stopwords, single characters, and URLs, deduplicated in order.
+func Terms(text string) []string {
+	var out []string
+	seen := map[string]struct{}{}
+	fields := strings.FieldsFunc(text, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r) &&
+			r != '_' && r != ':' && r != '/' && r != '.'
+	})
+	for _, f := range fields {
+		term := strings.ToLower(strings.Trim(f, ":/_."))
+		if strings.ContainsAny(term, "./") {
+			continue // URL or domain
+		}
+		if len(term) < 2 || len(term) > maxKeywordLen {
+			continue
+		}
+		if _, stop := stopwords[term]; stop {
+			continue
+		}
+		if _, dup := seen[term]; !dup {
+			seen[term] = struct{}{}
+			out = append(out, term)
+		}
+	}
+	return out
+}
+
+// Keywords extracts the keyword attribute of a microblog body:
+// hashtags when any are present (the paper's setup — "we use hashtags,
+// if available, as keywords"), otherwise up to maxTerms significant
+// terms so untagged posts remain searchable.
+func Keywords(text string, maxTerms int) []string {
+	if tags := Hashtags(text); len(tags) > 0 {
+		return tags
+	}
+	terms := Terms(text)
+	if maxTerms > 0 && len(terms) > maxTerms {
+		terms = terms[:maxTerms]
+	}
+	return terms
+}

@@ -1,0 +1,98 @@
+package textutil
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashtags(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"breaking #news from #NYC #news", []string{"news", "nyc"}},
+		{"no tags here", nil},
+		{"#", nil},
+		{"#a#b", []string{"a", "b"}},
+		{"end of sentence #tag.", []string{"tag"}},
+		{"#under_score #with123", []string{"under_score", "with123"}},
+		{"email@example.com #real", []string{"real"}},
+	}
+	for _, c := range cases {
+		if got := Hashtags(c.text); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Hashtags(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+func TestHashtagsTruncatesLongTags(t *testing.T) {
+	long := "#" + strings.Repeat("x", 200)
+	got := Hashtags(long)
+	if len(got) != 1 || len(got[0]) != maxKeywordLen {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTerms(t *testing.T) {
+	got := Terms("The quick brown fox visits https://example.com and a barn")
+	want := []string{"quick", "brown", "fox", "visits", "barn"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Terms = %v, want %v", got, want)
+	}
+}
+
+func TestTermsDropsShortAndStopwords(t *testing.T) {
+	got := Terms("I am to be or not")
+	for _, term := range got {
+		if _, stop := stopwords[term]; stop {
+			t.Fatalf("stopword %q survived", term)
+		}
+		if len(term) < 2 {
+			t.Fatalf("short term %q survived", term)
+		}
+	}
+}
+
+func TestKeywordsPrefersHashtags(t *testing.T) {
+	got := Keywords("big #storm warning tonight", 5)
+	if !reflect.DeepEqual(got, []string{"storm"}) {
+		t.Fatalf("got %v", got)
+	}
+	got = Keywords("big storm warning tonight", 2)
+	if len(got) != 2 || got[0] != "big" {
+		t.Fatalf("fallback terms = %v", got)
+	}
+}
+
+// Property: extraction never panics, never returns empty or duplicate
+// keywords, and results are lowercase.
+func TestExtractionInvariants(t *testing.T) {
+	f := func(text string) bool {
+		for _, fn := range [](func(string) []string){
+			Hashtags,
+			Terms,
+			func(s string) []string { return Keywords(s, 4) },
+		} {
+			out := fn(text)
+			seen := map[string]struct{}{}
+			for _, kw := range out {
+				if kw == "" || len(kw) > maxKeywordLen {
+					return false
+				}
+				if kw != strings.ToLower(kw) {
+					return false
+				}
+				if _, dup := seen[kw]; dup {
+					return false
+				}
+				seen[kw] = struct{}{}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

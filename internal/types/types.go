@@ -1,0 +1,67 @@
+// Package types defines the microblog data model shared by every
+// subsystem: the record itself, its identifier, and timestamps.
+//
+// A Microblog models one item of a high-rate social stream (a tweet, a
+// review, a check-in). The fields mirror the attributes the paper's
+// queries search on: keywords (hashtags), a posting user, and a point
+// location, plus the arrival timestamp that drives temporal ranking.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ID uniquely identifies a microblog within one system instance.
+// IDs are assigned by the ingestion path in strictly increasing order,
+// so comparing IDs also compares arrival order.
+type ID uint64
+
+// Timestamp is a logical or wall-clock time in microseconds. The unit is
+// opaque to all algorithms; only ordering matters.
+type Timestamp int64
+
+// Microblog is a single immutable stream record. After ingestion the
+// record is shared between the raw data store, index postings, and the
+// flush pipeline, and must not be mutated.
+type Microblog struct {
+	// ID is assigned at ingestion; zero before the record is ingested.
+	ID ID
+	// Timestamp is the arrival time used by the temporal ranking
+	// function ("most recent first").
+	Timestamp Timestamp
+	// UserID identifies the posting user (user-timeline attribute).
+	UserID uint64
+	// Followers is the posting user's follower count, used by
+	// popularity ranking functions.
+	Followers uint32
+	// Lat and Lon are the posting location in degrees (spatial
+	// attribute). Records with no location carry NaN-free zero values
+	// and HasLocation reports false.
+	Lat, Lon float64
+	// HasGeo reports whether Lat/Lon carry a real location.
+	HasGeo bool
+	// Keywords are the searchable keywords (hashtags in the paper's
+	// evaluation). May be empty; such records are only reachable via
+	// the user and spatial attributes.
+	Keywords []string
+	// Text is the raw body, kept verbatim in the raw data store.
+	Text string
+}
+
+// Clone returns a deep copy of m. It is used by ingestion so callers may
+// reuse their input buffers.
+func (m *Microblog) Clone() *Microblog {
+	c := *m
+	if len(m.Keywords) > 0 {
+		c.Keywords = make([]string, len(m.Keywords))
+		copy(c.Keywords, m.Keywords)
+	}
+	return &c
+}
+
+// String returns a compact human-readable rendering, for logs and
+// examples.
+func (m *Microblog) String() string {
+	return fmt.Sprintf("mb(%d t=%d u=%d kw=[%s])", m.ID, m.Timestamp, m.UserID, strings.Join(m.Keywords, ","))
+}

@@ -1,0 +1,45 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCloneIsDeep(t *testing.T) {
+	m := &Microblog{
+		ID:        1,
+		Timestamp: 2,
+		UserID:    3,
+		Keywords:  []string{"a", "b"},
+		Text:      "body",
+	}
+	c := m.Clone()
+	if c == m {
+		t.Fatal("Clone returned the same pointer")
+	}
+	c.Keywords[0] = "mutated"
+	if m.Keywords[0] != "a" {
+		t.Fatal("Clone shares the keyword slice")
+	}
+	if c.ID != m.ID || c.Text != m.Text || c.UserID != m.UserID {
+		t.Fatal("Clone lost fields")
+	}
+}
+
+func TestCloneEmptyKeywords(t *testing.T) {
+	m := &Microblog{ID: 1}
+	c := m.Clone()
+	if c.Keywords != nil {
+		t.Fatal("empty keywords must stay nil")
+	}
+}
+
+func TestString(t *testing.T) {
+	m := &Microblog{ID: 7, Timestamp: 9, UserID: 3, Keywords: []string{"x", "y"}}
+	s := m.String()
+	for _, want := range []string{"7", "9", "3", "x,y"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package wal
+
+import (
+	"testing"
+
+	"kflushing/internal/disk"
+)
+
+// BenchmarkAppend measures log throughput without fsync (the default
+// ingestion configuration).
+func BenchmarkAppend(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{MaxFileBytes: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	rec := fr(1, "keyword", "another")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(disk.EncodeRecord(nil, rec)) + 8))
+}
+
+// BenchmarkAppendSynced measures throughput with group fsync every 64
+// appends (the durable server configuration).
+func BenchmarkAppendSynced(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{MaxFileBytes: 1 << 30, SyncEvery: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	rec := fr(1, "keyword")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplay measures recovery speed over a 10K-record log.
+func BenchmarkReplay(b *testing.B) {
+	dir := b.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := uint64(1); i <= 10_000; i++ {
+		if err := l.Append(fr(i, "kw")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	l.Close()
+	re, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer re.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := re.Replay(func(disk.FlushRecord) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != 10_000 {
+			b.Fatalf("replayed %d", n)
+		}
+	}
+}

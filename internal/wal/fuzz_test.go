@@ -1,0 +1,40 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kflushing/internal/disk"
+)
+
+// FuzzReplayFile feeds arbitrary file contents to the replay parser: it
+// must never panic and must tolerate arbitrary tails in last-file mode.
+func FuzzReplayFile(f *testing.F) {
+	// Seed with a valid single-record file.
+	dir := f.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := l.Append(fr(1, "a")); err != nil {
+		f.Fatal(err)
+	}
+	l.Close()
+	files, _ := filepath.Glob(filepath.Join(dir, "wal-*.kfw"))
+	if b, err := os.ReadFile(files[0]); err == nil {
+		f.Add(b, true)
+		f.Add(b[:len(b)-3], true)
+	}
+	f.Add([]byte("KFWL"), false)
+	f.Add([]byte{}, true)
+
+	f.Fuzz(func(t *testing.T, data []byte, last bool) {
+		path := filepath.Join(t.TempDir(), "wal-00000001.kfw")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		// Must not panic; errors are fine.
+		_ = replayFile(path, last, func(disk.FlushRecord) error { return nil })
+	})
+}

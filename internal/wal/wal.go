@@ -1,0 +1,330 @@
+// Package wal provides write-ahead logging and snapshotting for the
+// in-memory contents of an engine.
+//
+// The paper's system model keeps recent microblogs only in memory until
+// a flush moves them to disk; a crash would lose everything since the
+// last flush. A production store needs better: every ingested record is
+// appended to a log before it is acknowledged, and on restart the log
+// is replayed to rebuild memory. A snapshot (written on graceful
+// shutdown) compacts the log so recovery stays fast.
+//
+// Files live in one directory:
+//
+//	snapshot.kfw   — optional; all memory-resident records at snapshot
+//	wal-XXXXXXXX.kfw — appended segments of the log, rotated by size
+//
+// Record framing: u32 payload length | u32 CRC32C of payload | payload,
+// where the payload is the disk tier's record encoding (it already
+// carries the assigned ID, timestamp and ranking score). A torn final
+// record — the expected crash artifact — is detected by the CRC/length
+// check and replay stops there; corruption in the middle of the log is
+// reported as an error.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"kflushing/internal/disk"
+)
+
+const (
+	fileMagic    = "KFWL"
+	fileVersion  = 1
+	headerSize   = 6 // magic + u16 version
+	snapshotName = "snapshot.kfw"
+)
+
+// ErrCorrupt reports log corruption before the final record.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a Log.
+type Options struct {
+	// MaxFileBytes rotates the active file when it exceeds this size;
+	// 0 selects 16 MiB.
+	MaxFileBytes int64
+	// SyncEvery fsyncs after this many appends; 0 relies on OS
+	// buffering (fsync still happens on rotation and close).
+	SyncEvery int
+}
+
+// Log is an append-only write-ahead log. Append is safe for concurrent
+// use; Replay/Snapshot/Reset must not run concurrently with appends.
+type Log struct {
+	dir string
+	opt Options
+
+	mu        sync.Mutex
+	f         *os.File
+	seq       int
+	bytes     int64
+	sinceSync int
+
+	appended int64
+}
+
+// Open creates or reopens a log directory.
+func Open(dir string, opt Options) (*Log, error) {
+	if opt.MaxFileBytes <= 0 {
+		opt.MaxFileBytes = 16 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opt: opt}
+	// Continue after the newest existing file.
+	files, err := l.logFiles()
+	if err != nil {
+		return nil, err
+	}
+	if len(files) > 0 {
+		fmt.Sscanf(filepath.Base(files[len(files)-1]), "wal-%08d.kfw", &l.seq)
+	}
+	if err := l.rotateLocked(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// logFiles returns the wal files oldest-first.
+func (l *Log) logFiles() ([]string, error) {
+	files, err := filepath.Glob(filepath.Join(l.dir, "wal-*.kfw"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// rotateLocked seals the active file and starts a new one. Callers must
+// hold l.mu (or own the log exclusively).
+func (l *Log) rotateLocked() error {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+	}
+	l.seq++
+	path := filepath.Join(l.dir, fmt.Sprintf("wal-%08d.kfw", l.seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], fileMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], fileVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.bytes = headerSize
+	l.sinceSync = 0
+	return nil
+}
+
+// Append durably records one ingested microblog.
+func (l *Log) Append(fr disk.FlushRecord) error {
+	payload := disk.EncodeRecord(nil, fr)
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: closed")
+	}
+	if _, err := l.f.Write(frame[:]); err != nil {
+		return err
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		return err
+	}
+	l.bytes += int64(len(frame) + len(payload))
+	l.appended++
+	l.sinceSync++
+	if l.opt.SyncEvery > 0 && l.sinceSync >= l.opt.SyncEvery {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		l.sinceSync = 0
+	}
+	if l.bytes >= l.opt.MaxFileBytes {
+		return l.rotateLocked()
+	}
+	return nil
+}
+
+// Appended returns the number of records appended by this process.
+func (l *Log) Appended() int64 { return l.appended }
+
+// Sync forces the active file to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// Replay streams every surviving record — the snapshot first (if any),
+// then the log files in order — to fn.
+//
+// Tolerance matches what crashes actually produce: a truncated frame at
+// the END of any file is accepted silently (a crash tears the tail of
+// whichever file was active; reopening rotates to a new file, so the
+// torn one need not be the newest). A failed checksum inside a complete
+// frame is tolerated only in the newest file (a partially overwritten
+// final frame); anywhere else it is real corruption and returns
+// ErrCorrupt.
+func (l *Log) Replay(fn func(disk.FlushRecord) error) error {
+	if err := replayFile(filepath.Join(l.dir, snapshotName), false, fn); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	files, err := l.logFiles()
+	if err != nil {
+		return err
+	}
+	for i, path := range files {
+		last := i == len(files)-1
+		if err := replayFile(path, last, fn); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayFile reads one framed file. Truncation at EOF is always
+// tolerated; complete-but-invalid frames only when lastFile is set.
+func replayFile(path string, lastFile bool, fn func(disk.FlushRecord) error) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(b) < headerSize || string(b[:4]) != fileMagic {
+		if len(b) < headerSize {
+			return nil // torn before the header was complete
+		}
+		return fmt.Errorf("%w: bad header in %s", ErrCorrupt, filepath.Base(path))
+	}
+	pos := headerSize
+	for pos < len(b) {
+		if pos+8 > len(b) {
+			return nil // truncated frame header at EOF
+		}
+		n := int(binary.LittleEndian.Uint32(b[pos:]))
+		crc := binary.LittleEndian.Uint32(b[pos+4:])
+		pos += 8
+		if pos+n > len(b) || n < 0 {
+			return nil // truncated payload at EOF
+		}
+		payload := b[pos : pos+n]
+		if crc32.Checksum(payload, crcTable) != crc {
+			if lastFile {
+				return nil
+			}
+			return fmt.Errorf("%w: bad checksum in %s", ErrCorrupt, filepath.Base(path))
+		}
+		fr, used, err := disk.DecodeRecord(payload)
+		if err != nil || used != n {
+			if lastFile {
+				return nil
+			}
+			return fmt.Errorf("%w: undecodable record in %s", ErrCorrupt, filepath.Base(path))
+		}
+		if err := fn(fr); err != nil {
+			return err
+		}
+		pos += n
+	}
+	return nil
+}
+
+// WriteSnapshot atomically replaces the snapshot with the given records
+// and deletes all sealed log files, restarting the log. Must not run
+// concurrently with Append.
+func (l *Log) WriteSnapshot(recs []disk.FlushRecord) error {
+	tmp := filepath.Join(l.dir, snapshotName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], fileMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], fileVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	var frame [8]byte
+	for _, fr := range recs {
+		payload := disk.EncodeRecord(nil, fr)
+		binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+		if _, err := f.Write(frame[:]); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Write(payload); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
+		return err
+	}
+
+	// The snapshot now covers everything; retire the old log and start
+	// a fresh file.
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	files, err := l.logFiles()
+	if err != nil {
+		return err
+	}
+	for _, p := range files {
+		if err := os.Remove(p); err != nil {
+			return err
+		}
+	}
+	return l.rotateLocked()
+}
+
+// Close seals the active file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -1,0 +1,214 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kflushing/internal/disk"
+	"kflushing/internal/types"
+)
+
+func fr(id uint64, kws ...string) disk.FlushRecord {
+	return disk.FlushRecord{
+		MB: &types.Microblog{
+			ID:        types.ID(id),
+			Timestamp: types.Timestamp(id),
+			Keywords:  kws,
+			Text:      "payload",
+		},
+		Score: float64(id),
+	}
+}
+
+func replayAll(t *testing.T, l *Log) []disk.FlushRecord {
+	t.Helper()
+	var out []disk.FlushRecord
+	if err := l.Replay(func(r disk.FlushRecord) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 100; i++ {
+		if err := l.Append(fr(i, "a", "b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	recs := replayAll(t, re)
+	if len(recs) != 100 {
+		t.Fatalf("replayed %d, want 100", len(recs))
+	}
+	for i, r := range recs {
+		if uint64(r.MB.ID) != uint64(i+1) || r.MB.Text != "payload" || len(r.MB.Keywords) != 2 {
+			t.Fatalf("record %d corrupted: %+v", i, r.MB)
+		}
+	}
+}
+
+func TestRotationBySize(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{MaxFileBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		if err := l.Append(fr(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	files, _ := filepath.Glob(filepath.Join(dir, "wal-*.kfw"))
+	if len(files) < 3 {
+		t.Fatalf("expected rotation, got %d files", len(files))
+	}
+	re, _ := Open(dir, Options{})
+	defer re.Close()
+	if got := len(replayAll(t, re)); got != 50 {
+		t.Fatalf("replayed %d across rotated files, want 50", got)
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 10; i++ {
+		if err := l.Append(fr(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Simulate a crash mid-write: chop bytes off the newest file.
+	files, _ := filepath.Glob(filepath.Join(dir, "wal-*.kfw"))
+	newest := files[len(files)-1]
+	b, _ := os.ReadFile(newest)
+	if err := os.WriteFile(newest, b[:len(b)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	recs := replayAll(t, re)
+	if len(recs) != 9 {
+		t.Fatalf("replayed %d after torn tail, want 9", len(recs))
+	}
+}
+
+func TestCorruptMiddleRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{MaxFileBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 30; i++ {
+		if err := l.Append(fr(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	files, _ := filepath.Glob(filepath.Join(dir, "wal-*.kfw"))
+	if len(files) < 3 {
+		t.Skip("not enough rotation for a middle file")
+	}
+	// Flip a payload byte in the FIRST file: must be reported.
+	b, _ := os.ReadFile(files[0])
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(files[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	err = re.Replay(func(disk.FlushRecord) error { return nil })
+	if err == nil {
+		t.Fatal("corrupt middle file not detected")
+	}
+}
+
+func TestSnapshotCompactsLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 20; i++ {
+		if err := l.Append(fr(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot keeps only records 15..20 ("memory contents").
+	var snap []disk.FlushRecord
+	for i := uint64(15); i <= 20; i++ {
+		snap = append(snap, fr(i))
+	}
+	if err := l.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Appends continue after the snapshot.
+	if err := l.Append(fr(21)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	re, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	recs := replayAll(t, re)
+	if len(recs) != 7 { // 6 snapshot + 1 post-snapshot append
+		t.Fatalf("replayed %d, want 7", len(recs))
+	}
+	if recs[0].MB.ID != 15 || recs[6].MB.ID != 21 {
+		t.Fatalf("replay order wrong: first=%d last=%d", recs[0].MB.ID, recs[6].MB.ID)
+	}
+}
+
+func TestEmptyDirReplaysNothing(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := len(replayAll(t, l)); got != 0 {
+		t.Fatalf("replayed %d from empty log", got)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := l.Append(fr(1)); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}

@@ -1,0 +1,304 @@
+// Package workload generates the two query workloads of Section V:
+//
+//	Correlated: query keys are sampled from the keys associated with the
+//	stream's tweets, duplicates kept, so a key's query probability
+//	equals its occurrence probability — active topics get queried. The
+//	sources here sample from a sliding reservoir of *recently observed*
+//	records, which also reproduces the temporal locality of real query
+//	streams (the churn study the paper bases Phase 3 on): queries track
+//	the stream's bursts with a small lag, including asking about tags
+//	whose burst just ended.
+//
+//	Uniform: query keys are drawn with equal probability from the whole
+//	pool of possible keys regardless of frequency — the worst-case
+//	workload major systems use to bound tail quality of service.
+//
+// Keyword workloads mix one third single-keyword, one third 2-keyword
+// AND, and one third 2-keyword OR queries. Spatial workloads use single
+// and OR forms only (a record has one location, so spatial AND is
+// semantically invalid), and user workloads are single-key, as in the
+// paper.
+package workload
+
+import (
+	"math/rand"
+
+	"kflushing/internal/gen"
+	"kflushing/internal/query"
+	"kflushing/internal/spatial"
+	"kflushing/internal/types"
+	"kflushing/internal/zipfian"
+)
+
+// Query is one generated query: its keys and combination operator.
+type Query[K comparable] struct {
+	Keys []K
+	Op   query.Op
+}
+
+// Source produces an endless query stream. Not safe for concurrent use.
+type Source[K comparable] interface {
+	Next() Query[K]
+}
+
+// Observer is implemented by correlated sources that sample from the
+// live stream; the driver feeds every ingested record to Observe.
+type Observer interface {
+	Observe(mb *types.Microblog)
+}
+
+// reservoirSize is how many recent records a correlated source keeps.
+// It is deliberately longer than the number of records a default-budget
+// memory window holds, spanning many burst epochs: a realistic share of
+// queries then reference topics whose burst already ended — the churn
+// (paper citation [17]) that separates query-aware flushing from
+// temporal flushing, which has already evicted those topics' top-k.
+const reservoirSize = 150_000
+
+// reservoir is a ring of recently observed records with uniform
+// sampling. Sampling uniformly from recent records reproduces the
+// occurrence distribution, duplicates kept, exactly as the paper
+// constructs its correlated load.
+type reservoir struct {
+	rng  *rand.Rand
+	ring []*types.Microblog
+	n    int // filled prefix
+	next int // ring write position
+	gen  *gen.Generator
+}
+
+func newReservoir(cfg gen.Config, seed int64) *reservoir {
+	cfg.Seed = seed + 5000
+	return &reservoir{
+		rng:  rand.New(rand.NewSource(seed)),
+		ring: make([]*types.Microblog, reservoirSize),
+		gen:  gen.New(cfg), // standalone fallback when nothing observed
+	}
+}
+
+func (r *reservoir) Observe(mb *types.Microblog) {
+	r.ring[r.next] = mb
+	r.next = (r.next + 1) % len(r.ring)
+	if r.n < len(r.ring) {
+		r.n++
+	}
+}
+
+// sample returns a recent record, or a synthetic twin-stream record
+// when nothing has been observed yet (standalone workload generation).
+func (r *reservoir) sample() *types.Microblog {
+	if r.n == 0 {
+		return r.gen.Next()
+	}
+	return r.ring[r.rng.Intn(r.n)]
+}
+
+// opMix3 cycles deterministically through single/AND/OR in equal
+// proportions (the paper's one-third split).
+type opMix3 struct{ n int }
+
+func (o *opMix3) next() query.Op {
+	o.n++
+	switch o.n % 3 {
+	case 0:
+		return query.OpSingle
+	case 1:
+		return query.OpAnd
+	default:
+		return query.OpOr
+	}
+}
+
+// keywordCorrelated samples query keywords from recently observed
+// tweets.
+type keywordCorrelated struct {
+	res *reservoir
+	mix opMix3
+}
+
+// KeywordCorrelated returns the correlated keyword workload. Feed the
+// ingested stream through Observe (the bench driver does); without
+// observations it falls back to a twin synthetic stream configured by
+// cfg.
+func KeywordCorrelated(cfg gen.Config, seed int64) Source[string] {
+	return &keywordCorrelated{res: newReservoir(cfg, seed)}
+}
+
+func (w *keywordCorrelated) Observe(mb *types.Microblog) { w.res.Observe(mb) }
+
+func (w *keywordCorrelated) Next() Query[string] {
+	op := w.mix.next()
+	mb := w.res.sample()
+	for tries := 0; len(mb.Keywords) == 0 && tries < 8; tries++ {
+		mb = w.res.sample()
+	}
+	if len(mb.Keywords) == 0 {
+		return Query[string]{Keys: []string{"tag00000"}, Op: query.OpSingle}
+	}
+	if op == query.OpSingle {
+		return Query[string]{Keys: mb.Keywords[:1], Op: query.OpSingle}
+	}
+	if len(mb.Keywords) >= 2 {
+		return Query[string]{Keys: mb.Keywords[:2], Op: op}
+	}
+	// Single-hashtag tweet: pair with a keyword from another tweet.
+	other := w.res.sample()
+	if other.Keywords[0] == mb.Keywords[0] {
+		return Query[string]{Keys: mb.Keywords[:1], Op: query.OpSingle}
+	}
+	return Query[string]{Keys: []string{mb.Keywords[0], other.Keywords[0]}, Op: op}
+}
+
+// keywordUniform samples uniformly from the full vocabulary.
+type keywordUniform struct {
+	vocab []string
+	u     *zipfian.Uniform
+	mix   opMix3
+}
+
+// KeywordUniform returns the uniform keyword workload over the whole
+// keyword pool of a stream configured by cfg.
+func KeywordUniform(cfg gen.Config, seed int64) Source[string] {
+	g := gen.New(cfg)
+	v := g.Vocab()
+	return &keywordUniform{vocab: v, u: zipfian.NewUniform(uint64(len(v)), seed)}
+}
+
+func (w *keywordUniform) Next() Query[string] {
+	op := w.mix.next()
+	k1 := w.vocab[w.u.Next()]
+	if op == query.OpSingle {
+		return Query[string]{Keys: []string{k1}, Op: op}
+	}
+	k2 := w.vocab[w.u.Next()]
+	for k2 == k1 {
+		k2 = w.vocab[w.u.Next()]
+	}
+	return Query[string]{Keys: []string{k1, k2}, Op: op}
+}
+
+// spatialCorrelated queries the tiles of recently observed tweets.
+type spatialCorrelated struct {
+	res  *reservoir
+	grid *spatial.Grid
+	n    int
+}
+
+// SpatialCorrelated returns the correlated spatial workload: query
+// tiles follow the recent stream's location distribution.
+func SpatialCorrelated(cfg gen.Config, grid *spatial.Grid, seed int64) Source[spatial.Cell] {
+	cfg.GeoFraction = 1.0
+	return &spatialCorrelated{res: newReservoir(cfg, seed), grid: grid}
+}
+
+func (w *spatialCorrelated) Observe(mb *types.Microblog) {
+	if mb.HasGeo {
+		w.res.Observe(mb)
+	}
+}
+
+func (w *spatialCorrelated) Next() Query[spatial.Cell] {
+	w.n++
+	mb := w.res.sample()
+	c1 := w.grid.CellOf(mb.Lat, mb.Lon)
+	if w.n%2 == 0 {
+		return Query[spatial.Cell]{Keys: []spatial.Cell{c1}, Op: query.OpSingle}
+	}
+	other := w.res.sample()
+	c2 := w.grid.CellOf(other.Lat, other.Lon)
+	if c2 == c1 {
+		return Query[spatial.Cell]{Keys: []spatial.Cell{c1}, Op: query.OpSingle}
+	}
+	return Query[spatial.Cell]{Keys: []spatial.Cell{c1, c2}, Op: query.OpOr}
+}
+
+// spatialUniform queries uniformly over the pool of tiles that occur in
+// the stream (sampled once at construction), mirroring "the whole pool
+// of possible keys" for the spatial attribute.
+type spatialUniform struct {
+	pool []spatial.Cell
+	u    *zipfian.Uniform
+	n    int
+}
+
+// SpatialUniform returns the uniform spatial workload over poolSize
+// observed tiles.
+func SpatialUniform(cfg gen.Config, grid *spatial.Grid, seed int64, poolSize int) Source[spatial.Cell] {
+	cfg.Seed = seed + 7
+	cfg.GeoFraction = 1.0
+	g := gen.New(cfg)
+	seen := make(map[spatial.Cell]struct{})
+	var pool []spatial.Cell
+	for tries := 0; len(pool) < poolSize && tries < poolSize*100; tries++ {
+		mb := g.Next()
+		c := grid.CellOf(mb.Lat, mb.Lon)
+		if _, dup := seen[c]; !dup {
+			seen[c] = struct{}{}
+			pool = append(pool, c)
+		}
+	}
+	return &spatialUniform{pool: pool, u: zipfian.NewUniform(uint64(len(pool)), seed)}
+}
+
+func (w *spatialUniform) Next() Query[spatial.Cell] {
+	w.n++
+	c1 := w.pool[w.u.Next()]
+	if w.n%2 == 0 {
+		return Query[spatial.Cell]{Keys: []spatial.Cell{c1}, Op: query.OpSingle}
+	}
+	c2 := w.pool[w.u.Next()]
+	if c2 == c1 {
+		return Query[spatial.Cell]{Keys: []spatial.Cell{c1}, Op: query.OpSingle}
+	}
+	return Query[spatial.Cell]{Keys: []spatial.Cell{c1, c2}, Op: query.OpOr}
+}
+
+// userCorrelated queries the timelines of recently active users.
+type userCorrelated struct{ res *reservoir }
+
+// UserCorrelated returns the correlated user workload.
+func UserCorrelated(cfg gen.Config, seed int64) Source[uint64] {
+	return &userCorrelated{res: newReservoir(cfg, seed)}
+}
+
+func (w *userCorrelated) Observe(mb *types.Microblog) { w.res.Observe(mb) }
+
+func (w *userCorrelated) Next() Query[uint64] {
+	mb := w.res.sample()
+	return Query[uint64]{Keys: []uint64{mb.UserID}, Op: query.OpSingle}
+}
+
+// userUniform queries uniformly over the whole user ID space.
+type userUniform struct{ u *zipfian.Uniform }
+
+// UserUniform returns the uniform user workload over cfg.Users IDs.
+func UserUniform(cfg gen.Config, seed int64) Source[uint64] {
+	return &userUniform{u: zipfian.NewUniform(uint64(cfg.Users), seed)}
+}
+
+func (w *userUniform) Next() Query[uint64] {
+	return Query[uint64]{Keys: []uint64{w.u.Next() + 1}, Op: query.OpSingle}
+}
+
+// Mixed interleaves queries from several sources round-robin, for
+// scenarios combining workloads. Observations fan out to every source.
+type Mixed[K comparable] struct {
+	Sources []Source[K]
+	n       int
+}
+
+// Next implements Source.
+func (m *Mixed[K]) Next() Query[K] {
+	q := m.Sources[m.n%len(m.Sources)].Next()
+	m.n++
+	return q
+}
+
+// Observe implements Observer, fanning out to observer sources.
+func (m *Mixed[K]) Observe(mb *types.Microblog) {
+	for _, s := range m.Sources {
+		if o, ok := s.(Observer); ok {
+			o.Observe(mb)
+		}
+	}
+}

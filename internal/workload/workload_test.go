@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"testing"
+
+	"kflushing/internal/gen"
+	"kflushing/internal/query"
+	"kflushing/internal/spatial"
+	"kflushing/internal/types"
+)
+
+func cfg() gen.Config {
+	c := gen.DefaultConfig()
+	c.Vocab = 5000
+	c.Users = 500
+	return c
+}
+
+func TestKeywordCorrelatedOpMix(t *testing.T) {
+	w := KeywordCorrelated(cfg(), 1)
+	counts := map[query.Op]int{}
+	for i := 0; i < 3000; i++ {
+		q := w.Next()
+		counts[q.Op]++
+		if len(q.Keys) == 0 || len(q.Keys) > 2 {
+			t.Fatalf("query has %d keys", len(q.Keys))
+		}
+		if q.Op != query.OpSingle && len(q.Keys) == 1 {
+			// Multi-key downgraded to single when no pair available:
+			// must be labeled single.
+			t.Fatalf("op %v with one key", q.Op)
+		}
+	}
+	// Roughly one third each (single may gain from downgrades).
+	if counts[query.OpSingle] < 800 || counts[query.OpAnd] < 600 || counts[query.OpOr] < 600 {
+		t.Fatalf("op mix skewed: %v", counts)
+	}
+}
+
+func TestKeywordCorrelatedTracksObservations(t *testing.T) {
+	w := KeywordCorrelated(cfg(), 1).(interface {
+		Source[string]
+		Observer
+	})
+	// Observe records with a sentinel keyword; samples must return it.
+	for i := 0; i < 100; i++ {
+		w.Observe(&types.Microblog{Keywords: []string{"sentinel"}})
+	}
+	for i := 0; i < 50; i++ {
+		q := w.Next()
+		for _, k := range q.Keys {
+			if k != "sentinel" {
+				t.Fatalf("got key %q, want sentinel", k)
+			}
+		}
+	}
+}
+
+func TestKeywordCorrelatedStandaloneFallback(t *testing.T) {
+	w := KeywordCorrelated(cfg(), 1)
+	// No observations: must still produce valid queries from the twin
+	// stream.
+	for i := 0; i < 100; i++ {
+		q := w.Next()
+		if len(q.Keys) == 0 {
+			t.Fatal("empty query")
+		}
+	}
+}
+
+func TestKeywordUniformCoversVocabulary(t *testing.T) {
+	w := KeywordUniform(cfg(), 1)
+	seen := map[string]bool{}
+	for i := 0; i < 20_000; i++ {
+		q := w.Next()
+		for _, k := range q.Keys {
+			seen[k] = true
+		}
+		if q.Op == query.OpAnd && len(q.Keys) == 2 && q.Keys[0] == q.Keys[1] {
+			t.Fatal("AND query with duplicate keys")
+		}
+	}
+	// Uniform sampling over 5000 keys with ~27k draws covers most.
+	if len(seen) < 4500 {
+		t.Fatalf("uniform workload covered only %d keys", len(seen))
+	}
+}
+
+func TestSpatialWorkloads(t *testing.T) {
+	grid := spatial.DefaultGrid()
+	corr := SpatialCorrelated(cfg(), grid, 1)
+	obs := corr.(Observer)
+	obs.Observe(&types.Microblog{HasGeo: true, Lat: 40, Lon: -90})
+	for i := 0; i < 100; i++ {
+		q := corr.Next()
+		if q.Op == query.OpAnd {
+			t.Fatal("spatial AND query generated")
+		}
+		if len(q.Keys) < 1 || len(q.Keys) > 2 {
+			t.Fatalf("spatial query has %d keys", len(q.Keys))
+		}
+	}
+	uni := SpatialUniform(cfg(), grid, 1, 500)
+	for i := 0; i < 100; i++ {
+		q := uni.Next()
+		if q.Op == query.OpAnd {
+			t.Fatal("spatial AND query generated")
+		}
+	}
+}
+
+func TestUserWorkloads(t *testing.T) {
+	c := cfg()
+	corr := UserCorrelated(c, 1)
+	for i := 0; i < 100; i++ {
+		q := corr.Next()
+		if q.Op != query.OpSingle || len(q.Keys) != 1 {
+			t.Fatal("user queries must be single-key")
+		}
+		if q.Keys[0] == 0 {
+			t.Fatal("zero user id")
+		}
+	}
+	uni := UserUniform(c, 1)
+	for i := 0; i < 100; i++ {
+		q := uni.Next()
+		if q.Keys[0] == 0 || q.Keys[0] > uint64(c.Users) {
+			t.Fatalf("user id %d out of range", q.Keys[0])
+		}
+	}
+}
+
+func TestMixedFansOutObservations(t *testing.T) {
+	a := KeywordCorrelated(cfg(), 1)
+	b := KeywordCorrelated(cfg(), 2)
+	m := &Mixed[string]{Sources: []Source[string]{a, b}}
+	m.Observe(&types.Microblog{Keywords: []string{"x"}})
+	for i := 0; i < 10; i++ {
+		q := m.Next()
+		for _, k := range q.Keys {
+			if k != "x" {
+				t.Fatalf("got %q, want x (both sources observed)", k)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package zipfian provides seeded skewed-distribution samplers used by
+// the synthetic microblog stream and the correlated query workload.
+//
+// The keyword-frequency distribution of real microblogs is highly skewed
+// (the paper's Figure 1): a handful of keywords appear far more than k
+// times while the long tail appears fewer than k times. A Zipf sampler
+// over a ranked vocabulary reproduces exactly that shape.
+package zipfian
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf samples ranks 0..N-1 with probability proportional to
+// 1/(rank+1)^s. It wraps math/rand's generator with a fixed seed so runs
+// are reproducible. Not safe for concurrent use; each goroutine should
+// own its sampler.
+type Zipf struct {
+	rng *rand.Rand
+	z   *rand.Zipf
+	n   uint64
+}
+
+// NewZipf returns a sampler over n ranks with exponent s >= 1 (values
+// very close to 1 are nudged up, as required by math/rand) and the given
+// seed.
+func NewZipf(n uint64, s float64, seed int64) *Zipf {
+	if n == 0 {
+		panic("zipfian: n must be positive")
+	}
+	if s <= 1 {
+		s = 1.0001
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Zipf{rng: rng, z: rand.NewZipf(rng, s, 1, n-1), n: n}
+}
+
+// Next returns the next sampled rank in [0, n).
+func (z *Zipf) Next() uint64 { return z.z.Uint64() }
+
+// N returns the number of ranks.
+func (z *Zipf) N() uint64 { return z.n }
+
+// Uniform samples ranks 0..N-1 with equal probability, for the uniform
+// query workload. Not safe for concurrent use.
+type Uniform struct {
+	rng *rand.Rand
+	n   uint64
+}
+
+// NewUniform returns a uniform sampler over n ranks with the given seed.
+func NewUniform(n uint64, seed int64) *Uniform {
+	if n == 0 {
+		panic("zipfian: n must be positive")
+	}
+	return &Uniform{rng: rand.New(rand.NewSource(seed)), n: n}
+}
+
+// Next returns the next sampled rank in [0, n).
+func (u *Uniform) Next() uint64 { return uint64(u.rng.Int63n(int64(u.n))) }
+
+// Finite samples ranks 0..N-1 with probability proportional to
+// 1/(rank+1)^s for ANY exponent s >= 0 (including the s <= 1 regime
+// math/rand's Zipf cannot produce, which matters because empirical
+// hashtag tails are flatter than Zipf-1). It uses an inverse-CDF table
+// with binary search: O(n) memory, O(log n) per sample. Not safe for
+// concurrent use.
+type Finite struct {
+	rng *rand.Rand
+	cum []float64
+}
+
+// NewFinite returns a finite Zipf(s) sampler over n ranks.
+func NewFinite(n int, s float64, seed int64) *Finite {
+	if n <= 0 {
+		panic("zipfian: n must be positive")
+	}
+	cum := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cum[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cum {
+		cum[i] *= inv
+	}
+	cum[n-1] = 1 // guard against rounding
+	return &Finite{rng: rand.New(rand.NewSource(seed)), cum: cum}
+}
+
+// Next returns the next sampled rank in [0, n).
+func (f *Finite) Next() uint64 {
+	u := f.rng.Float64()
+	lo, hi := 0, len(f.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint64(lo)
+}
+
+// N returns the number of ranks.
+func (f *Finite) N() uint64 { return uint64(len(f.cum)) }
+
+// HarmonicCDF precomputes the cumulative Zipf(s) distribution over n
+// ranks. It supports exact probability lookups, which the calibration
+// tests use to verify the generated stream matches the intended skew.
+type HarmonicCDF struct {
+	cum []float64
+}
+
+// NewHarmonicCDF builds the CDF for exponent s over n ranks.
+func NewHarmonicCDF(n int, s float64) *HarmonicCDF {
+	cum := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cum[i] = sum
+	}
+	for i := range cum {
+		cum[i] /= sum
+	}
+	return &HarmonicCDF{cum: cum}
+}
+
+// P returns the probability mass of rank i.
+func (h *HarmonicCDF) P(i int) float64 {
+	if i == 0 {
+		return h.cum[0]
+	}
+	return h.cum[i] - h.cum[i-1]
+}
+
+// TopMass returns the total probability mass of the first m ranks.
+func (h *HarmonicCDF) TopMass(m int) float64 {
+	if m <= 0 {
+		return 0
+	}
+	if m >= len(h.cum) {
+		return 1
+	}
+	return h.cum[m-1]
+}

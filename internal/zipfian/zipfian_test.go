@@ -1,0 +1,145 @@
+package zipfian
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFiniteRange(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 0.95, 1.0, 1.5} {
+		f := NewFinite(100, s, 1)
+		for i := 0; i < 1000; i++ {
+			if r := f.Next(); r >= 100 {
+				t.Fatalf("s=%v: rank %d out of range", s, r)
+			}
+		}
+	}
+}
+
+func TestFiniteSkewOrdering(t *testing.T) {
+	// Higher exponents concentrate more mass on rank 0.
+	counts := func(s float64) int {
+		f := NewFinite(1000, s, 7)
+		zero := 0
+		for i := 0; i < 20_000; i++ {
+			if f.Next() == 0 {
+				zero++
+			}
+		}
+		return zero
+	}
+	flat, steep := counts(0.3), counts(1.5)
+	if flat >= steep {
+		t.Fatalf("rank-0 mass: flat=%d steep=%d; steeper must concentrate more", flat, steep)
+	}
+}
+
+func TestFiniteMatchesHarmonicCDF(t *testing.T) {
+	const n, s = 500, 0.95
+	f := NewFinite(n, s, 3)
+	h := NewHarmonicCDF(n, s)
+	const samples = 200_000
+	got := 0
+	for i := 0; i < samples; i++ {
+		if f.Next() < 10 {
+			got++
+		}
+	}
+	want := h.TopMass(10)
+	emp := float64(got) / samples
+	if math.Abs(emp-want) > 0.01 {
+		t.Fatalf("top-10 mass: empirical %.4f vs analytic %.4f", emp, want)
+	}
+}
+
+func TestFiniteZeroExponentIsUniform(t *testing.T) {
+	f := NewFinite(4, 0, 5)
+	counts := make([]int, 4)
+	const samples = 40_000
+	for i := 0; i < samples; i++ {
+		counts[f.Next()]++
+	}
+	for r, c := range counts {
+		frac := float64(c) / samples
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Fatalf("rank %d frequency %.3f, want ~0.25", r, frac)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	u := NewUniform(10, 1)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		r := u.Next()
+		if r >= 10 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		seen[r] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("uniform sampler visited %d of 10 ranks", len(seen))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := NewFinite(1000, 0.9, 42), NewFinite(1000, 0.9, 42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestHarmonicCDFProperties(t *testing.T) {
+	f := func(nRaw uint16, sRaw uint8) bool {
+		n := int(nRaw%500) + 2
+		s := float64(sRaw%30) / 10 // 0.0 .. 2.9
+		h := NewHarmonicCDF(n, s)
+		// Probabilities are non-increasing in rank and sum to ~1.
+		sum := 0.0
+		prev := math.Inf(1)
+		for i := 0; i < n; i++ {
+			p := h.P(i)
+			if p < 0 || p > prev+1e-12 {
+				return false
+			}
+			prev = p
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9 && h.TopMass(n) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfWrapper(t *testing.T) {
+	z := NewZipf(100, 1.2, 1)
+	if z.N() != 100 {
+		t.Fatalf("N = %d", z.N())
+	}
+	for i := 0; i < 1000; i++ {
+		if r := z.Next(); r >= 100 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+}
+
+func TestPanicsOnZeroN(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zipf":    func() { NewZipf(0, 1.1, 1) },
+		"uniform": func() { NewUniform(0, 1) },
+		"finite":  func() { NewFinite(0, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic for n=0", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,276 @@
+// Package kflushing is a main-memory microblogs data management system
+// with query-aware flushing, reproducing "On Main-memory Flushing in
+// Microblogs Data Management Systems" (ICDE 2016).
+//
+// The system digests a high-rate microblog stream into an in-memory
+// inverted index and answers top-k search queries (keyword, spatial, or
+// user timeline; single key, AND, OR) from memory, falling back to a
+// disk tier on a miss. When the configured memory budget fills, a
+// flushing policy evicts part of memory to disk. Four policies are
+// provided:
+//
+//   - PolicyKFlushing — the paper's contribution: trims postings that
+//     can never appear in a top-k answer, then evicts under-filled
+//     entries by arrival recency, then full entries by query recency.
+//   - PolicyKFlushingMK — the multiple-keyword extension that raises
+//     AND-query hit ratios.
+//   - PolicyFIFO — temporally segmented flushing (the behaviour of
+//     existing microblog systems).
+//   - PolicyLRU — H-Store-style anti-caching over individual records.
+//
+// Quick start:
+//
+//	sys, err := kflushing.Open(dir, kflushing.Options{Policy: kflushing.PolicyKFlushing})
+//	if err != nil { ... }
+//	defer sys.Close()
+//	sys.Ingest(&kflushing.Microblog{Keywords: []string{"gophers"}, Text: "..."})
+//	res, err := sys.Search([]string{"gophers"}, kflushing.OpSingle, 20)
+package kflushing
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"kflushing/internal/attr"
+	"kflushing/internal/clock"
+	"kflushing/internal/core"
+	"kflushing/internal/engine"
+	"kflushing/internal/policy"
+	"kflushing/internal/query"
+	"kflushing/internal/ranking"
+	"kflushing/internal/types"
+	"kflushing/internal/wal"
+)
+
+// Re-exported data model and query types. The implementation lives in
+// internal packages; these aliases are the public names.
+type (
+	// Microblog is one stream record.
+	Microblog = types.Microblog
+	// ID identifies an ingested microblog.
+	ID = types.ID
+	// Timestamp is the logical or wall-clock time of a record.
+	Timestamp = types.Timestamp
+	// Op combines the keys of a multi-key query.
+	Op = query.Op
+	// Result is a ranked query answer with hit/miss provenance.
+	Result = query.Result
+	// Item is one ranked answer.
+	Item = query.Item
+	// Ranker scores records at arrival; see Temporal, Popularity and
+	// Weighted in this package.
+	Ranker = ranking.Ranker
+	// Clock supplies timestamps; see NewLogicalClock and WallClock.
+	Clock = clock.Clock
+	// Stats summarizes a system's state and counters.
+	Stats = engine.Stats
+)
+
+// Query operators.
+const (
+	// OpSingle queries one key.
+	OpSingle = query.OpSingle
+	// OpOr matches any key.
+	OpOr = query.OpOr
+	// OpAnd matches all keys.
+	OpAnd = query.OpAnd
+)
+
+// Ranking functions (Section IV-B).
+var (
+	// Temporal ranks most recent first — the paper's default.
+	Temporal Ranker = ranking.Temporal{}
+	// Popularity ranks by the author's follower count.
+	Popularity Ranker = ranking.Popularity{}
+)
+
+// NewWeightedRanker blends recency (weight alpha) with popularity.
+func NewWeightedRanker(alpha, timeScale float64) Ranker {
+	return ranking.Weighted{Alpha: alpha, TimeScale: timeScale}
+}
+
+// NewLogicalClock returns a deterministic clock starting at start that
+// advances by step per reading.
+func NewLogicalClock(start Timestamp, step int64) *clock.Logical {
+	return clock.NewLogical(start, step)
+}
+
+// WallClock returns the operating-system clock.
+func WallClock() Clock { return clock.Wall{} }
+
+// PolicyKind names a flushing policy.
+type PolicyKind string
+
+// Available flushing policies.
+const (
+	PolicyKFlushing   PolicyKind = "kflushing"
+	PolicyKFlushingMK PolicyKind = "kflushing-mk"
+	PolicyFIFO        PolicyKind = "fifo"
+	PolicyLRU         PolicyKind = "lru"
+)
+
+// Options configures a system. The zero value selects the paper's
+// defaults: k=20, B=10%, kFlushing policy, temporal ranking.
+type Options struct {
+	// K is the default top-k result limit (default 20).
+	K int
+	// MemoryBudget is the modeled main-memory budget in bytes
+	// (default 64 MiB).
+	MemoryBudget int64
+	// FlushFraction is the flushing budget B as a fraction of the
+	// memory budget (default 0.10).
+	FlushFraction float64
+	// Policy selects the flushing policy (default PolicyKFlushing).
+	Policy PolicyKind
+	// MaxPhase caps kFlushing at phases 1..MaxPhase, for ablations
+	// (default 3; ignored by FIFO and LRU).
+	MaxPhase int
+	// Ranker scores records at arrival (default Temporal).
+	Ranker Ranker
+	// Clock is the time source (default: auto-advancing logical
+	// clock; servers should pass WallClock()).
+	Clock Clock
+	// SyncFlush runs flushes inline with ingestion, for deterministic
+	// tests and experiments (default: background flushing thread).
+	SyncFlush bool
+	// DiskMaxSegments bounds the number of disk segments via automatic
+	// compaction (0 selects the default of 48; negative disables).
+	DiskMaxSegments int
+	// Durable enables a write-ahead log under the system directory:
+	// memory contents survive restarts and crashes. Off by default,
+	// matching the paper's model where only flushed data is on disk.
+	Durable bool
+	// WALSyncEvery fsyncs the write-ahead log after this many ingests
+	// when Durable is set; 0 relies on OS buffering.
+	WALSyncEvery int
+}
+
+func (o *Options) fill() {
+	if o.K <= 0 {
+		o.K = 20
+	}
+	if o.MemoryBudget <= 0 {
+		o.MemoryBudget = 64 << 20
+	}
+	if o.FlushFraction <= 0 || o.FlushFraction > 1 {
+		o.FlushFraction = 0.10
+	}
+	if o.Policy == "" {
+		o.Policy = PolicyKFlushing
+	}
+	if o.MaxPhase == 0 {
+		o.MaxPhase = 3
+	}
+	if o.Ranker == nil {
+		o.Ranker = Temporal
+	}
+}
+
+// policyChoice carries a constructed policy with the index features it
+// needs.
+type policyChoice[K comparable] struct {
+	pol        policy.Policy[K]
+	trackTopK  bool
+	trackOverK bool
+}
+
+// newPolicy instantiates the configured policy for key type K.
+func newPolicy[K comparable](o Options) (policyChoice[K], error) {
+	switch o.Policy {
+	case PolicyKFlushing:
+		return policyChoice[K]{pol: core.New(core.WithMaxPhase[K](o.MaxPhase)), trackOverK: true}, nil
+	case PolicyKFlushingMK:
+		return policyChoice[K]{pol: core.NewMK(core.WithMaxPhase[K](o.MaxPhase)), trackTopK: true, trackOverK: true}, nil
+	case PolicyFIFO:
+		seg := int64(o.FlushFraction * float64(o.MemoryBudget))
+		return policyChoice[K]{pol: policy.NewFIFO[K](seg)}, nil
+	case PolicyLRU:
+		return policyChoice[K]{pol: policy.NewLRU[K]()}, nil
+	default:
+		return policyChoice[K]{}, fmt.Errorf("kflushing: unknown policy %q", o.Policy)
+	}
+}
+
+// walDir returns the write-ahead-log directory for a system rooted at
+// dir, or empty when durability is off.
+func walDir(dir string, opt Options) string {
+	if !opt.Durable {
+		return ""
+	}
+	return filepath.Join(dir, "wal")
+}
+
+// walOptions maps facade options onto the log's tuning knobs.
+func walOptions(opt Options) wal.Options {
+	return wal.Options{SyncEvery: opt.WALSyncEvery}
+}
+
+// System is a keyword-search microblogs store: the paper's primary
+// evaluation target. All methods are safe for concurrent use.
+type System struct {
+	eng *engine.Engine[string]
+}
+
+// Open creates a keyword system whose disk tier lives under dir.
+func Open(dir string, opt Options) (*System, error) {
+	opt.fill()
+	pc, err := newPolicy[string](opt)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(engine.Config[string]{
+		K:               opt.K,
+		MemoryBudget:    opt.MemoryBudget,
+		FlushFraction:   opt.FlushFraction,
+		KeysOf:          attr.KeywordKeys,
+		KeyHash:         attr.HashString,
+		KeyLen:          attr.KeywordLen,
+		EncodeKey:       attr.KeywordEncode,
+		Ranker:          opt.Ranker,
+		Clock:           opt.Clock,
+		DiskDir:         dir,
+		DiskMaxSegments: opt.DiskMaxSegments,
+		WALDir:          walDir(dir, opt),
+		WALOptions:      walOptions(opt),
+		Policy:          pc.pol,
+		TrackTopK:       pc.trackTopK,
+		TrackOverK:      pc.trackOverK,
+		SyncFlush:       opt.SyncFlush,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{eng: eng}, nil
+}
+
+// Ingest digests one microblog, taking ownership of mb. Records without
+// keywords are rejected.
+func (s *System) Ingest(mb *Microblog) (ID, error) { return s.eng.Ingest(mb) }
+
+// Search runs a top-k keyword query. k <= 0 selects the system default.
+func (s *System) Search(keywords []string, op Op, k int) (Result, error) {
+	return s.eng.Search(query.Request[string]{Keys: keywords, Op: op, K: k})
+}
+
+// SearchKeyword runs a single-keyword top-k query.
+func (s *System) SearchKeyword(keyword string, k int) (Result, error) {
+	return s.Search([]string{keyword}, OpSingle, k)
+}
+
+// SetK changes the default top-k threshold at run time.
+func (s *System) SetK(k int) { s.eng.SetK(k) }
+
+// FlushNow forces one flush cycle, returning the bytes freed.
+func (s *System) FlushNow() (int64, error) { return s.eng.FlushNow() }
+
+// Stats returns a snapshot of gauges, counters, and the index census.
+func (s *System) Stats() Stats { return s.eng.Stats() }
+
+// Err returns the most recent background flush error, if any.
+func (s *System) Err() error { return s.eng.Err() }
+
+// Close drains background work and releases the disk tier.
+func (s *System) Close() error { return s.eng.Close() }
+
+// Engine exposes the underlying generic engine for experiments.
+func (s *System) Engine() *engine.Engine[string] { return s.eng }

@@ -1,0 +1,163 @@
+package kflushing
+
+import (
+	"kflushing/internal/attr"
+	"kflushing/internal/engine"
+	"kflushing/internal/query"
+	"kflushing/internal/spatial"
+)
+
+// Cell identifies one tile of a spatial system's grid.
+type Cell = spatial.Cell
+
+// SpatialSystem answers "most recent k microblogs posted in a location"
+// queries over a uniform grid of 4 mi² tiles (Section V-D). All methods
+// are safe for concurrent use.
+type SpatialSystem struct {
+	eng  *engine.Engine[spatial.Cell]
+	grid *spatial.Grid
+}
+
+// OpenSpatial creates a spatial system whose disk tier lives under dir.
+// A nil grid selects the default continental-US grid with 4 mi² tiles.
+func OpenSpatial(dir string, grid *spatial.Grid, opt Options) (*SpatialSystem, error) {
+	opt.fill()
+	if grid == nil {
+		grid = spatial.DefaultGrid()
+	}
+	pc, err := newPolicy[spatial.Cell](opt)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(engine.Config[spatial.Cell]{
+		K:               opt.K,
+		MemoryBudget:    opt.MemoryBudget,
+		FlushFraction:   opt.FlushFraction,
+		KeysOf:          attr.SpatialKeys(grid),
+		KeyHash:         attr.HashCell,
+		KeyLen:          attr.CellLen,
+		EncodeKey:       attr.CellEncode,
+		Ranker:          opt.Ranker,
+		Clock:           opt.Clock,
+		DiskDir:         dir,
+		DiskMaxSegments: opt.DiskMaxSegments,
+		WALDir:          walDir(dir, opt),
+		WALOptions:      walOptions(opt),
+		Policy:          pc.pol,
+		TrackTopK:       pc.trackTopK,
+		TrackOverK:      pc.trackOverK,
+		SyncFlush:       opt.SyncFlush,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SpatialSystem{eng: eng, grid: grid}, nil
+}
+
+// Grid returns the system's spatial grid.
+func (s *SpatialSystem) Grid() *spatial.Grid { return s.grid }
+
+// Ingest digests one geotagged microblog, taking ownership of mb.
+// Records without a location are rejected.
+func (s *SpatialSystem) Ingest(mb *Microblog) (ID, error) { return s.eng.Ingest(mb) }
+
+// SearchAt runs a top-k query for the tile containing (lat, lon).
+func (s *SpatialSystem) SearchAt(lat, lon float64, k int) (Result, error) {
+	return s.SearchCells([]Cell{s.grid.CellOf(lat, lon)}, OpSingle, k)
+}
+
+// SearchRadius runs a top-k query over every tile within radiusMiles of
+// (lat, lon) — an OR query across the covered tiles.
+func (s *SpatialSystem) SearchRadius(lat, lon, radiusMiles float64, k int) (Result, error) {
+	cells := s.grid.CellsWithin(lat, lon, radiusMiles)
+	op := OpOr
+	if len(cells) == 1 {
+		op = OpSingle
+	}
+	return s.SearchCells(cells, op, k)
+}
+
+// SearchCells runs a top-k query over explicit tiles. Spatial AND is
+// semantically invalid (a record has one location; use OpOr or the
+// radius helper).
+func (s *SpatialSystem) SearchCells(cells []Cell, op Op, k int) (Result, error) {
+	return s.eng.Search(query.Request[Cell]{Keys: cells, Op: op, K: k})
+}
+
+// SetK changes the default top-k threshold at run time.
+func (s *SpatialSystem) SetK(k int) { s.eng.SetK(k) }
+
+// FlushNow forces one flush cycle, returning the bytes freed.
+func (s *SpatialSystem) FlushNow() (int64, error) { return s.eng.FlushNow() }
+
+// Stats returns a snapshot of gauges, counters, and the index census.
+func (s *SpatialSystem) Stats() Stats { return s.eng.Stats() }
+
+// Close drains background work and releases the disk tier.
+func (s *SpatialSystem) Close() error { return s.eng.Close() }
+
+// Engine exposes the underlying generic engine for experiments.
+func (s *SpatialSystem) Engine() *engine.Engine[Cell] { return s.eng }
+
+// UserSystem answers "most recent k microblogs posted by a user"
+// timeline queries (Section V-D). All methods are safe for concurrent
+// use.
+type UserSystem struct {
+	eng *engine.Engine[uint64]
+}
+
+// OpenUser creates a user-timeline system whose disk tier lives under
+// dir.
+func OpenUser(dir string, opt Options) (*UserSystem, error) {
+	opt.fill()
+	pc, err := newPolicy[uint64](opt)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(engine.Config[uint64]{
+		K:               opt.K,
+		MemoryBudget:    opt.MemoryBudget,
+		FlushFraction:   opt.FlushFraction,
+		KeysOf:          attr.UserKeys,
+		KeyHash:         attr.HashUint64,
+		KeyLen:          attr.UserLen,
+		EncodeKey:       attr.UserEncode,
+		Ranker:          opt.Ranker,
+		Clock:           opt.Clock,
+		DiskDir:         dir,
+		DiskMaxSegments: opt.DiskMaxSegments,
+		WALDir:          walDir(dir, opt),
+		WALOptions:      walOptions(opt),
+		Policy:          pc.pol,
+		TrackTopK:       pc.trackTopK,
+		TrackOverK:      pc.trackOverK,
+		SyncFlush:       opt.SyncFlush,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &UserSystem{eng: eng}, nil
+}
+
+// Ingest digests one microblog, taking ownership of mb.
+func (s *UserSystem) Ingest(mb *Microblog) (ID, error) { return s.eng.Ingest(mb) }
+
+// SearchUser returns the top-k timeline of one user.
+func (s *UserSystem) SearchUser(userID uint64, k int) (Result, error) {
+	return s.eng.Search(query.Request[uint64]{Keys: []uint64{userID}, Op: OpSingle, K: k})
+}
+
+// SetK changes the default top-k threshold at run time.
+func (s *UserSystem) SetK(k int) { s.eng.SetK(k) }
+
+// FlushNow forces one flush cycle, returning the bytes freed.
+func (s *UserSystem) FlushNow() (int64, error) { return s.eng.FlushNow() }
+
+// Stats returns a snapshot of gauges, counters, and the index census.
+func (s *UserSystem) Stats() Stats { return s.eng.Stats() }
+
+// Close drains background work and releases the disk tier.
+func (s *UserSystem) Close() error { return s.eng.Close() }
+
+// Engine exposes the underlying generic engine for experiments.
+func (s *UserSystem) Engine() *engine.Engine[uint64] { return s.eng }

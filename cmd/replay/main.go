@@ -44,6 +44,7 @@ func main() {
 	tweetsPath := flag.String("tweets", "", "microblog stream file (JSON lines); required")
 	queriesPath := flag.String("queries", "", "query workload file (JSON lines); optional")
 	qpi := flag.Int("qpi", 1, "queries interleaved per ingested record")
+	batch := flag.Int("batch", 64, "records ingested per batch (1 = per-record ingestion)")
 	dataDir := flag.String("data", "", "disk tier directory (default: temp, removed)")
 	flag.Parse()
 
@@ -103,7 +104,50 @@ func main() {
 		return q, true
 	}
 
+	if *batch < 1 {
+		*batch = 1
+	}
+	runQueries := func(n int) {
+		for j := 0; j < n; j++ {
+			q, ok := nextQuery()
+			if !ok {
+				return
+			}
+			op := kflushing.OpSingle
+			switch q.Op {
+			case "and":
+				op = kflushing.OpAnd
+			case "or":
+				op = kflushing.OpOr
+			}
+			if _, err := sys.Search(q.Keywords, op, *k); err != nil {
+				log.Fatalf("query failed: %v", err)
+			}
+		}
+	}
+
+	// Read a batch of records, digest it with one group commit, then
+	// issue the queries the batch's records would have interleaved.
 	ingested, skipped := 0, 0
+	mbs := make([]*kflushing.Microblog, 0, *batch)
+	flush := func() {
+		if len(mbs) == 0 {
+			return
+		}
+		ids, err := sys.IngestBatch(mbs)
+		if err != nil {
+			log.Fatalf("ingest failed: %v", err)
+		}
+		for _, id := range ids {
+			if id == 0 {
+				skipped++
+			} else {
+				ingested++
+			}
+		}
+		runQueries(len(mbs) * *qpi)
+		mbs = mbs[:0]
+	}
 	for tweetScan.Scan() {
 		var tl tweetLine
 		if err := json.Unmarshal(tweetScan.Bytes(), &tl); err != nil {
@@ -119,28 +163,12 @@ func main() {
 		if tl.Lat != nil && tl.Lon != nil {
 			mb.Lat, mb.Lon, mb.HasGeo = *tl.Lat, *tl.Lon, true
 		}
-		if _, err := sys.Ingest(mb); err != nil {
-			skipped++
-		} else {
-			ingested++
-		}
-		for j := 0; j < *qpi; j++ {
-			q, ok := nextQuery()
-			if !ok {
-				break
-			}
-			op := kflushing.OpSingle
-			switch q.Op {
-			case "and":
-				op = kflushing.OpAnd
-			case "or":
-				op = kflushing.OpOr
-			}
-			if _, err := sys.Search(q.Keywords, op, *k); err != nil {
-				log.Fatalf("query failed: %v", err)
-			}
+		mbs = append(mbs, mb)
+		if len(mbs) == *batch {
+			flush()
 		}
 	}
+	flush()
 	if err := tweetScan.Err(); err != nil {
 		log.Fatal(err)
 	}

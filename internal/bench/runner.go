@@ -209,6 +209,31 @@ func run[K comparable](rc RunConfig, eng *engine.Engine[K], clk *clock.Logical,
 		}
 		return true
 	}
+	// ingestBatch digests up to n records as one batch (the
+	// high-throughput path), returning how many stream records it
+	// consumed. Stream records arrive pre-stamped, so advancing the
+	// clock to the last timestamp matches the sequential path.
+	ingestBatch := func(n int) int {
+		batch := make([]*types.Microblog, 0, n)
+		for len(batch) < n {
+			mb := next()
+			if mb == nil {
+				break
+			}
+			clk.Set(mb.Timestamp)
+			if obs != nil {
+				obs.Observe(mb)
+			}
+			batch = append(batch, mb)
+		}
+		if len(batch) == 0 {
+			return 0
+		}
+		if _, err := eng.IngestBatch(batch); err != nil {
+			panic(err)
+		}
+		return len(batch)
+	}
 	ask := func() {
 		if wl == nil {
 			return
@@ -219,16 +244,19 @@ func run[K comparable](rc RunConfig, eng *engine.Engine[K], clk *clock.Logical,
 		}
 	}
 
-	// Warm-up: fill memory and get past the first flushes, issuing
-	// queries throughout so query-recency bookkeeping (Phase 3, LRU)
-	// sees a realistic access pattern.
+	// Warm-up: fill memory and get past the first flushes using batched
+	// ingestion, issuing queries throughout so query-recency bookkeeping
+	// (Phase 3, LRU) sees a realistic access pattern.
 	reg := eng.Metrics()
+	const warmBatch = 32
 	warmQueriesEvery := 4 // sparse during warm-up; dense while measuring
-	for i := 0; reg.Flushes.Load() < int64(rc.WarmFlushes) && i < rc.MaxWarmIngest; i++ {
-		if !ingest() {
+	for i := 0; reg.Flushes.Load() < int64(rc.WarmFlushes) && i < rc.MaxWarmIngest; {
+		n := ingestBatch(warmBatch)
+		if n == 0 {
 			break
 		}
-		if i%warmQueriesEvery == 0 {
+		i += n
+		for j := 0; j < n/warmQueriesEvery; j++ {
 			ask()
 		}
 	}

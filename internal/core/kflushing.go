@@ -28,6 +28,10 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+	"time"
+
 	"kflushing/internal/index"
 	"kflushing/internal/memsize"
 	"kflushing/internal/policy"
@@ -45,6 +49,9 @@ type KFlushing[K comparable] struct {
 	// selector picks Phase 2/3 victims; the heap selector is the
 	// paper's O(n) algorithm, the sort selector the strawman baseline.
 	selector Selector[K]
+	// parallelism caps the flush worker pool; 0 selects
+	// min(GOMAXPROCS, index shards). 1 forces sequential flushing.
+	parallelism int
 
 	r *policy.Resources[K]
 }
@@ -65,6 +72,27 @@ func WithMaxPhase[K comparable](p int) Option[K] {
 // WithSelector overrides the Phase 2/3 victim selector.
 func WithSelector[K comparable](s Selector[K]) Option[K] {
 	return func(f *KFlushing[K]) { f.selector = s }
+}
+
+// WithParallelism caps the worker pool used by the shard-parallel flush
+// paths (Phase 1 trimming and the Phase 2/3 victim scans). 0 restores
+// the default of min(GOMAXPROCS, index shards); 1 forces the sequential
+// execution used as the benchmark baseline.
+func WithParallelism[K comparable](n int) Option[K] {
+	return func(f *KFlushing[K]) {
+		if n < 0 {
+			n = 0
+		}
+		f.parallelism = n
+		switch s := f.selector.(type) {
+		case HeapSelector[K]:
+			s.Workers = n
+			f.selector = s
+		case SortSelector[K]:
+			s.Workers = n
+			f.selector = s
+		}
+	}
 }
 
 // New returns the kFlushing policy for single-key workloads.
@@ -100,8 +128,8 @@ func (f *KFlushing[K]) Attach(r *policy.Resources[K]) { f.r = r }
 
 // OnIngest implements policy.Policy. kFlushing needs no per-ingest work
 // beyond what the index already maintains (the over-k list and
-// per-entry arrival timestamps).
-func (f *KFlushing[K]) OnIngest(*store.Record, []K) {}
+// per-entry arrival timestamps) — batches included.
+func (f *KFlushing[K]) OnIngest([]*store.Record, [][]K) {}
 
 // OnAccess implements policy.Policy. Query-time bookkeeping is the
 // per-entry last-queried timestamp, written by the query engine; no
@@ -110,24 +138,70 @@ func (f *KFlushing[K]) OnIngest(*store.Record, []K) {}
 func (f *KFlushing[K]) OnAccess([]*store.Record) {}
 
 // Flush implements policy.Policy, running the phases in order until the
-// target is met.
+// target is met. Each phase's duration and freed bytes are recorded in
+// the engine's metrics registry when one is attached.
 func (f *KFlushing[K]) Flush(target int64) (int64, error) {
 	k := f.r.Index.K()
 	buf := policy.NewVictimBuffer(f.r.Mem, f.r.Sink, true)
-	freed := f.phase1(k, buf)
+	freed := f.timedPhase(1, func() int64 { return f.phase1(k, buf) })
 	if freed < target && f.maxPhase >= 2 {
-		freed += f.phase2(k, target-freed, buf)
+		freed += f.timedPhase(2, func() int64 { return f.phase2(k, target-freed, buf) })
 	}
 	if freed < target && f.maxPhase >= 3 {
-		freed += f.phase3(k, target-freed, buf)
+		freed += f.timedPhase(3, func() int64 { return f.phase3(k, target-freed, buf) })
 	}
 	return freed, buf.Close()
+}
+
+// timedPhase runs one phase and feeds its duration and freed bytes to
+// the per-phase histograms.
+func (f *KFlushing[K]) timedPhase(phase int, run func() int64) int64 {
+	start := time.Now()
+	freed := run()
+	if f.r.Metrics != nil {
+		f.r.Metrics.ObservePhase(phase, time.Since(start), freed)
+	}
+	return freed
+}
+
+// parallelMinWork is the smallest work-unit count worth fanning out over
+// goroutines; below it the spawn cost dominates any speedup.
+const parallelMinWork = 32
+
+// workers returns the flush worker-pool size for a task of `work`
+// independent units: min(GOMAXPROCS, index shards), capped by the work
+// itself, and 1 when the task is too small to amortize goroutine spawns.
+func (f *KFlushing[K]) workers(work int) int {
+	if work < parallelMinWork && f.parallelism == 0 {
+		return 1
+	}
+	n := f.parallelism
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if s := f.r.Index.ShardCount(); n > s {
+		n = s
+	}
+	if n > work {
+		n = work
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // phase1 trims all postings beyond the top-k of every entry in the
 // over-k list L. It intentionally ignores the budget: useless postings
 // are free wins, so the phase removes them all (Figure 5(a) shows early
 // Phase 1 runs flushing far more than B).
+//
+// The entries of L are independent work units (each trim takes only its
+// own entry lock; record release, memory accounting, and the victim
+// buffer are all concurrency-safe), so the list is split over a bounded
+// worker pool and the per-worker freed-byte counts are merged — this is
+// the digestion-side half of running flushing truly concurrently with a
+// multi-core ingest path.
 func (f *KFlushing[K]) phase1(k int, buf *policy.VictimBuffer) int64 {
 	var keep func(*store.Record) bool
 	if f.mk {
@@ -135,8 +209,39 @@ func (f *KFlushing[K]) phase1(k int, buf *policy.VictimBuffer) int64 {
 		// while it is still a top-k posting somewhere else.
 		keep = func(rec *store.Record) bool { return rec.TopKCount() > 0 }
 	}
+	entries := f.r.Index.TakeOverK()
+	workers := f.workers(len(entries))
+	if workers <= 1 {
+		return f.trimEntries(entries, k, keep, buf)
+	}
+	freedBy := make([]int64, workers)
+	var wg sync.WaitGroup
+	chunk := (len(entries) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(entries))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			freedBy[w] = f.trimEntries(entries[lo:hi], k, keep, buf)
+		}(w, lo, hi)
+	}
+	wg.Wait()
 	var freed int64
-	for _, e := range f.r.Index.TakeOverK() {
+	for _, n := range freedBy {
+		freed += n
+	}
+	return freed
+}
+
+// trimEntries runs the Phase 1 trim over one worker's slice of the
+// over-k list.
+func (f *KFlushing[K]) trimEntries(entries []*index.Entry[K], k int, keep func(*store.Record) bool, buf *policy.VictimBuffer) int64 {
+	var freed int64
+	for _, e := range entries {
 		removed := e.TrimBeyondTopK(k, keep)
 		f.r.Index.NotePostingsRemoved(len(removed))
 		freed += int64(len(removed)) * memsize.PostingSize

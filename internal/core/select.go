@@ -2,7 +2,10 @@ package core
 
 import (
 	"container/heap"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"kflushing/internal/index"
 )
@@ -38,41 +41,106 @@ func (h *victimHeap[K]) Pop() interface{} {
 	return v
 }
 
+// scanVictims collects every classify-accepted entry with its eviction
+// timestamp and freeable-byte estimate. The scan — the O(n) part of
+// victim selection that walks every entry and takes its lock to size it
+// — is fanned out over the index shards with a bounded worker pool of
+// min(GOMAXPROCS, shards) goroutines (or `workers`, when positive);
+// shards are handed out through an atomic cursor so uneven shards cannot
+// stall the pool. Candidate collection is order-insensitive: selection
+// itself stays sequential in the callers.
+func scanVictims[K comparable](ix *index.Index[K], workers int, classify func(*index.Entry[K]) (int64, bool)) []victim[K] {
+	shards := ix.ShardCount()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	collect := func(shard int, out []victim[K]) []victim[K] {
+		ix.RangeShard(shard, func(e *index.Entry[K]) bool {
+			if ts, ok := classify(e); ok {
+				out = append(out, victim[K]{e: e, ts: ts, fb: e.FreeableBytes(ix.KeyLen(e.Key()))})
+			}
+			return true
+		})
+		return out
+	}
+	if workers <= 1 {
+		var all []victim[K]
+		for i := 0; i < shards; i++ {
+			all = collect(i, all)
+		}
+		return all
+	}
+	perWorker := make([][]victim[K], workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var out []victim[K]
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= shards {
+					break
+				}
+				out = collect(i, out)
+			}
+			perWorker[w] = out
+		}(w)
+	}
+	wg.Wait()
+	var n int
+	for _, part := range perWorker {
+		n += len(part)
+	}
+	all := make([]victim[K], 0, n)
+	for _, part := range perWorker {
+		all = append(all, part...)
+	}
+	return all
+}
+
 // HeapSelector is the paper's single-pass O(n) victim selection: one
 // traversal over the candidate entries maintaining an on-the-go buffer
 // (a max-heap on recency) whose total memory consumption stays at or
 // just above the target, always holding the least recently used
 // candidates seen so far.
-type HeapSelector[K comparable] struct{}
+//
+// The candidate *scan* runs shard-parallel (see scanVictims); the heap
+// pass itself is kept sequential — it is O(n) with a heap bounded by the
+// target, and its shed-the-most-recent loop is inherently order
+// sensitive, so parallelizing it would buy little and cost correctness.
+type HeapSelector[K comparable] struct {
+	// Workers caps the scan worker pool; 0 selects
+	// min(GOMAXPROCS, shards), 1 forces a sequential scan.
+	Workers int
+}
 
 // Select implements Selector.
-func (HeapSelector[K]) Select(ix *index.Index[K], target int64, classify func(*index.Entry[K]) (int64, bool)) []*index.Entry[K] {
+func (s HeapSelector[K]) Select(ix *index.Index[K], target int64, classify func(*index.Entry[K]) (int64, bool)) []*index.Entry[K] {
 	var h victimHeap[K]
 	var total int64
-	ix.Range(func(e *index.Entry[K]) bool {
-		ts, ok := classify(e)
-		if !ok {
-			return true
-		}
-		fb := e.FreeableBytes(ix.KeyLen(e.Key()))
+	for _, v := range scanVictims(ix, s.Workers, classify) {
 		switch {
 		case total < target:
 			// Still filling the buffer up to the target.
-			heap.Push(&h, victim[K]{e: e, ts: ts, fb: fb})
-			total += fb
-		case len(h) > 0 && ts < h[0].ts:
+			heap.Push(&h, v)
+			total += v.fb
+		case len(h) > 0 && v.ts < h[0].ts:
 			// Older than the most recent buffered victim: admit it,
 			// then shed the most recent victims while the buffer still
 			// meets the target without them.
-			heap.Push(&h, victim[K]{e: e, ts: ts, fb: fb})
-			total += fb
+			heap.Push(&h, v)
+			total += v.fb
 			for len(h) > 0 && total-h[0].fb >= target {
 				total -= h[0].fb
 				heap.Pop(&h)
 			}
 		}
-		return true
-	})
+	}
 	out := make([]victim[K], len(h))
 	copy(out, h)
 	sort.Slice(out, func(i, j int) bool { return out[i].ts < out[j].ts })
@@ -86,18 +154,17 @@ func (HeapSelector[K]) Select(ix *index.Index[K], target int64, classify func(*i
 // SortSelector is the straightforward O(n log n) alternative the paper
 // rejects: sort every candidate by recency, then take the least recent
 // prefix whose freeable bytes reach the target. Kept as the ablation
-// baseline for the selection benchmarks.
-type SortSelector[K comparable] struct{}
+// baseline for the selection benchmarks. It shares the shard-parallel
+// candidate scan so the ablation isolates the selection algorithm.
+type SortSelector[K comparable] struct {
+	// Workers caps the scan worker pool; 0 selects
+	// min(GOMAXPROCS, shards), 1 forces a sequential scan.
+	Workers int
+}
 
 // Select implements Selector.
-func (SortSelector[K]) Select(ix *index.Index[K], target int64, classify func(*index.Entry[K]) (int64, bool)) []*index.Entry[K] {
-	var all []victim[K]
-	ix.Range(func(e *index.Entry[K]) bool {
-		if ts, ok := classify(e); ok {
-			all = append(all, victim[K]{e: e, ts: ts, fb: e.FreeableBytes(ix.KeyLen(e.Key()))})
-		}
-		return true
-	})
+func (s SortSelector[K]) Select(ix *index.Index[K], target int64, classify func(*index.Entry[K]) (int64, bool)) []*index.Entry[K] {
+	all := scanVictims(ix, s.Workers, classify)
 	sort.Slice(all, func(i, j int) bool { return all[i].ts < all[j].ts })
 	var total int64
 	var out []*index.Entry[K]

@@ -13,6 +13,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -104,9 +105,13 @@ type Engine[K comparable] struct {
 	wal *wal.Log
 
 	lastFlushUsed atomic.Int64
-	flushing      atomic.Bool
-	lastError     atomic.Value // error
-	closed        atomic.Bool
+	// flushMu serializes flush cycles: background flushes take it with
+	// TryLock (at most one runs; ingestion never blocks), FlushNow with
+	// Lock (blocking deterministically until the in-flight cycle ends),
+	// and Close holds it across shutdown to drain background flushing.
+	flushMu   sync.Mutex
+	lastError atomic.Value // error
+	closed    atomic.Bool
 }
 
 // New builds and wires an engine from cfg.
@@ -158,12 +163,13 @@ func New[K comparable](cfg Config[K]) (*Engine[K], error) {
 	e.tier = tier
 	e.pol = cfg.Policy
 	e.pol.Attach(&policy.Resources[K]{
-		Index:  e.idx,
-		Store:  e.store,
-		Mem:    &e.mem,
-		Sink:   tier,
-		KeysOf: cfg.KeysOf,
-		Clock:  cfg.Clock,
+		Index:   e.idx,
+		Store:   e.store,
+		Mem:     &e.mem,
+		Sink:    tier,
+		KeysOf:  cfg.KeysOf,
+		Clock:   cfg.Clock,
+		Metrics: &e.reg,
 	})
 	if cfg.WALDir != "" {
 		w, err := wal.Open(cfg.WALDir, cfg.WALOptions)
@@ -188,6 +194,8 @@ func New[K comparable](cfg Config[K]) (*Engine[K], error) {
 // overfilled the budget.
 func (e *Engine[K]) recoverFromWAL() error {
 	var maxID uint64
+	var recs []*store.Record
+	var recKeys [][]K
 	err := e.wal.Replay(func(fr disk.FlushRecord) error {
 		mb := fr.MB
 		if e.store.Get(mb.ID) != nil {
@@ -203,7 +211,8 @@ func (e *Engine[K]) recoverFromWAL() error {
 		for _, key := range keys {
 			e.idx.Insert(key, rec)
 		}
-		e.pol.OnIngest(rec, keys)
+		recs = append(recs, rec)
+		recKeys = append(recKeys, keys)
 		if uint64(mb.ID) > maxID {
 			maxID = uint64(mb.ID)
 		}
@@ -212,6 +221,9 @@ func (e *Engine[K]) recoverFromWAL() error {
 	if err != nil {
 		return err
 	}
+	// Replay preserves arrival order, so the whole recovery is one
+	// ingestion batch as far as the policy is concerned.
+	e.pol.OnIngest(recs, recKeys)
 	if maxID > e.ids.Load() {
 		e.ids.Store(maxID)
 	}
@@ -224,34 +236,71 @@ func (e *Engine[K]) recoverFromWAL() error {
 // Ingest digests one microblog: the engine takes ownership of mb,
 // assigns its ID (and timestamp, when zero), stores and indexes it, and
 // triggers a flush when the memory budget is full. It returns the
-// assigned ID.
+// assigned ID. Internally it is a batch of one.
 func (e *Engine[K]) Ingest(mb *types.Microblog) (types.ID, error) {
-	if e.closed.Load() {
-		return 0, ErrClosed
+	ids, err := e.IngestBatch([]*types.Microblog{mb})
+	if err != nil {
+		return 0, err
 	}
-	keys := e.cfg.KeysOf(mb)
-	if len(keys) == 0 {
+	if ids[0] == 0 {
 		return 0, ErrNoKeys
 	}
-	if mb.Timestamp == 0 {
-		mb.Timestamp = e.clk.Now()
+	return ids[0], nil
+}
+
+// IngestBatch digests a batch of microblogs in arrival order, taking
+// ownership of every record. IDs (and timestamps, when zero) are
+// assigned per record; the whole batch is then group-committed to the
+// write-ahead log under one lock acquisition and one buffered write
+// before any record becomes visible, so durability costs are amortized
+// across the batch — the group commit that lets ingestion scale with
+// the stream rate. Records carrying no keys for this attribute are
+// skipped, reported by a zero ID in the returned slice (which is
+// aligned with mbs). A flush is triggered at most once per batch.
+func (e *Engine[K]) IngestBatch(mbs []*types.Microblog) ([]types.ID, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
 	}
-	mb.ID = types.ID(e.ids.Add(1))
-	rec := store.NewRecord(mb, e.cfg.Ranker.Score(mb))
+	ids := make([]types.ID, len(mbs))
+	recs := make([]*store.Record, 0, len(mbs))
+	recKeys := make([][]K, 0, len(mbs))
+	for i, mb := range mbs {
+		keys := e.cfg.KeysOf(mb)
+		if len(keys) == 0 {
+			continue
+		}
+		if mb.Timestamp == 0 {
+			mb.Timestamp = e.clk.Now()
+		}
+		mb.ID = types.ID(e.ids.Add(1))
+		ids[i] = mb.ID
+		recs = append(recs, store.NewRecord(mb, e.cfg.Ranker.Score(mb)))
+		recKeys = append(recKeys, keys)
+	}
+	if len(recs) == 0 {
+		return ids, nil
+	}
 	if e.wal != nil {
-		if err := e.wal.Append(disk.FlushRecord{MB: mb, Score: rec.Score}); err != nil {
-			return 0, fmt.Errorf("engine: wal append: %w", err)
+		frames := make([]disk.FlushRecord, len(recs))
+		for i, rec := range recs {
+			frames[i] = disk.FlushRecord{MB: rec.MB, Score: rec.Score}
+		}
+		if err := e.wal.AppendBatch(frames); err != nil {
+			return nil, fmt.Errorf("engine: wal append: %w", err)
 		}
 	}
-	e.store.Put(rec)
-	e.mem.AddData(rec.Bytes)
-	for _, key := range keys {
-		e.idx.Insert(key, rec)
+	for i, rec := range recs {
+		e.store.Put(rec)
+		e.mem.AddData(rec.Bytes)
+		for _, key := range recKeys[i] {
+			e.idx.Insert(key, rec)
+		}
 	}
-	e.pol.OnIngest(rec, keys)
-	e.reg.Ingested.Add(1)
+	e.pol.OnIngest(recs, recKeys)
+	e.reg.Ingested.Add(int64(len(recs)))
+	e.reg.IngestBatches.Add(1)
 	e.maybeFlush()
-	return mb.ID, nil
+	return ids, nil
 }
 
 // maybeFlush triggers the policy when the budget is exhausted. In
@@ -272,45 +321,51 @@ func (e *Engine[K]) maybeFlush() {
 	if used < e.lastFlushUsed.Load()+e.cfg.MemoryBudget/200 {
 		return
 	}
-	if !e.flushing.CompareAndSwap(false, true) {
-		return
+	if !e.flushMu.TryLock() {
+		return // a flush is already in flight
 	}
 	if e.cfg.SyncFlush {
-		e.runFlush()
+		e.runFlushLocked()
 		return
 	}
-	go e.runFlush()
+	go e.runFlushLocked()
 }
 
-func (e *Engine[K]) runFlush() {
-	defer e.flushing.Store(false)
-	target := int64(e.cfg.FlushFraction * float64(e.cfg.MemoryBudget))
-	freed, err := e.pol.Flush(target)
-	e.reg.Flushes.Add(1)
-	e.reg.FlushedBytes.Add(freed)
-	e.lastFlushUsed.Store(e.mem.Used())
+// runFlushLocked executes one flush cycle; the caller must hold flushMu,
+// which is released on return.
+func (e *Engine[K]) runFlushLocked() {
+	defer e.flushMu.Unlock()
+	_, err := e.flushCycle()
 	if err != nil {
 		e.lastError.Store(err)
 	}
 }
 
-// FlushNow synchronously runs one flush cycle regardless of memory
-// pressure, returning the bytes freed. Intended for tests, experiments,
-// and administrative draining.
-func (e *Engine[K]) FlushNow() (int64, error) {
-	if e.closed.Load() {
-		return 0, ErrClosed
-	}
-	for !e.flushing.CompareAndSwap(false, true) {
-		time.Sleep(time.Millisecond)
-	}
-	defer e.flushing.Store(false)
+// flushCycle runs the policy once at the configured target and updates
+// the flush counters. Callers must hold flushMu.
+func (e *Engine[K]) flushCycle() (int64, error) {
+	start := time.Now()
 	target := int64(e.cfg.FlushFraction * float64(e.cfg.MemoryBudget))
 	freed, err := e.pol.Flush(target)
 	e.reg.Flushes.Add(1)
 	e.reg.FlushedBytes.Add(freed)
+	e.reg.FlushLatency.Observe(time.Since(start))
 	e.lastFlushUsed.Store(e.mem.Used())
 	return freed, err
+}
+
+// FlushNow synchronously runs one flush cycle regardless of memory
+// pressure, returning the bytes freed. It blocks deterministically on
+// the flush gate — no polling — until any in-flight background cycle
+// completes, then runs its own. Intended for tests, experiments, and
+// administrative draining.
+func (e *Engine[K]) FlushNow() (int64, error) {
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	return e.flushCycle()
 }
 
 // Search evaluates one basic top-k search query (Section II-B). The
@@ -491,13 +546,11 @@ func (e *Engine[K]) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	// Drain any in-flight background flush. The flushing flag is set
-	// before the flush goroutine is spawned and cleared when it ends,
-	// so polling it is race-free (unlike a WaitGroup, whose Add could
-	// race with Wait through a concurrent Ingest).
-	for e.flushing.Load() {
-		time.Sleep(time.Millisecond)
-	}
+	// Drain any in-flight background flush: the gate is held for the
+	// rest of shutdown, so a straggling flush can neither start after
+	// the snapshot is cut nor write to the closing disk tier.
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
 	var firstErr error
 	if e.wal != nil {
 		var recs []disk.FlushRecord

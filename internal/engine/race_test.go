@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"kflushing/internal/attr"
+	"kflushing/internal/clock"
+	"kflushing/internal/core"
+	"kflushing/internal/policy"
+	"kflushing/internal/query"
+	"kflushing/internal/types"
+)
+
+// raceEngine builds an engine with background flushing (SyncFlush off)
+// and a budget small enough that flushes happen constantly under the
+// stress load below.
+func raceEngine(t *testing.T, pol policy.Policy[string], trackOverK bool, walDir string) *Engine[string] {
+	t.Helper()
+	eng, err := New(Config[string]{
+		K:             5,
+		MemoryBudget:  96 << 10,
+		FlushFraction: 0.25,
+		KeysOf:        attr.KeywordKeys,
+		KeyHash:       attr.HashString,
+		KeyLen:        attr.KeywordLen,
+		EncodeKey:     attr.KeywordEncode,
+		Clock:         clock.NewLogical(1, 1),
+		DiskDir:       t.TempDir(),
+		WALDir:        walDir,
+		Policy:        pol,
+		TrackOverK:    trackOverK,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := eng.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return eng
+}
+
+// stress hammers one engine from many goroutines at once: batched
+// ingestion, searches over hot keys, SetK changes, and explicit
+// FlushNow calls — all concurrent with the engine's own background
+// flushing. The test asserts nothing beyond "no data race, no panic,
+// no flush error": it exists to give the race detector surface area
+// over the ingest/flush/search interleavings.
+func stress(t *testing.T, eng *Engine[string]) {
+	t.Helper()
+	const (
+		ingesters = 3
+		searchers = 2
+		batches   = 40
+		batchLen  = 25
+	)
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				mbs := make([]*types.Microblog, batchLen)
+				for i := range mbs {
+					mbs[i] = &types.Microblog{
+						Keywords: []string{
+							fmt.Sprintf("hot%d", i%4),
+							fmt.Sprintf("g%d-k%d", g, b*batchLen+i),
+						},
+						Text: "stress stress stress stress",
+					}
+				}
+				if _, err := eng.IngestBatch(mbs); err != nil {
+					t.Errorf("IngestBatch: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	for g := 0; g < searchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				keys := []string{fmt.Sprintf("hot%d", i%4), fmt.Sprintf("hot%d", (i+1)%4)}
+				op := query.OpOr
+				if i%3 == 0 {
+					op = query.OpAnd
+				}
+				if _, err := eng.Search(query.Request[string]{Keys: keys, Op: op}); err != nil {
+					t.Errorf("Search: %v", err)
+					return
+				}
+				if i%7 == 0 {
+					eng.SetK(3 + i%5)
+				}
+				if i%13 == 0 {
+					if _, err := eng.FlushNow(); err != nil {
+						t.Errorf("FlushNow: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Searchers run until the ingesters finish; a separate goroutine
+	// flips the flag so Wait covers everyone.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	ingested := func() bool {
+		return eng.Metrics().Ingested.Load() >= int64(ingesters*batches*batchLen)
+	}
+	for !ingested() {
+		// Spin-free wait: FlushNow blocks on the flush gate, making this
+		// loop yield to the workers.
+		if _, err := eng.FlushNow(); err != nil {
+			t.Fatalf("FlushNow: %v", err)
+		}
+	}
+	stop.Store(true)
+	<-done
+
+	if err := eng.Err(); err != nil {
+		t.Fatalf("background flush error: %v", err)
+	}
+	if got := eng.Metrics().Ingested.Load(); got != int64(ingesters*batches*batchLen) {
+		t.Fatalf("ingested %d records, want %d", got, ingesters*batches*batchLen)
+	}
+}
+
+func TestConcurrentStressKFlushing(t *testing.T) {
+	stress(t, raceEngine(t, core.New[string](), true, ""))
+}
+
+func TestConcurrentStressKFlushingParallel(t *testing.T) {
+	// Forced multi-worker Phase 1 / victim scanning, so the parallel
+	// paths get race coverage even on single-core CI runners.
+	pol := core.New(core.WithParallelism[string](4))
+	stress(t, raceEngine(t, pol, true, ""))
+}
+
+func TestConcurrentStressFIFO(t *testing.T) {
+	stress(t, raceEngine(t, policy.NewFIFO[string](24<<10), false, ""))
+}
+
+func TestConcurrentStressLRU(t *testing.T) {
+	stress(t, raceEngine(t, policy.NewLRU[string](), false, ""))
+}
+
+func TestConcurrentStressDurable(t *testing.T) {
+	// WAL group commit under concurrent batches.
+	stress(t, raceEngine(t, core.New[string](), true, t.TempDir()))
+}

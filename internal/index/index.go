@@ -255,19 +255,34 @@ func (ix *Index[K]) NotePostingsRemoved(n int) {
 // still be visited.
 func (ix *Index[K]) Range(fn func(*Entry[K]) bool) {
 	for i := range ix.shards {
-		sh := &ix.shards[i]
-		sh.mu.RLock()
-		snapshot := make([]*Entry[K], 0, len(sh.entries))
-		for _, e := range sh.entries {
-			snapshot = append(snapshot, e)
-		}
-		sh.mu.RUnlock()
-		for _, e := range snapshot {
-			if !fn(e) {
-				return
-			}
+		if !ix.RangeShard(i, fn) {
+			return
 		}
 	}
+}
+
+// ShardCount returns the number of hash shards, the natural parallelism
+// unit for flush-time scans.
+func (ix *Index[K]) ShardCount() int { return len(ix.shards) }
+
+// RangeShard calls fn for every entry of shard i (0 <= i < ShardCount)
+// until fn returns false, reporting whether iteration ran to completion.
+// Like Range it snapshots the shard, so fn runs without the shard lock
+// and concurrent scans of distinct shards never contend.
+func (ix *Index[K]) RangeShard(i int, fn func(*Entry[K]) bool) bool {
+	sh := &ix.shards[i]
+	sh.mu.RLock()
+	snapshot := make([]*Entry[K], 0, len(sh.entries))
+	for _, e := range sh.entries {
+		snapshot = append(snapshot, e)
+	}
+	sh.mu.RUnlock()
+	for _, e := range snapshot {
+		if !fn(e) {
+			return false
+		}
+	}
+	return true
 }
 
 // Entries returns the number of live entries.

@@ -74,10 +74,18 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return time.Duration(int64(1) << uint(len(h.buckets)))
 }
 
+// FlushPhases is the number of instrumented flushing phases: kFlushing's
+// regular, aggressive, and forced phases (Sections III-A..C). Phase i of
+// the paper maps to index i-1.
+const FlushPhases = 3
+
 // Registry aggregates one engine's counters. All methods are safe for
 // concurrent use.
 type Registry struct {
 	Ingested atomic.Int64
+	// IngestBatches counts batched ingestion calls (a per-record Ingest
+	// is a batch of one), so batch amortization is observable.
+	IngestBatches atomic.Int64
 
 	Queries atomic.Int64
 	Hits    atomic.Int64
@@ -92,8 +100,27 @@ type Registry struct {
 	FlushedBytes  atomic.Int64
 	FlushedIntoOp atomic.Int64 // cumulative records handed to the sink
 
+	// FlushLatency observes whole flush cycles, every policy.
+	FlushLatency Histogram
+	// PhaseLatency and PhaseFreed break a kFlushing flush down by phase
+	// (index = phase-1), making the shard-parallel Phase 1 speedup and
+	// each phase's contribution observable at /metrics.
+	PhaseLatency [FlushPhases]Histogram
+	PhaseFreed   [FlushPhases]atomic.Int64
+
 	HitLatency  Histogram
 	MissLatency Histogram
+}
+
+// ObservePhase records one kFlushing phase execution: its duration and
+// the budget-relevant bytes it freed. phase is 1-based; out-of-range
+// phases are ignored.
+func (r *Registry) ObservePhase(phase int, d time.Duration, freed int64) {
+	if phase < 1 || phase > FlushPhases {
+		return
+	}
+	r.PhaseLatency[phase-1].Observe(d)
+	r.PhaseFreed[phase-1].Add(freed)
 }
 
 // HitRatio returns the fraction of queries answered entirely from
@@ -139,46 +166,72 @@ func (r *Registry) RecordQuery(op string, hit bool, d time.Duration) {
 	}
 }
 
+// PhaseSnapshot summarizes one flushing phase's activity.
+type PhaseSnapshot struct {
+	Runs       int64
+	FreedBytes int64
+	Mean       time.Duration
+	P99        time.Duration
+}
+
 // Snapshot is a point-in-time copy of the registry for reporting.
 type Snapshot struct {
-	Ingested     int64
-	Queries      int64
-	Hits         int64
-	Misses       int64
-	HitRatio     float64
-	SingleHits   int64
-	SingleMisses int64
-	OrHits       int64
-	OrMisses     int64
-	AndHits      int64
-	AndMisses    int64
-	Flushes      int64
-	FlushedBytes int64
-	MeanHit      time.Duration
-	MeanMiss     time.Duration
-	P99Hit       time.Duration
-	P99Miss      time.Duration
+	Ingested      int64
+	IngestBatches int64
+	Queries       int64
+	Hits          int64
+	Misses        int64
+	HitRatio      float64
+	SingleHits    int64
+	SingleMisses  int64
+	OrHits        int64
+	OrMisses      int64
+	AndHits       int64
+	AndMisses     int64
+	Flushes       int64
+	FlushedBytes  int64
+	MeanFlush     time.Duration
+	P99Flush      time.Duration
+	// Phases breaks flushing down by kFlushing phase (index = phase-1);
+	// all-zero under FIFO and LRU, which have no phases.
+	Phases   [FlushPhases]PhaseSnapshot
+	MeanHit  time.Duration
+	MeanMiss time.Duration
+	P99Hit   time.Duration
+	P99Miss  time.Duration
 }
 
 // Snap returns a snapshot of all counters.
 func (r *Registry) Snap() Snapshot {
-	return Snapshot{
-		Ingested:     r.Ingested.Load(),
-		Queries:      r.Queries.Load(),
-		Hits:         r.Hits.Load(),
-		Misses:       r.Misses.Load(),
-		HitRatio:     r.HitRatio(),
-		SingleHits:   r.SingleHits.Load(),
-		SingleMisses: r.SingleMisses.Load(),
-		OrHits:       r.OrHits.Load(),
-		OrMisses:     r.OrMisses.Load(),
-		AndHits:      r.AndHits.Load(),
-		AndMisses:    r.AndMisses.Load(),
-		Flushes:      r.Flushes.Load(),
-		FlushedBytes: r.FlushedBytes.Load(),
-		MeanHit:      r.HitLatency.Mean(),
-		MeanMiss:     r.MissLatency.Mean(),
-		P99Hit:       r.HitLatency.Quantile(0.99),
-		P99Miss:      r.MissLatency.Quantile(0.99),
+	s := Snapshot{
+		Ingested:      r.Ingested.Load(),
+		IngestBatches: r.IngestBatches.Load(),
+		Queries:       r.Queries.Load(),
+		Hits:          r.Hits.Load(),
+		Misses:        r.Misses.Load(),
+		HitRatio:      r.HitRatio(),
+		SingleHits:    r.SingleHits.Load(),
+		SingleMisses:  r.SingleMisses.Load(),
+		OrHits:        r.OrHits.Load(),
+		OrMisses:      r.OrMisses.Load(),
+		AndHits:       r.AndHits.Load(),
+		AndMisses:     r.AndMisses.Load(),
+		Flushes:       r.Flushes.Load(),
+		FlushedBytes:  r.FlushedBytes.Load(),
+		MeanFlush:     r.FlushLatency.Mean(),
+		P99Flush:      r.FlushLatency.Quantile(0.99),
+		MeanHit:       r.HitLatency.Mean(),
+		MeanMiss:      r.MissLatency.Mean(),
+		P99Hit:        r.HitLatency.Quantile(0.99),
+		P99Miss:       r.MissLatency.Quantile(0.99),
 	}
+	for i := range s.Phases {
+		s.Phases[i] = PhaseSnapshot{
+			Runs:       r.PhaseLatency[i].Count(),
+			FreedBytes: r.PhaseFreed[i].Load(),
+			Mean:       r.PhaseLatency[i].Mean(),
+			P99:        r.PhaseLatency[i].Quantile(0.99),
+		}
+	}
+	return s
 }

@@ -49,17 +49,20 @@ func (f *FIFO[K]) Name() string { return "fifo" }
 // Attach implements Policy.
 func (f *FIFO[K]) Attach(r *Resources[K]) { f.r = r }
 
-// OnIngest appends the record to the current temporal segment.
-func (f *FIFO[K]) OnIngest(rec *store.Record, keys []K) {
+// OnIngest appends the batch to the current temporal segment under one
+// lock acquisition, sealing segments at the byte threshold as it goes.
+func (f *FIFO[K]) OnIngest(recs []*store.Record, keys [][]K) {
 	f.mu.Lock()
-	if f.cur == nil {
-		f.cur = &fifoSegment{}
-		f.segs = append(f.segs, f.cur)
-	}
-	f.cur.recs = append(f.cur.recs, rec)
-	f.cur.bytes += rec.Bytes + int64(len(keys))*16
-	if f.cur.bytes >= f.SegmentBytes {
-		f.cur = nil // seal; next ingest starts a fresh segment
+	for i, rec := range recs {
+		if f.cur == nil {
+			f.cur = &fifoSegment{}
+			f.segs = append(f.segs, f.cur)
+		}
+		f.cur.recs = append(f.cur.recs, rec)
+		f.cur.bytes += rec.Bytes + int64(len(keys[i]))*16
+		if f.cur.bytes >= f.SegmentBytes {
+			f.cur = nil // seal; the next record starts a fresh segment
+		}
 	}
 	f.mu.Unlock()
 }

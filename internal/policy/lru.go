@@ -66,12 +66,15 @@ func (l *LRU[K]) unlink(rec *store.Record) {
 	rec.LRUPrev, rec.LRUNext = nil, nil
 }
 
-// OnIngest pushes the new record to the list head.
-func (l *LRU[K]) OnIngest(rec *store.Record, _ []K) {
+// OnIngest pushes the batch to the list head under one lock acquisition
+// (arrival order is preserved: the newest record ends up at the head).
+func (l *LRU[K]) OnIngest(recs []*store.Record, _ [][]K) {
 	l.mu.Lock()
-	l.pushHead(rec)
+	for _, rec := range recs {
+		l.pushHead(rec)
+	}
 	l.mu.Unlock()
-	l.len.Add(1)
+	l.len.Add(int64(len(recs)))
 }
 
 // OnAccess moves the touched records to the list head — the per-query

@@ -9,10 +9,13 @@
 package policy
 
 import (
+	"sync"
+
 	"kflushing/internal/clock"
 	"kflushing/internal/disk"
 	"kflushing/internal/index"
 	"kflushing/internal/memsize"
+	"kflushing/internal/metrics"
 	"kflushing/internal/store"
 	"kflushing/internal/types"
 )
@@ -37,6 +40,9 @@ type Resources[K comparable] struct {
 	KeysOf func(*types.Microblog) []K
 	// Clock is the engine time source.
 	Clock clock.Clock
+	// Metrics receives per-phase flushing instrumentation; may be nil
+	// (direct policy tests).
+	Metrics *metrics.Registry
 }
 
 // Unref releases one index reference on rec. When the count reaches zero
@@ -62,8 +68,11 @@ type Policy[K comparable] interface {
 	// Attach wires the policy to the engine's resources; called once
 	// before any other method.
 	Attach(r *Resources[K])
-	// OnIngest runs after a record is stored and indexed under keys.
-	OnIngest(rec *store.Record, keys []K)
+	// OnIngest runs after a batch of records has been stored and
+	// indexed; keys[i] are the attribute keys of recs[i]. Ingestion is
+	// batched end to end, so policies take any per-batch lock once —
+	// a per-record ingest arrives as a batch of one.
+	OnIngest(recs []*store.Record, keys [][]K)
 	// OnAccess runs after a query touched the given records from
 	// memory. Only access-ordered policies (LRU) need it.
 	OnAccess(recs []*store.Record)
@@ -82,12 +91,18 @@ type Policy[K comparable] interface {
 // chargeTemp is set its occupancy is charged to the tracker's temporary
 // gauge (FIFO flushes whole segments and needs no such buffer, so it
 // opts out).
+//
+// Add and AddPartial are safe for concurrent use, so a flush phase may
+// fan eviction work out over shard workers sharing one buffer; Close
+// must not race with further additions.
 type VictimBuffer struct {
 	mem        *memsize.Tracker
 	sink       Sink
 	chargeTemp bool
-	recs       []disk.FlushRecord
-	bytes      int64
+
+	mu    sync.Mutex
+	recs  []disk.FlushRecord
+	bytes int64
 }
 
 // NewVictimBuffer returns an empty buffer writing to sink on Close.
@@ -118,30 +133,42 @@ func (b *VictimBuffer) AddPartial(rec *store.Record) {
 }
 
 func (b *VictimBuffer) append(rec *store.Record) {
+	b.mu.Lock()
 	b.recs = append(b.recs, disk.FlushRecord{MB: rec.MB, Score: rec.Score})
 	b.bytes += rec.Bytes
+	b.mu.Unlock()
 	if b.chargeTemp && b.mem != nil {
 		b.mem.AddTemp(rec.Bytes)
 	}
 }
 
 // Len returns the number of buffered records.
-func (b *VictimBuffer) Len() int { return len(b.recs) }
+func (b *VictimBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.recs)
+}
 
 // Bytes returns the modeled size of buffered records.
-func (b *VictimBuffer) Bytes() int64 { return b.bytes }
+func (b *VictimBuffer) Bytes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bytes
+}
 
 // Close writes the buffered records to the sink and releases the
 // temporary-buffer charge.
 func (b *VictimBuffer) Close() error {
+	b.mu.Lock()
+	recs, bytes := b.recs, b.bytes
+	b.recs, b.bytes = nil, 0
+	b.mu.Unlock()
 	var err error
-	if len(b.recs) > 0 && b.sink != nil {
-		err = b.sink.Flush(b.recs)
+	if len(recs) > 0 && b.sink != nil {
+		err = b.sink.Flush(recs)
 	}
 	if b.chargeTemp && b.mem != nil {
-		b.mem.AddTemp(-b.bytes)
+		b.mem.AddTemp(-bytes)
 	}
-	b.recs = nil
-	b.bytes = 0
 	return err
 }

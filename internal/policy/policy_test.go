@@ -68,7 +68,7 @@ func (r *rig) add(kws ...string) *store.Record {
 	for _, kw := range attr.KeywordKeys(mb) {
 		r.ix.Insert(kw, rec)
 	}
-	r.pol.OnIngest(rec, attr.KeywordKeys(mb))
+	r.pol.OnIngest([]*store.Record{rec}, [][]string{attr.KeywordKeys(mb)})
 	return rec
 }
 

@@ -93,26 +93,29 @@ func (s *Store) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	// Decode the whole request before ingesting anything, so one POST —
+	// whether a single object or a stream — becomes one batch per
+	// attribute system (one WAL group commit each when durability is on).
 	dec := json.NewDecoder(r.Body)
-	var results []IngestResult
+	var mbs []*kflushing.Microblog
 	for {
 		var req ingestReq
 		if err := dec.Decode(&req); err != nil {
-			if len(results) == 0 {
+			if len(mbs) == 0 {
 				http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
 				return
 			}
 			break
 		}
-		res, err := s.Ingest(req.toMicroblog())
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-			return
-		}
-		results = append(results, res)
+		mbs = append(mbs, req.toMicroblog())
 		if !dec.More() {
 			break
 		}
+	}
+	results, err := s.IngestBatch(mbs)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
 	}
 	writeJSON(w, map[string]any{"ingested": results})
 }
@@ -257,8 +260,32 @@ func (s *Store) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(st kflushing.Stats) float64 { return float64(st.Metrics.Hits) })
 	emit("flushes_total", "flush cycles executed",
 		func(st kflushing.Stats) float64 { return float64(st.Metrics.Flushes) })
+	emit("ingest_batches_total", "batched ingestion calls (per-record ingest is a batch of one)",
+		func(st kflushing.Stats) float64 { return float64(st.Metrics.IngestBatches) })
+	emit("flush_seconds_mean", "mean flush-cycle duration",
+		func(st kflushing.Stats) float64 { return st.Metrics.MeanFlush.Seconds() })
+	emit("flush_seconds_p99", "p99 flush-cycle duration",
+		func(st kflushing.Stats) float64 { return st.Metrics.P99Flush.Seconds() })
 	emit("disk_segments", "live disk segments",
 		func(st kflushing.Stats) float64 { return float64(st.Disk.Segments) })
+
+	// Per-phase breakdown of kFlushing flushes (all-zero for FIFO/LRU).
+	emitPhase := func(name, help string, value func(kflushing.Stats, int) float64) {
+		fmt.Fprintf(w, "# HELP kflushing_%s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE kflushing_%s gauge\n", name)
+		for _, a := range attrs {
+			for p := 0; p < len(stats[a].Metrics.Phases); p++ {
+				fmt.Fprintf(w, "kflushing_%s{attr=%q,policy=%q,phase=\"%d\"} %g\n",
+					name, a, stats[a].Policy, p+1, value(stats[a], p))
+			}
+		}
+	}
+	emitPhase("flush_phase_runs_total", "executions of each kFlushing phase",
+		func(st kflushing.Stats, p int) float64 { return float64(st.Metrics.Phases[p].Runs) })
+	emitPhase("flush_phase_freed_bytes_total", "budget-relevant bytes freed by each kFlushing phase",
+		func(st kflushing.Stats, p int) float64 { return float64(st.Metrics.Phases[p].FreedBytes) })
+	emitPhase("flush_phase_seconds_mean", "mean duration of each kFlushing phase",
+		func(st kflushing.Stats, p int) float64 { return st.Metrics.Phases[p].Mean.Seconds() })
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -97,6 +97,66 @@ func (s *Store) Ingest(mb *kflushing.Microblog) (IngestResult, error) {
 	return res, nil
 }
 
+// IngestBatch digests a batch of microblogs, grouping the records by the
+// attributes that can index them and handing each attribute system one
+// batch — so the per-attribute work (and the write-ahead log commit,
+// when durability is on) is amortized across the whole request instead
+// of paid per record. Results are aligned with mbs. A record no
+// attribute can index rejects the whole batch with ErrNotIndexed before
+// anything is ingested (the batch is classified up front, so unlike the
+// single-record path the rejection is all-or-nothing).
+func (s *Store) IngestBatch(mbs []*kflushing.Microblog) ([]IngestResult, error) {
+	results := make([]IngestResult, len(mbs))
+	var kwBatch, spBatch, usBatch []*kflushing.Microblog
+	var kwIdx, spIdx, usIdx []int
+	for i, mb := range mbs {
+		if len(mb.Keywords) == 0 && mb.Text != "" {
+			mb.Keywords = textutil.Keywords(mb.Text, 5)
+		}
+		indexed := false
+		if len(mb.Keywords) > 0 {
+			kwBatch = append(kwBatch, mb.Clone())
+			kwIdx = append(kwIdx, i)
+			indexed = true
+		}
+		if mb.HasGeo {
+			spBatch = append(spBatch, mb.Clone())
+			spIdx = append(spIdx, i)
+			indexed = true
+		}
+		if mb.UserID != 0 {
+			usBatch = append(usBatch, mb.Clone())
+			usIdx = append(usIdx, i)
+			indexed = true
+		}
+		if !indexed {
+			return nil, ErrNotIndexed
+		}
+	}
+	if ids, err := s.kw.IngestBatch(kwBatch); err != nil {
+		return nil, err
+	} else {
+		for j, id := range ids {
+			results[kwIdx[j]].KeywordID = id
+		}
+	}
+	if ids, err := s.sp.IngestBatch(spBatch); err != nil {
+		return nil, err
+	} else {
+		for j, id := range ids {
+			results[spIdx[j]].SpatialID = id
+		}
+	}
+	if ids, err := s.us.IngestBatch(usBatch); err != nil {
+		return nil, err
+	} else {
+		for j, id := range ids {
+			results[usIdx[j]].UserID = id
+		}
+	}
+	return results, nil
+}
+
 // SearchKeywords runs a top-k keyword query (single/AND/OR).
 func (s *Store) SearchKeywords(keywords []string, op kflushing.Op, k int) (kflushing.Result, error) {
 	return s.kw.Search(keywords, op, k)

@@ -30,6 +30,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"kflushing/internal/disk"
 )
@@ -56,8 +57,9 @@ type Options struct {
 	SyncEvery int
 }
 
-// Log is an append-only write-ahead log. Append is safe for concurrent
-// use; Replay/Snapshot/Reset must not run concurrently with appends.
+// Log is an append-only write-ahead log. Append and AppendBatch are safe
+// for concurrent use; Replay/Snapshot/Reset must not run concurrently
+// with appends.
 type Log struct {
 	dir string
 	opt Options
@@ -68,7 +70,7 @@ type Log struct {
 	bytes     int64
 	sinceSync int
 
-	appended int64
+	appended atomic.Int64
 }
 
 // Open creates or reopens a log directory.
@@ -134,27 +136,41 @@ func (l *Log) rotateLocked() error {
 	return nil
 }
 
-// Append durably records one ingested microblog.
+// Append durably records one ingested microblog: a group commit of one.
 func (l *Log) Append(fr disk.FlushRecord) error {
-	payload := disk.EncodeRecord(nil, fr)
-	var frame [8]byte
-	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	return l.AppendBatch([]disk.FlushRecord{fr})
+}
+
+// AppendBatch group-commits a batch of ingested microblogs: every frame
+// is encoded outside the lock into one contiguous buffer, then the whole
+// batch is written under a single lock acquisition with a single Write
+// call — one syscall instead of two per record, which is what lets
+// batched ingestion keep up with high-rate streams.
+func (l *Log) AppendBatch(frs []disk.FlushRecord) error {
+	if len(frs) == 0 {
+		return nil
+	}
+	buf := make([]byte, 0, 96*len(frs))
+	for _, fr := range frs {
+		start := len(buf)
+		buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+		buf = disk.EncodeRecord(buf, fr)
+		payload := buf[start+8:]
+		binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
+	}
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return errors.New("wal: closed")
 	}
-	if _, err := l.f.Write(frame[:]); err != nil {
+	if _, err := l.f.Write(buf); err != nil {
 		return err
 	}
-	if _, err := l.f.Write(payload); err != nil {
-		return err
-	}
-	l.bytes += int64(len(frame) + len(payload))
-	l.appended++
-	l.sinceSync++
+	l.bytes += int64(len(buf))
+	l.appended.Add(int64(len(frs)))
+	l.sinceSync += len(frs)
 	if l.opt.SyncEvery > 0 && l.sinceSync >= l.opt.SyncEvery {
 		if err := l.f.Sync(); err != nil {
 			return err
@@ -168,7 +184,7 @@ func (l *Log) Append(fr disk.FlushRecord) error {
 }
 
 // Appended returns the number of records appended by this process.
-func (l *Log) Appended() int64 { return l.appended }
+func (l *Log) Appended() int64 { return l.appended.Load() }
 
 // Sync forces the active file to stable storage.
 func (l *Log) Sync() error {

@@ -247,6 +247,14 @@ func Open(dir string, opt Options) (*System, error) {
 // keywords are rejected.
 func (s *System) Ingest(mb *Microblog) (ID, error) { return s.eng.Ingest(mb) }
 
+// IngestBatch digests a batch of microblogs in arrival order, taking
+// ownership of every record. The write-ahead log (when durability is
+// on) receives the whole batch as one group commit, so batching is the
+// high-throughput ingestion path. Records without keywords are skipped
+// and reported by a zero ID in the returned slice, which is aligned
+// with mbs.
+func (s *System) IngestBatch(mbs []*Microblog) ([]ID, error) { return s.eng.IngestBatch(mbs) }
+
 // Search runs a top-k keyword query. k <= 0 selects the system default.
 func (s *System) Search(keywords []string, op Op, k int) (Result, error) {
 	return s.eng.Search(query.Request[string]{Keys: keywords, Op: op, K: k})

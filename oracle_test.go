@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"kflushing"
+	"kflushing/internal/index"
 )
 
 // oracle is a brute-force reference implementation: it keeps every
@@ -123,6 +124,11 @@ func TestEngineMatchesOracle(t *testing.T) {
 				if i%37 == 0 {
 					checkQuery(t, sys, orc, rng, kw, vocabSize, pol, minSysK)
 				}
+				// Force a flush periodically and verify the structural
+				// invariants every flush must preserve.
+				if i%911 == 0 {
+					checkFlushInvariants(t, sys)
+				}
 				// Change k mid-stream (Section IV-C): flushing adapts
 				// on later cycles; answers must stay exact throughout.
 				if i%700 == 0 {
@@ -136,9 +142,164 @@ func TestEngineMatchesOracle(t *testing.T) {
 			if sys.Stats().Disk.Segments == 0 {
 				t.Fatal("budget too large: nothing flushed, oracle test vacuous")
 			}
+			checkFlushInvariants(t, sys)
 			// A final sweep of every query shape over several keys.
 			for q := 0; q < 300; q++ {
 				checkQuery(t, sys, orc, rng, kw, vocabSize, pol, minSysK)
+			}
+		})
+	}
+}
+
+// checkFlushInvariants forces one flush cycle and verifies the
+// structural invariants every policy's flush must preserve:
+//
+//   - the reported freed bytes are sane: non-negative and no more than
+//     the memory in use before the flush;
+//   - no index posting references a dead record — every posting's
+//     record has a positive posting count and is still present in the
+//     raw data store (a record leaves memory only when its last posting
+//     does).
+func checkFlushInvariants(t *testing.T, sys *kflushing.System) {
+	t.Helper()
+	eng := sys.Engine()
+	usedBefore := eng.Mem().Used()
+	freed, err := sys.FlushNow()
+	if err != nil {
+		t.Fatalf("FlushNow: %v", err)
+	}
+	if freed < 0 {
+		t.Fatalf("flush freed %d bytes (negative)", freed)
+	}
+	if freed > usedBefore {
+		t.Fatalf("flush freed %d bytes, more than the %d in use", freed, usedBefore)
+	}
+	eng.Index().Range(func(e *index.Entry[string]) bool {
+		for _, rec := range e.All() {
+			if rec.PCount() <= 0 {
+				t.Fatalf("entry %q holds a posting for record %d with pcount %d",
+					e.Key(), rec.MB.ID, rec.PCount())
+			}
+			if eng.Store().Get(rec.MB.ID) == nil {
+				t.Fatalf("entry %q holds a posting for record %d missing from the store",
+					e.Key(), rec.MB.ID)
+			}
+		}
+		return true
+	})
+}
+
+// TestBatchedIngestEquivalence runs the same stream through a per-record
+// system and a batched system (chunks of 17 — deliberately not aligned
+// with anything) and requires identical top-k answers. For the exact
+// policies (FIFO and base kFlushing) answers equal memory ∪ disk no
+// matter when flushes run, so batching — which shifts flush timing to
+// batch boundaries — must be invisible to queries.
+func TestBatchedIngestEquivalence(t *testing.T) {
+	for _, pol := range []kflushing.PolicyKind{
+		kflushing.PolicyKFlushing, kflushing.PolicyFIFO,
+	} {
+		t.Run(string(pol), func(t *testing.T) {
+			opt := kflushing.Options{
+				Policy:       pol,
+				K:            4,
+				MemoryBudget: 48 << 10,
+				SyncFlush:    true,
+			}
+			single, err := kflushing.Open(t.TempDir(), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer single.Close()
+			batched, err := kflushing.Open(t.TempDir(), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer batched.Close()
+
+			rng := rand.New(rand.NewSource(7))
+			const vocabSize = 25
+			kw := func(i int) string { return fmt.Sprintf("w%d", i) }
+			mkRecord := func(i int) *kflushing.Microblog {
+				nk := rng.Intn(3) + 1
+				seen := map[string]bool{}
+				var kws []string
+				for len(kws) < nk {
+					w := kw(rng.Intn(vocabSize))
+					if !seen[w] {
+						seen[w] = true
+						kws = append(kws, w)
+					}
+				}
+				return &kflushing.Microblog{
+					Timestamp: kflushing.Timestamp(i),
+					Keywords:  kws,
+					Text:      "t",
+				}
+			}
+
+			const n, chunk = 2000, 17
+			var batch []*kflushing.Microblog
+			for i := 1; i <= n; i++ {
+				mb := mkRecord(i)
+				if _, err := single.Ingest(mb.Clone()); err != nil {
+					t.Fatal(err)
+				}
+				batch = append(batch, mb)
+				if len(batch) == chunk || i == n {
+					ids, err := batched.IngestBatch(batch)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, id := range ids {
+						if id == 0 {
+							t.Fatal("batched ingest skipped a keyword-bearing record")
+						}
+					}
+					batch = batch[:0]
+				}
+			}
+			if got, want := batched.Stats().Metrics.Ingested, single.Stats().Metrics.Ingested; got != want {
+				t.Fatalf("batched system ingested %d records, single ingested %d", got, want)
+			}
+			if batched.Stats().Disk.Segments == 0 {
+				t.Fatal("budget too large: nothing flushed, equivalence vacuous")
+			}
+
+			for q := 0; q < 400; q++ {
+				op := kflushing.Op(rng.Intn(3))
+				nKeys := 1
+				if op != kflushing.OpSingle {
+					nKeys = rng.Intn(2) + 2
+				}
+				seen := map[string]bool{}
+				var keys []string
+				for len(keys) < nKeys {
+					w := kw(rng.Intn(vocabSize))
+					if !seen[w] {
+						seen[w] = true
+						keys = append(keys, w)
+					}
+				}
+				k := rng.Intn(6) + 1
+				a, err := single.Search(keys, op, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := batched.Search(keys, op, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(a.Items) != len(b.Items) {
+					t.Fatalf("query %v %v k=%d: single %d items, batched %d",
+						keys, op, k, len(a.Items), len(b.Items))
+				}
+				for i := range a.Items {
+					if a.Items[i].MB.ID != b.Items[i].MB.ID {
+						t.Fatalf("query %v %v k=%d rank %d: single id %d, batched id %d",
+							keys, op, k, i, a.Items[i].MB.ID, b.Items[i].MB.ID)
+					}
+				}
 			}
 		})
 	}

@@ -61,6 +61,10 @@ func (s *SpatialSystem) Grid() *spatial.Grid { return s.grid }
 // Records without a location are rejected.
 func (s *SpatialSystem) Ingest(mb *Microblog) (ID, error) { return s.eng.Ingest(mb) }
 
+// IngestBatch digests a batch of geotagged microblogs in arrival order;
+// records without a location are skipped (zero ID in the result).
+func (s *SpatialSystem) IngestBatch(mbs []*Microblog) ([]ID, error) { return s.eng.IngestBatch(mbs) }
+
 // SearchAt runs a top-k query for the tile containing (lat, lon).
 func (s *SpatialSystem) SearchAt(lat, lon float64, k int) (Result, error) {
 	return s.SearchCells([]Cell{s.grid.CellOf(lat, lon)}, OpSingle, k)
@@ -141,6 +145,10 @@ func OpenUser(dir string, opt Options) (*UserSystem, error) {
 
 // Ingest digests one microblog, taking ownership of mb.
 func (s *UserSystem) Ingest(mb *Microblog) (ID, error) { return s.eng.Ingest(mb) }
+
+// IngestBatch digests a batch of microblogs in arrival order; records
+// without a posting user are skipped (zero ID in the result).
+func (s *UserSystem) IngestBatch(mbs []*Microblog) ([]ID, error) { return s.eng.IngestBatch(mbs) }
 
 // SearchUser returns the top-k timeline of one user.
 func (s *UserSystem) SearchUser(userID uint64, k int) (Result, error) {

@@ -2,10 +2,13 @@
 // data directories. It operates directly on segment and write-ahead-log
 // files without starting a system.
 //
-//	kflushctl segments <dir>       list segments (records, keys, size)
+//	kflushctl segments <dir>       list segments (version, records, bloom, size)
 //	kflushctl dump <segment-file>  print a segment's records as JSON lines
 //	kflushctl verify <dir>         read every record; fail on corruption
 //	kflushctl compact <dir> [n]    merge the n oldest segments (default all)
+//	kflushctl probe <dir> <key> [k]  run one disk search and report the
+//	                               miss fast-path counters (Bloom skips,
+//	                               directory probes, cache hits)
 //	kflushctl wal <wal-dir>        summarize a write-ahead log
 package main
 
@@ -18,6 +21,7 @@ import (
 	"os"
 	"strconv"
 
+	"kflushing"
 	"kflushing/internal/disk"
 	"kflushing/internal/wal"
 )
@@ -50,6 +54,18 @@ func main() {
 		if err == nil {
 			err = cmdSegments(args[1])
 		}
+	case "probe":
+		if len(args) < 3 {
+			usage()
+			os.Exit(2)
+		}
+		k := 20
+		if len(args) > 3 {
+			if k, err = strconv.Atoi(args[3]); err != nil || k < 1 {
+				log.Fatalf("bad k %q", args[3])
+			}
+		}
+		err = cmdProbe(args[1], args[2], k)
 	case "wal":
 		err = cmdWAL(args[1])
 	default:
@@ -66,15 +82,50 @@ func cmdSegments(dir string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-20s %10s %10s %10s %12s\n", "segment", "records", "keys", "postings", "bytes")
+	fmt.Printf("%-20s %4s %10s %10s %10s %12s %8s\n",
+		"segment", "ver", "records", "keys", "postings", "bytes", "bloomB")
 	var recs, bytes int64
 	for _, info := range infos {
-		fmt.Printf("%-20s %10d %10d %10d %12d\n",
-			info.Path, info.Records, info.Keys, info.Postings, info.Bytes)
+		fmt.Printf("%-20s %4d %10d %10d %10d %12d %8d\n",
+			info.Path, info.Version, info.Records, info.Keys, info.Postings,
+			info.Bytes, info.BloomBytes)
 		recs += int64(info.Records)
 		bytes += info.Bytes
 	}
 	fmt.Printf("%d segments, %d records, %d bytes\n", len(infos), recs, bytes)
+	return nil
+}
+
+// cmdProbe opens the directory as an attribute-agnostic tier, runs one
+// top-k search for the (already encoded) key, and prints the miss
+// fast-path counters the search generated: Bloom probes and skipped
+// directory lookups, directory probes performed, record preads, and
+// read-cache activity. A second identical search is issued to show the
+// cache taking over.
+func cmdProbe(dir, key string, k int) error {
+	tier, err := disk.Open(disk.Config[string]{
+		Dir:    dir,
+		KeysOf: func(*kflushing.Microblog) []string { return nil },
+		Encode: func(s string) string { return s },
+	})
+	if err != nil {
+		return err
+	}
+	defer tier.Close()
+	for pass := 1; pass <= 2; pass++ {
+		items, err := tier.Search([]string{key}, kflushing.OpSingle, k)
+		if err != nil {
+			return err
+		}
+		st := tier.Stats()
+		fmt.Printf("pass %d: %d of top-%d found across %d segments\n",
+			pass, len(items), k, st.Segments)
+		fmt.Printf("  bloom: %d probes, %d directory probes skipped\n",
+			st.BloomProbes, st.BloomSkips)
+		fmt.Printf("  dir:   %d probes performed\n", st.DirProbes)
+		fmt.Printf("  reads: %d preads, cache %d hits / %d misses / %d evictions (%d bytes resident)\n",
+			st.RecordReads, st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheBytes)
+	}
 	return nil
 }
 
@@ -137,6 +188,7 @@ usage:
   kflushctl dump <segment-file>
   kflushctl verify <dir>
   kflushctl compact <dir> [n]
+  kflushctl probe <dir> <key> [k]
   kflushctl wal <wal-dir>
 `)
 }

@@ -2,6 +2,7 @@ package disk
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"kflushing/internal/query"
@@ -80,6 +81,56 @@ func BenchmarkSearchCold(b *testing.B) {
 		if _, err := tier.Search([]string{"k13"}, query.OpSingle, 20); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSearchAbsent measures a key present in no segment: the Bloom
+// filters should rule every segment out without a directory probe or a
+// pread.
+func BenchmarkSearchAbsent(b *testing.B) {
+	tier := benchTier(b, 16, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items, err := tier.Search([]string{"nowhere"}, query.OpSingle, 20)
+		if err != nil || len(items) != 0 {
+			b.Fatalf("items=%d err=%v", len(items), err)
+		}
+	}
+}
+
+// BenchmarkSearchRepeatedHotKey measures the same sparse-key query over
+// and over: after the first pass the record cache serves every read.
+func BenchmarkSearchRepeatedHotKey(b *testing.B) {
+	tier := benchTier(b, 16, 500)
+	if _, err := tier.Search([]string{"k13"}, query.OpSingle, 20); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tier.Search([]string{"k13"}, query.OpSingle, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchConcurrentDuplicateMiss issues the identical query from
+// 8 goroutines at once, the pattern the record cache (and, one layer up,
+// the engine's singleflight) is built for.
+func BenchmarkSearchConcurrentDuplicateMiss(b *testing.B) {
+	tier := benchTier(b, 16, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := tier.Search([]string{"k13"}, query.OpSingle, 20); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
 	}
 }
 

@@ -1,0 +1,122 @@
+package disk
+
+import "encoding/binary"
+
+// A bloomFilter answers "might this segment contain the key?" without
+// touching the per-key directory. One filter is built per segment over
+// its directory keys at write time (segment format v2) and kept in
+// memory, so a memory-miss search can skip every segment that provably
+// lacks all requested keys — the standard LSM-tree SSTable trick. A
+// false positive only costs the directory probe the filter would have
+// saved; a false negative is impossible.
+//
+// Serialized layout (little-endian), stored in the segment's Bloom
+// block:
+//
+//	u8 hashes | u8 reserved | u32 nbits | ceil(nbits/8) filter bytes
+type bloomFilter struct {
+	hashes uint8
+	nbits  uint32
+	bits   []byte
+}
+
+const (
+	// bloomBitsPerKey sizes the filter: 10 bits/key yields a ~1% false
+	// positive rate with 7 hash functions (k = bitsPerKey·ln2).
+	bloomBitsPerKey = 10
+	bloomHashes     = 7
+	bloomHeaderSize = 1 + 1 + 4
+)
+
+// newBloomFilter builds a filter sized for the given keys.
+func newBloomFilter(keys []string) *bloomFilter {
+	nbits := uint32(len(keys) * bloomBitsPerKey)
+	if nbits < 64 {
+		nbits = 64
+	}
+	b := &bloomFilter{
+		hashes: bloomHashes,
+		nbits:  nbits,
+		bits:   make([]byte, (nbits+7)/8),
+	}
+	for _, key := range keys {
+		b.add(key)
+	}
+	return b
+}
+
+// bloomHash is 64-bit FNV-1a; the two halves seed double hashing.
+func bloomHash(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+func (b *bloomFilter) add(key string) {
+	h := bloomHash(key)
+	delta := h>>33 | h<<31 // rotate: the second independent hash
+	for i := uint8(0); i < b.hashes; i++ {
+		bit := h % uint64(b.nbits)
+		b.bits[bit/8] |= 1 << (bit % 8)
+		h += delta
+	}
+}
+
+// mayContain reports whether key was possibly added. False positives
+// occur at the configured rate; false negatives never.
+func (b *bloomFilter) mayContain(key string) bool {
+	h := bloomHash(key)
+	delta := h>>33 | h<<31
+	for i := uint8(0); i < b.hashes; i++ {
+		bit := h % uint64(b.nbits)
+		if b.bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+		h += delta
+	}
+	return true
+}
+
+// encodedSize returns the serialized byte length.
+func (b *bloomFilter) encodedSize() int { return bloomHeaderSize + len(b.bits) }
+
+// encode appends the serialized filter to buf.
+func (b *bloomFilter) encode(buf []byte) []byte {
+	buf = append(buf, b.hashes, 0)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], b.nbits)
+	buf = append(buf, tmp[:]...)
+	return append(buf, b.bits...)
+}
+
+// decodeBloom parses one serialized filter from the front of b,
+// returning it and the number of bytes consumed. It rejects malformed
+// input instead of panicking, so segment recovery can surface
+// corruption as an error.
+func decodeBloom(b []byte) (*bloomFilter, int, error) {
+	if len(b) < bloomHeaderSize {
+		return nil, 0, ErrCorrupt
+	}
+	hashes := b[0]
+	nbits := binary.LittleEndian.Uint32(b[2:])
+	if hashes == 0 || hashes > 32 || nbits == 0 || nbits > 1<<31 {
+		return nil, 0, ErrCorrupt
+	}
+	nbytes := int((nbits + 7) / 8)
+	if len(b) < bloomHeaderSize+nbytes {
+		return nil, 0, ErrCorrupt
+	}
+	f := &bloomFilter{
+		hashes: hashes,
+		nbits:  nbits,
+		bits:   append([]byte(nil), b[bloomHeaderSize:bloomHeaderSize+nbytes]...),
+	}
+	return f, bloomHeaderSize + nbytes, nil
+}

@@ -1,0 +1,84 @@
+package disk
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestBloomRoundTrip(t *testing.T) {
+	keys := make([]string, 500)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	b := newBloomFilter(keys)
+	for _, key := range keys {
+		if !b.mayContain(key) {
+			t.Fatalf("false negative for inserted key %q", key)
+		}
+	}
+
+	enc := b.encode(nil)
+	if len(enc) != b.encodedSize() {
+		t.Fatalf("encoded %d bytes, encodedSize says %d", len(enc), b.encodedSize())
+	}
+	dec, n, err := decodeBloom(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(enc) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(enc))
+	}
+	if dec.hashes != b.hashes || dec.nbits != b.nbits {
+		t.Fatalf("decoded params (%d,%d), want (%d,%d)", dec.hashes, dec.nbits, b.hashes, b.nbits)
+	}
+	for _, key := range keys {
+		if !dec.mayContain(key) {
+			t.Fatalf("decoded filter lost key %q", key)
+		}
+	}
+	// Decoding must copy the bit array, not alias the input.
+	for i := range enc {
+		enc[i] = 0
+	}
+	for _, key := range keys {
+		if !dec.mayContain(key) {
+			t.Fatal("decoded filter aliases its input buffer")
+		}
+	}
+}
+
+// TestBloomFalsePositiveRate checks the sized filter stays near its
+// design point (~1% at 10 bits/key); 3% leaves deterministic headroom.
+func TestBloomFalsePositiveRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]string, 1000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("present-%d-%d", i, rng.Int63())
+	}
+	b := newBloomFilter(keys)
+
+	const probes = 20000
+	fp := 0
+	for i := 0; i < probes; i++ {
+		if b.mayContain(fmt.Sprintf("absent-%d-%d", i, rng.Int63())) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.03 {
+		t.Fatalf("false positive rate %.4f exceeds 0.03", rate)
+	}
+}
+
+func TestBloomEmptyAndTruncated(t *testing.T) {
+	b := newBloomFilter(nil)
+	if b.mayContain("anything") {
+		t.Fatal("empty filter claims to contain a key")
+	}
+	enc := b.encode(nil)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := decodeBloom(enc[:cut]); err == nil {
+			t.Fatalf("truncated filter (%d of %d bytes) decoded without error", cut, len(enc))
+		}
+	}
+}

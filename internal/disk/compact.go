@@ -156,10 +156,12 @@ func mergeSegments(inputs []*segment) (*segment, error) {
 	}
 
 	// The merged file inherits the newest input's name so recovery
-	// ordering holds; write to a temp path first for atomicity.
+	// ordering holds; write to a temp path first for atomicity. The
+	// output is always current-version: compaction upgrades pre-Bloom
+	// inputs to Bloom-bearing segments.
 	final := inputs[len(inputs)-1].path
 	tmp := final + ".compact"
-	merged, err := writeSegment(tmp, ranked, dir)
+	merged, _, err := writeSegment(tmp, ranked, dir, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -29,6 +29,38 @@ func FuzzDecodeRecord(f *testing.F) {
 	})
 }
 
+// FuzzBloomDecode throws arbitrary bytes at the Bloom-block decoder: it
+// must never panic or over-read, and anything it accepts must re-encode
+// to a filter with the same answers.
+func FuzzBloomDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(newBloomFilter([]string{"a", "b", "c"}).encode(nil))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, n, err := decodeBloom(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("decoder consumed %d of %d bytes", n, len(data))
+		}
+		if b == nil {
+			t.Fatal("nil filter without error")
+		}
+		// A decoded filter must survive its own encode→decode cycle with
+		// identical membership behaviour.
+		re, _, err := decodeBloom(b.encode(nil))
+		if err != nil {
+			t.Fatalf("re-decode of accepted filter failed: %v", err)
+		}
+		for _, probe := range []string{"", "a", "probe-key", string(data)} {
+			if b.mayContain(probe) != re.mayContain(probe) {
+				t.Fatalf("membership changed across re-encode for %q", probe)
+			}
+		}
+	})
+}
+
 // FuzzRecordRoundTrip checks encode→decode identity over fuzzed fields.
 func FuzzRecordRoundTrip(f *testing.F) {
 	f.Add(uint64(1), int64(2), uint64(3), uint32(4), 1.5, -2.5, true, "kw", "text")

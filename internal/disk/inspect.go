@@ -11,6 +11,8 @@ import (
 type SegmentInfo struct {
 	// Path is the file name (not the full path).
 	Path string
+	// Version is the segment format version (1 = pre-Bloom, 2 = Bloom).
+	Version int
 	// Records is the number of stored records.
 	Records int
 	// Keys is the number of distinct directory keys.
@@ -21,6 +23,8 @@ type SegmentInfo struct {
 	MaxScore float64
 	// Bytes is the file size.
 	Bytes int64
+	// BloomBytes is the serialized Bloom filter size; 0 for v1.
+	BloomBytes int
 }
 
 // Inspect summarizes every segment under dir without constructing a
@@ -47,13 +51,19 @@ func Inspect(dir string) ([]SegmentInfo, error) {
 		if err == nil {
 			size = st.Size()
 		}
+		bloomBytes := 0
+		if s.bloom != nil {
+			bloomBytes = s.bloom.encodedSize()
+		}
 		infos = append(infos, SegmentInfo{
-			Path:     filepath.Base(p),
-			Records:  int(s.count),
-			Keys:     len(s.dir),
-			Postings: postings,
-			MaxScore: s.maxScore,
-			Bytes:    size,
+			Path:       filepath.Base(p),
+			Version:    int(s.version),
+			Records:    int(s.count),
+			Keys:       len(s.dir),
+			Postings:   postings,
+			MaxScore:   s.maxScore,
+			Bytes:      size,
+			BloomBytes: bloomBytes,
 		})
 		s.release()
 	}

@@ -19,16 +19,32 @@ import (
 //	offsets: count × u64 file offset of each record (ordinal order)
 //	dir    : u32 nkeys, then per key:
 //	         u16 keyLen | key bytes | u32 n | n × u32 record ordinals
-//	footer : u64 offsetsPos | u64 dirPos | f64 maxScore | magic "KFND"
+//	bloom  : (v2 only) serialized key Bloom filter, see bloom.go
+//	footer : v1: u64 offsetsPos | u64 dirPos | f64 maxScore | "KFND"
+//	         v2: u64 offsetsPos | u64 dirPos | u64 bloomPos
+//	             | f64 maxScore | "KFND"
 //
 // Records are written in descending score order, so every per-key
 // ordinal list is already ranked and a reader can stop after k hits.
+//
+// Version 2 adds the Bloom block: a filter over the directory keys that
+// lets a search skip segments provably lacking every requested key.
+// The format is backward compatible — the header version selects the
+// footer layout, so v1 files written before the Bloom block still open
+// and simply fall back to directory lookup (segment.bloom == nil).
 const (
-	segMagic    = "KFSG"
-	segEndMagic = "KFND"
-	segVersion  = 1
-	footerSize  = 8 + 8 + 8 + 4
+	segMagic     = "KFSG"
+	segEndMagic  = "KFND"
+	segVersionV1 = 1
+	segVersion   = 2 // current write version
+	footerSizeV1 = 8 + 8 + 8 + 4
+	footerSizeV2 = 8 + 8 + 8 + 8 + 4
 )
+
+// nextSegmentID hands out process-unique segment identities, the record
+// cache's key namespace. IDs are never reused, so entries of a segment
+// retired by compaction can never alias a live one.
+var nextSegmentID atomic.Uint64
 
 // ErrCorrupt reports a malformed or truncated segment file.
 var ErrCorrupt = errors.New("disk: corrupt segment")
@@ -46,11 +62,14 @@ type FlushRecord struct {
 // member, so compaction can retire a segment (unlink is safe while the
 // file is open) without yanking it from under concurrent readers.
 type segment struct {
+	id       uint64 // process-unique cache identity
+	version  uint16
 	path     string
 	f        *os.File
 	count    uint32
 	offsets  []uint64
 	dir      map[string][]uint32
+	bloom    *bloomFilter // nil for v1 segments
 	maxScore float64
 	end      uint64 // file offset just past the last record
 
@@ -169,12 +188,24 @@ func decodeRecord(b []byte) (FlushRecord, int, error) {
 }
 
 // writeSegment serializes recs (already sorted best score first) with
-// their directory to path and returns the opened segment.
-func writeSegment(path string, recs []FlushRecord, dir map[string][]uint32) (*segment, error) {
-	buf := make([]byte, 0, 64*len(recs)+64)
+// their directory to path at the current format version and returns the
+// opened segment. scratch, when non-nil, is reused as the encode buffer;
+// the (possibly grown) buffer is returned for the caller to keep.
+func writeSegment(path string, recs []FlushRecord, dir map[string][]uint32, scratch []byte) (*segment, []byte, error) {
+	return writeSegmentVersioned(path, recs, dir, segVersion, scratch)
+}
+
+// writeSegmentVersioned writes a segment at an explicit format version.
+// Version 1 (no Bloom block) is retained so compatibility tests can
+// fabricate genuine pre-Bloom files.
+func writeSegmentVersioned(path string, recs []FlushRecord, dir map[string][]uint32, version uint16, scratch []byte) (*segment, []byte, error) {
+	buf := scratch[:0]
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 64*len(recs)+64)
+	}
 	buf = append(buf, segMagic...)
 	var tmp [8]byte
-	binary.LittleEndian.PutUint16(tmp[:2], segVersion)
+	binary.LittleEndian.PutUint16(tmp[:2], version)
 	buf = append(buf, tmp[:2]...)
 	buf = append(buf, 0, 0)
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(recs)))
@@ -212,27 +243,45 @@ func writeSegment(path string, recs []FlushRecord, dir map[string][]uint32) (*se
 		}
 	}
 
+	var bloom *bloomFilter
+	var bloomPos uint64
+	if version >= 2 {
+		keys := make([]string, 0, len(dir))
+		for key := range dir {
+			keys = append(keys, key)
+		}
+		bloom = newBloomFilter(keys)
+		bloomPos = uint64(len(buf))
+		buf = bloom.encode(buf)
+	}
+
 	binary.LittleEndian.PutUint64(tmp[:], offsetsPos)
 	buf = append(buf, tmp[:8]...)
 	binary.LittleEndian.PutUint64(tmp[:], dirPos)
 	buf = append(buf, tmp[:8]...)
+	if version >= 2 {
+		binary.LittleEndian.PutUint64(tmp[:], bloomPos)
+		buf = append(buf, tmp[:8]...)
+	}
 	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(maxScore))
 	buf = append(buf, tmp[:8]...)
 	buf = append(buf, segEndMagic...)
 
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
-		return nil, fmt.Errorf("disk: write segment: %w", err)
+		return nil, buf, fmt.Errorf("disk: write segment: %w", err)
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, buf, err
 	}
 	s := &segment{
+		id: nextSegmentID.Add(1), version: version,
 		path: path, f: f, count: uint32(len(recs)),
-		offsets: offsets, dir: dir, maxScore: maxScore, end: end,
+		offsets: offsets, dir: dir, bloom: bloom,
+		maxScore: maxScore, end: end,
 	}
 	s.refs.Store(1) // the tier's reference
-	return s, nil
+	return s, buf, nil
 }
 
 // openSegment reads back a segment's offsets table and directory,
@@ -247,23 +296,10 @@ func openSegment(path string) (*segment, error) {
 		f.Close()
 		return nil, err
 	}
-	if st.Size() < footerSize+12 {
+	if st.Size() < 12 {
 		f.Close()
 		return nil, ErrCorrupt
 	}
-	foot := make([]byte, footerSize)
-	if _, err := f.ReadAt(foot, st.Size()-footerSize); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if string(foot[24:28]) != segEndMagic {
-		f.Close()
-		return nil, ErrCorrupt
-	}
-	offsetsPos := binary.LittleEndian.Uint64(foot[0:])
-	dirPos := binary.LittleEndian.Uint64(foot[8:])
-	maxScore := math.Float64frombits(binary.LittleEndian.Uint64(foot[16:]))
-
 	head := make([]byte, 12)
 	if _, err := f.ReadAt(head, 0); err != nil {
 		f.Close()
@@ -273,9 +309,47 @@ func openSegment(path string) (*segment, error) {
 		f.Close()
 		return nil, ErrCorrupt
 	}
+	version := binary.LittleEndian.Uint16(head[4:])
 	count := binary.LittleEndian.Uint32(head[8:])
 
-	tail := make([]byte, st.Size()-footerSize-int64(offsetsPos))
+	var footerSize int
+	switch version {
+	case segVersionV1:
+		footerSize = footerSizeV1
+	case segVersion:
+		footerSize = footerSizeV2
+	default:
+		f.Close()
+		return nil, ErrCorrupt
+	}
+	if st.Size() < int64(footerSize)+12 {
+		f.Close()
+		return nil, ErrCorrupt
+	}
+	foot := make([]byte, footerSize)
+	if _, err := f.ReadAt(foot, st.Size()-int64(footerSize)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(foot[footerSize-4:]) != segEndMagic {
+		f.Close()
+		return nil, ErrCorrupt
+	}
+	offsetsPos := binary.LittleEndian.Uint64(foot[0:])
+	dirPos := binary.LittleEndian.Uint64(foot[8:])
+	var bloomPos uint64
+	if version >= 2 {
+		bloomPos = binary.LittleEndian.Uint64(foot[16:])
+	}
+	maxScore := math.Float64frombits(binary.LittleEndian.Uint64(foot[footerSize-12:]))
+
+	tailLen := st.Size() - int64(footerSize) - int64(offsetsPos)
+	if tailLen < 0 || dirPos < offsetsPos ||
+		(version >= 2 && bloomPos < dirPos) {
+		f.Close()
+		return nil, ErrCorrupt
+	}
+	tail := make([]byte, tailLen)
 	if _, err := f.ReadAt(tail, int64(offsetsPos)); err != nil {
 		f.Close()
 		return nil, err
@@ -303,12 +377,31 @@ func openSegment(path string) (*segment, error) {
 		}
 		dir[key] = ords
 	}
+	var bloom *bloomFilter
+	if version >= 2 {
+		bloom, _, err = decodeBloom(tail[bloomPos-offsetsPos:])
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
 	s := &segment{
+		id: nextSegmentID.Add(1), version: version,
 		path: path, f: f, count: count,
-		offsets: offsets, dir: dir, maxScore: maxScore, end: offsetsPos,
+		offsets: offsets, dir: dir, bloom: bloom,
+		maxScore: maxScore, end: offsetsPos,
 	}
 	s.refs.Store(1) // the tier's reference
 	return s, nil
+}
+
+// recordSize returns the on-disk byte length of the record at ord.
+func (s *segment) recordSize(ord uint32) int64 {
+	start := s.offsets[ord]
+	if int(ord)+1 < len(s.offsets) {
+		return int64(s.offsets[ord+1] - start)
+	}
+	return int64(s.end - start)
 }
 
 // readRecord loads the record with the given ordinal.

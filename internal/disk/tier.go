@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -34,7 +35,18 @@ type Config[K comparable] struct {
 	// MaxSegments triggers automatic compaction after a flush leaves
 	// more than this many segments; <= 1 disables auto-compaction.
 	MaxSegments int
+	// CacheBytes bounds the decoded-record read cache; 0 selects the
+	// default (8 MiB), negative disables caching.
+	CacheBytes int64
+	// SearchParallelism bounds the worker pool fanning a search across
+	// candidate segments; 0 selects the default (GOMAXPROCS capped at
+	// 8), 1 forces sequential newest-first search.
+	SearchParallelism int
 }
+
+// DefaultCacheBytes is the record-cache budget when Config.CacheBytes
+// is zero.
+const DefaultCacheBytes = 8 << 20
 
 // Stats summarizes tier activity.
 type Stats struct {
@@ -42,24 +54,48 @@ type Stats struct {
 	RecordsWritten int64
 	BytesWritten   int64
 	Searches       int64
-	RecordReads    int64
+	RecordReads    int64 // real preads (cache misses included, hits not)
 	Compactions    int64
+
+	// Bloom fast-path counters: probes is filter consultations,
+	// skips is directory lookups avoided by a negative filter answer,
+	// dirProbes is directory lookups actually performed.
+	BloomProbes int64
+	BloomSkips  int64
+	DirProbes   int64
+
+	// Record-cache counters.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	CacheBytes     int64
 }
 
 // Tier is the disk storage for one attribute. Safe for concurrent use;
 // flushes serialize internally while searches proceed under a read lock.
 type Tier[K comparable] struct {
-	cfg Config[K]
+	cfg         Config[K]
+	cache       *recordCache // nil when disabled
+	parallelism int
 
 	mu   sync.RWMutex
 	segs []*segment // oldest first
 	seq  int
+
+	// flushMu serializes flushes so the sort/encode scratch buffers can
+	// be reused across cycles instead of reallocated per flush.
+	flushMu    sync.Mutex
+	sortBuf    []FlushRecord
+	encScratch []byte
 
 	recordsWritten atomic.Int64
 	bytesWritten   atomic.Int64
 	searches       atomic.Int64
 	recordReads    atomic.Int64
 	compactions    atomic.Int64
+	bloomProbes    atomic.Int64
+	bloomSkips     atomic.Int64
+	dirProbes      atomic.Int64
 }
 
 // Open creates a tier over cfg.Dir, recovering any segment files a
@@ -72,6 +108,23 @@ func Open[K comparable](cfg Config[K]) (*Tier[K], error) {
 		return nil, err
 	}
 	t := &Tier[K]{cfg: cfg}
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = DefaultCacheBytes
+	}
+	if cacheBytes > 0 {
+		t.cache = newRecordCache(cacheBytes)
+	}
+	t.parallelism = cfg.SearchParallelism
+	if t.parallelism == 0 {
+		t.parallelism = runtime.GOMAXPROCS(0)
+		if t.parallelism > 8 {
+			t.parallelism = 8
+		}
+	}
+	if t.parallelism < 1 {
+		t.parallelism = 1
+	}
 	paths, err := filepath.Glob(filepath.Join(cfg.Dir, "seg-*.kfs"))
 	if err != nil {
 		return nil, err
@@ -90,11 +143,16 @@ func Open[K comparable](cfg Config[K]) (*Tier[K], error) {
 
 // Flush durably writes the evicted records as one new segment. The input
 // order is irrelevant; the tier ranks records by score before writing.
+// Flushes serialize on an internal gate so the sort and encode scratch
+// buffers are reused across cycles — the directory map and offsets table
+// are the only per-flush allocations that escape into the segment.
 func (t *Tier[K]) Flush(recs []FlushRecord) error {
 	if len(recs) == 0 {
 		return nil
 	}
-	sorted := append([]FlushRecord(nil), recs...)
+	t.flushMu.Lock()
+	sorted := append(t.sortBuf[:0], recs...)
+	t.sortBuf = sorted
 	sort.Slice(sorted, func(i, j int) bool {
 		if sorted[i].Score != sorted[j].Score {
 			return sorted[i].Score > sorted[j].Score
@@ -112,15 +170,25 @@ func (t *Tier[K]) Flush(recs []FlushRecord) error {
 	t.mu.Lock()
 	t.seq++
 	path := filepath.Join(t.cfg.Dir, fmt.Sprintf("seg-%08d.kfs", t.seq))
-	s, err := writeSegment(path, sorted, dir)
+	s, scratch, err := writeSegment(path, sorted, dir, t.encScratch)
+	t.encScratch = scratch
 	if err != nil {
 		t.mu.Unlock()
+		t.flushMu.Unlock()
 		return err
 	}
 	t.segs = append(t.segs, s)
 	t.mu.Unlock()
 
-	t.recordsWritten.Add(int64(len(sorted)))
+	n := len(sorted)
+	// Drop the record pointers so the reusable buffer does not pin
+	// evicted microblogs in memory between flushes.
+	for i := range sorted {
+		sorted[i] = FlushRecord{}
+	}
+	t.flushMu.Unlock()
+
+	t.recordsWritten.Add(int64(n))
 	if st, err := os.Stat(path); err == nil {
 		t.bytesWritten.Add(st.Size())
 	}
@@ -128,8 +196,11 @@ func (t *Tier[K]) Flush(recs []FlushRecord) error {
 }
 
 // Search returns the top-k records matching keys under op across all
-// segments, newest first, ranked by score. It performs real file reads
-// for every candidate record.
+// segments, newest first, ranked by score. Per-segment Bloom filters
+// skip segments that provably lack every requested key; candidate
+// records are served from the record cache when hot, real file reads
+// otherwise. With parallelism > 1 candidate segments fan across a
+// bounded worker pool that shares the top-k pruning bound.
 func (t *Tier[K]) Search(keys []K, op query.Op, k int) ([]query.Item, error) {
 	t.searches.Add(1)
 	enc := make([]string, len(keys))
@@ -138,8 +209,11 @@ func (t *Tier[K]) Search(keys []K, op query.Op, k int) ([]query.Item, error) {
 	}
 
 	t.mu.RLock()
-	segs := append([]*segment(nil), t.segs...)
-	for _, s := range segs {
+	// Snapshot newest-first: index 0 is the newest segment, the search
+	// priority order.
+	segs := make([]*segment, len(t.segs))
+	for i, s := range t.segs {
+		segs[len(t.segs)-1-i] = s
 		s.acquire()
 	}
 	t.mu.RUnlock()
@@ -149,18 +223,19 @@ func (t *Tier[K]) Search(keys []K, op query.Op, k int) ([]query.Item, error) {
 		}
 	}()
 
+	if t.parallelism > 1 && len(segs) > 2 {
+		return t.searchParallel(segs, enc, op, k)
+	}
+
 	var lists [][]query.Item
 	var have []query.Item
-	for i := len(segs) - 1; i >= 0; i-- {
-		s := segs[i]
-		// Early exit: if we already hold k results all scoring at
-		// least as high as anything this (and every older) segment can
-		// offer, stop. Segments are not strictly score-ordered, so the
-		// bound uses each segment's own max score.
-		if len(have) >= k && have[k-1].Score >= s.maxScore {
-			if !t.anyOlderBetter(segs[:i+1], have[k-1].Score) {
-				break
-			}
+	for _, s := range segs {
+		// Prune: a segment whose best score is strictly below the kth
+		// result already in hand cannot change the answer. (Equal
+		// scores are not pruned — ties rank by ID, which the max-score
+		// bound does not know.)
+		if len(have) >= k && have[k-1].Score > s.maxScore {
+			continue
 		}
 		items, err := t.searchSegment(s, enc, op, k)
 		if err != nil {
@@ -174,22 +249,118 @@ func (t *Tier[K]) Search(keys []K, op query.Op, k int) ([]query.Item, error) {
 	return query.MergeTopK(lists, k), nil
 }
 
-// anyOlderBetter reports whether any of the given segments could contain
-// a record scoring above bound.
-func (t *Tier[K]) anyOlderBetter(segs []*segment, bound float64) bool {
-	for _, s := range segs {
-		if s.maxScore > bound {
-			return true
-		}
+// searchParallel fans segs (newest first) across a bounded worker pool.
+// Workers claim segments in priority order and share the merged top-k,
+// so the sequential path's max-score pruning bound carries over: a
+// segment is skipped once k results strictly above its best score are
+// in hand. The result is identical to the sequential search — pruning
+// only ever discards segments that cannot alter the final top-k.
+func (t *Tier[K]) searchParallel(segs []*segment, enc []string, op query.Op, k int) ([]query.Item, error) {
+	workers := t.parallelism
+	if workers > len(segs) {
+		workers = len(segs)
 	}
-	return false
+	var (
+		mu       sync.Mutex
+		lists    [][]query.Item
+		have     []query.Item
+		firstErr error
+	)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(segs) {
+					return
+				}
+				s := segs[i]
+				mu.Lock()
+				if firstErr != nil {
+					mu.Unlock()
+					return
+				}
+				prune := len(have) >= k && have[k-1].Score > s.maxScore
+				mu.Unlock()
+				if prune {
+					continue
+				}
+				items, err := t.searchSegment(s, enc, op, k)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else if len(items) > 0 {
+					lists = append(lists, items)
+					have = query.MergeTopK(lists, k)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return query.MergeTopK(lists, k), nil
+}
+
+// bloomFilterKeys applies s's Bloom filter to the encoded keys,
+// returning the keys whose directory entries must still be probed and
+// whether the segment can match at all. v1 segments pass everything
+// through. The counters feed Stats: every filter consultation is a
+// probe, every avoided directory lookup a skip.
+func (t *Tier[K]) bloomFilterKeys(s *segment, keys []string, op query.Op) ([]string, bool) {
+	if s.bloom == nil {
+		return keys, true
+	}
+	switch op {
+	case query.OpSingle:
+		t.bloomProbes.Add(1)
+		if !s.bloom.mayContain(keys[0]) {
+			t.bloomSkips.Add(1)
+			return nil, false
+		}
+		return keys, true
+	case query.OpAnd:
+		// One provably-absent key rules out the whole intersection.
+		for i, key := range keys {
+			t.bloomProbes.Add(1)
+			if !s.bloom.mayContain(key) {
+				t.bloomSkips.Add(int64(len(keys) - i))
+				return nil, false
+			}
+		}
+		return keys, true
+	case query.OpOr:
+		kept := keys[:0:0]
+		for _, key := range keys {
+			t.bloomProbes.Add(1)
+			if s.bloom.mayContain(key) {
+				kept = append(kept, key)
+			} else {
+				t.bloomSkips.Add(1)
+			}
+		}
+		return kept, len(kept) > 0
+	}
+	return keys, true
 }
 
 // searchSegment collects up to k ranked matches from one segment.
 func (t *Tier[K]) searchSegment(s *segment, keys []string, op query.Op, k int) ([]query.Item, error) {
+	keys, may := t.bloomFilterKeys(s, keys, op)
+	if !may {
+		return nil, nil
+	}
 	var ords []uint32
 	switch op {
 	case query.OpSingle:
+		t.dirProbes.Add(1)
 		ords = s.dir[keys[0]]
 		if len(ords) > k {
 			ords = ords[:k] // ordinal lists are ranked best-first
@@ -197,6 +368,7 @@ func (t *Tier[K]) searchSegment(s *segment, keys []string, op query.Op, k int) (
 	case query.OpOr:
 		seen := make(map[uint32]struct{})
 		for _, key := range keys {
+			t.dirProbes.Add(1)
 			n := 0
 			for _, o := range s.dir[key] {
 				if n >= k {
@@ -218,6 +390,7 @@ func (t *Tier[K]) searchSegment(s *segment, keys []string, op query.Op, k int) (
 		// per-segment) so a counting pass suffices.
 		counts := make(map[uint32]int)
 		for _, key := range keys {
+			t.dirProbes.Add(1)
 			for _, o := range s.dir[key] {
 				counts[o]++
 			}
@@ -234,14 +407,33 @@ func (t *Tier[K]) searchSegment(s *segment, keys []string, op query.Op, k int) (
 	}
 	items := make([]query.Item, 0, len(ords))
 	for _, o := range ords {
-		fr, err := s.readRecord(o)
+		fr, err := t.readRecordCached(s, o)
 		if err != nil {
 			return nil, err
 		}
-		t.recordReads.Add(1)
 		items = append(items, query.Item{MB: fr.MB, Score: fr.Score})
 	}
 	return items, nil
+}
+
+// readRecordCached serves a record from the read cache when present,
+// falling back to (and then caching) a real file read.
+func (t *Tier[K]) readRecordCached(s *segment, ord uint32) (FlushRecord, error) {
+	if t.cache == nil {
+		t.recordReads.Add(1)
+		return s.readRecord(ord)
+	}
+	key := cacheKey{seg: s.id, ord: ord}
+	if fr, ok := t.cache.get(key); ok {
+		return fr, nil
+	}
+	t.recordReads.Add(1)
+	fr, err := s.readRecord(ord)
+	if err != nil {
+		return fr, err
+	}
+	t.cache.put(key, fr, s.recordSize(ord))
+	return fr, nil
 }
 
 // Stats returns a snapshot of tier activity.
@@ -249,14 +441,24 @@ func (t *Tier[K]) Stats() Stats {
 	t.mu.RLock()
 	n := len(t.segs)
 	t.mu.RUnlock()
-	return Stats{
+	st := Stats{
 		Segments:       n,
 		RecordsWritten: t.recordsWritten.Load(),
 		BytesWritten:   t.bytesWritten.Load(),
 		Searches:       t.searches.Load(),
 		RecordReads:    t.recordReads.Load(),
 		Compactions:    t.compactions.Load(),
+		BloomProbes:    t.bloomProbes.Load(),
+		BloomSkips:     t.bloomSkips.Load(),
+		DirProbes:      t.dirProbes.Load(),
 	}
+	if t.cache != nil {
+		st.CacheHits = t.cache.hits.Load()
+		st.CacheMisses = t.cache.misses.Load()
+		st.CacheEvictions = t.cache.evictions.Load()
+		st.CacheBytes = t.cache.resident()
+	}
+	return st
 }
 
 // Close releases the tier's references to all segments; handles close

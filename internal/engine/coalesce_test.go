@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"kflushing/internal/core"
+	"kflushing/internal/query"
+)
+
+// TestFlightGroupCoalesces drives the singleflight deterministically:
+// the second caller for the same key must wait for and share the first
+// caller's result instead of executing its own.
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g flightGroup
+	started := make(chan struct{})
+	release := make(chan struct{})
+	want := []query.Item{{Score: 42}}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var firstShared bool
+	go func() {
+		defer wg.Done()
+		items, shared, err := g.do("key", func() ([]query.Item, error) {
+			close(started)
+			<-release
+			return want, nil
+		})
+		firstShared = shared
+		if err != nil || len(items) != 1 || items[0].Score != 42 {
+			t.Errorf("leader: items=%v err=%v", items, err)
+		}
+	}()
+	<-started // the leader's fn is executing and registered
+
+	wg.Add(1)
+	var followerShared bool
+	go func() {
+		defer wg.Done()
+		items, shared, err := g.do("key", func() ([]query.Item, error) {
+			t.Error("follower executed its own search")
+			return nil, nil
+		})
+		followerShared = shared
+		if err != nil || len(items) != 1 || items[0].Score != 42 {
+			t.Errorf("follower: items=%v err=%v", items, err)
+		}
+	}()
+	// Wait until the follower has joined the in-progress flight, then
+	// let the leader finish. The leader's own registration keeps
+	// pending() at 1, so watch the waiter count instead.
+	for i := 0; g.waiters("key") == 0 && i < 5000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if g.waiters("key") == 0 {
+		t.Fatal("follower never joined the flight")
+	}
+	close(release)
+	wg.Wait()
+
+	if firstShared {
+		t.Error("leader reported shared result")
+	}
+	if !followerShared {
+		t.Error("follower did not share the leader's flight")
+	}
+	if g.pending() != 0 {
+		t.Errorf("flights leaked: %d pending", g.pending())
+	}
+
+	// Different keys never coalesce.
+	_, shared, _ := g.do("other", func() ([]query.Item, error) { return nil, nil })
+	if shared {
+		t.Error("fresh key reported shared")
+	}
+}
+
+// TestDiskSearchAccounting checks every disk-consulting query increments
+// exactly one of the executed/coalesced counters, and that concurrent
+// identical misses return consistent answers.
+func TestDiskSearchAccounting(t *testing.T) {
+	eng := newKeywordEngine(t, 8<<10, core.New[string](), false)
+	// Overfill memory so the one-off filler keys are flushed; the hot
+	// "gopher" postings stay resident (kFlushing keeps top-k), so the
+	// guaranteed-miss queries below target a filler key instead.
+	for i := 0; i < 300; i++ {
+		ingest(t, eng, int64(i+1), "gopher", fmt.Sprintf("filler%d", i))
+	}
+	if _, err := eng.FlushNow(); err != nil {
+		t.Fatal(err)
+	}
+
+	// filler7 appears in exactly one record; asking for K=5 can never be
+	// satisfied from memory, so every query consults disk.
+	const goroutines, perG = 8, 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				res, err := eng.Search(query.Request[string]{Keys: []string{"filler7"}, K: 5})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(res.Items) == 0 {
+					t.Error("filler7 query returned no items")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := eng.Metrics().Snap()
+	misses := snap.Misses
+	if misses == 0 {
+		t.Fatal("no memory misses; the disk fallback was never exercised")
+	}
+	if got := snap.DiskSearches + snap.DiskSearchesCoalesced; got != misses {
+		t.Fatalf("DiskSearches(%d) + Coalesced(%d) = %d, want %d (one per miss)",
+			snap.DiskSearches, snap.DiskSearchesCoalesced, got, misses)
+	}
+	if snap.DiskSearches == 0 {
+		t.Fatal("no disk search was ever executed")
+	}
+}

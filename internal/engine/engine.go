@@ -66,6 +66,13 @@ type Config[K comparable] struct {
 	// DiskMaxSegments bounds the number of disk segments via automatic
 	// compaction after flushes; 0 selects a default, negative disables.
 	DiskMaxSegments int
+	// DiskCacheBytes bounds the disk tier's decoded-record read cache;
+	// 0 selects the tier default, negative disables caching.
+	DiskCacheBytes int64
+	// DiskSearchParallelism bounds the worker pool a memory-miss search
+	// fans candidate segments across; 0 selects the tier default, 1
+	// forces sequential search.
+	DiskSearchParallelism int
 	// WALDir enables write-ahead logging of ingested records into the
 	// given directory: memory contents survive restarts (replayed on
 	// New) and crashes (torn tails are tolerated). Empty disables
@@ -103,6 +110,9 @@ type Engine[K comparable] struct {
 	clk   clock.Clock
 
 	wal *wal.Log
+
+	// flights coalesces concurrent identical disk-fallback searches.
+	flights flightGroup
 
 	lastFlushUsed atomic.Int64
 	// flushMu serializes flush cycles: background flushes take it with
@@ -152,10 +162,12 @@ func New[K comparable](cfg Config[K]) (*Engine[K], error) {
 		maxSegs = 48
 	}
 	tier, err := disk.Open(disk.Config[K]{
-		Dir:         cfg.DiskDir,
-		KeysOf:      cfg.KeysOf,
-		Encode:      cfg.EncodeKey,
-		MaxSegments: maxSegs,
+		Dir:               cfg.DiskDir,
+		KeysOf:            cfg.KeysOf,
+		Encode:            cfg.EncodeKey,
+		MaxSegments:       maxSegs,
+		CacheBytes:        cfg.DiskCacheBytes,
+		SearchParallelism: cfg.DiskSearchParallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -448,7 +460,7 @@ func (e *Engine[K]) Search(req query.Request[K]) (query.Result, error) {
 	res := query.Result{Items: mem, MemoryHit: hit}
 	if !res.MemoryHit {
 		res.DiskChecked = true
-		diskItems, err := e.tier.Search(req.Keys, op, k)
+		diskItems, err := e.diskSearch(req.Keys, op, k)
 		if err != nil {
 			return query.Result{}, err
 		}
@@ -469,6 +481,29 @@ func (e *Engine[K]) Search(req query.Request[K]) (query.Result, error) {
 
 	e.reg.RecordQuery(op.String(), res.MemoryHit, time.Since(start))
 	return res, nil
+}
+
+// diskSearch is the memory-miss fallback: it coalesces concurrent
+// identical searches through the flight group so N simultaneous misses
+// for the same (keys, op, k) pay one disk search and share its result.
+// Sharing is safe because query items are immutable once produced and
+// every caller merges them into a fresh result slice.
+func (e *Engine[K]) diskSearch(keys []K, op query.Op, k int) ([]query.Item, error) {
+	var sb []byte
+	for _, key := range keys {
+		sb = append(sb, e.cfg.EncodeKey(key)...)
+		sb = append(sb, 0)
+	}
+	sb = append(sb, byte(op), byte(k), byte(k>>8), byte(k>>16))
+	items, shared, err := e.flights.do(string(sb), func() ([]query.Item, error) {
+		return e.tier.Search(keys, op, k)
+	})
+	if shared {
+		e.reg.DiskSearchesCoalesced.Add(1)
+	} else {
+		e.reg.DiskSearches.Add(1)
+	}
+	return items, err
 }
 
 // SetK changes the default top-k threshold at run time (Section IV-C).

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"kflushing/internal/query"
+)
+
+// flightGroup coalesces concurrent identical disk searches: the paper's
+// temporal query locality (Phase 3) makes repeated misses for the same
+// keys the common miss pattern, so under concurrency N identical misses
+// routinely overlap. The first caller executes the search; the rest
+// block on its completion and share the result, turning N disk searches
+// into one.
+//
+// This is the singleflight pattern, specialized to query items so the
+// engine stays dependency-free.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	waiters atomic.Int32
+	items   []query.Item
+	err     error
+}
+
+// do executes fn under key, unless a flight for key is already in
+// progress, in which case it waits for and shares that flight's result.
+// shared reports whether the result came from another caller's flight.
+// The shared items slice must be treated as read-only.
+func (g *flightGroup) do(key string, fn func() ([]query.Item, error)) (items []query.Item, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.waiters.Add(1)
+		g.mu.Unlock()
+		<-c.done
+		return c.items, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.items, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.items, false, c.err
+}
+
+// pending returns the number of in-progress flights, for tests.
+func (g *flightGroup) pending() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}
+
+// waiters returns how many callers are blocked on key's in-progress
+// flight, for tests.
+func (g *flightGroup) waiters(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return int(c.waiters.Load())
+	}
+	return 0
+}

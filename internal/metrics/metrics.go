@@ -100,6 +100,13 @@ type Registry struct {
 	FlushedBytes  atomic.Int64
 	FlushedIntoOp atomic.Int64 // cumulative records handed to the sink
 
+	// Disk fallback activity: DiskSearches counts searches actually
+	// executed against the disk tier; DiskSearchesCoalesced counts
+	// concurrent identical misses that shared an in-flight search's
+	// result instead of issuing their own.
+	DiskSearches          atomic.Int64
+	DiskSearchesCoalesced atomic.Int64
+
 	// FlushLatency observes whole flush cycles, every policy.
 	FlushLatency Histogram
 	// PhaseLatency and PhaseFreed break a kFlushing flush down by phase
@@ -190,8 +197,12 @@ type Snapshot struct {
 	AndMisses     int64
 	Flushes       int64
 	FlushedBytes  int64
-	MeanFlush     time.Duration
-	P99Flush      time.Duration
+	// DiskSearches/DiskSearchesCoalesced split miss-path disk activity
+	// into executed searches and coalesced duplicate waiters.
+	DiskSearches          int64
+	DiskSearchesCoalesced int64
+	MeanFlush             time.Duration
+	P99Flush              time.Duration
 	// Phases breaks flushing down by kFlushing phase (index = phase-1);
 	// all-zero under FIFO and LRU, which have no phases.
 	Phases   [FlushPhases]PhaseSnapshot
@@ -204,26 +215,28 @@ type Snapshot struct {
 // Snap returns a snapshot of all counters.
 func (r *Registry) Snap() Snapshot {
 	s := Snapshot{
-		Ingested:      r.Ingested.Load(),
-		IngestBatches: r.IngestBatches.Load(),
-		Queries:       r.Queries.Load(),
-		Hits:          r.Hits.Load(),
-		Misses:        r.Misses.Load(),
-		HitRatio:      r.HitRatio(),
-		SingleHits:    r.SingleHits.Load(),
-		SingleMisses:  r.SingleMisses.Load(),
-		OrHits:        r.OrHits.Load(),
-		OrMisses:      r.OrMisses.Load(),
-		AndHits:       r.AndHits.Load(),
-		AndMisses:     r.AndMisses.Load(),
-		Flushes:       r.Flushes.Load(),
-		FlushedBytes:  r.FlushedBytes.Load(),
-		MeanFlush:     r.FlushLatency.Mean(),
-		P99Flush:      r.FlushLatency.Quantile(0.99),
-		MeanHit:       r.HitLatency.Mean(),
-		MeanMiss:      r.MissLatency.Mean(),
-		P99Hit:        r.HitLatency.Quantile(0.99),
-		P99Miss:       r.MissLatency.Quantile(0.99),
+		Ingested:              r.Ingested.Load(),
+		IngestBatches:         r.IngestBatches.Load(),
+		Queries:               r.Queries.Load(),
+		Hits:                  r.Hits.Load(),
+		Misses:                r.Misses.Load(),
+		HitRatio:              r.HitRatio(),
+		SingleHits:            r.SingleHits.Load(),
+		SingleMisses:          r.SingleMisses.Load(),
+		OrHits:                r.OrHits.Load(),
+		OrMisses:              r.OrMisses.Load(),
+		AndHits:               r.AndHits.Load(),
+		AndMisses:             r.AndMisses.Load(),
+		Flushes:               r.Flushes.Load(),
+		FlushedBytes:          r.FlushedBytes.Load(),
+		DiskSearches:          r.DiskSearches.Load(),
+		DiskSearchesCoalesced: r.DiskSearchesCoalesced.Load(),
+		MeanFlush:             r.FlushLatency.Mean(),
+		P99Flush:              r.FlushLatency.Quantile(0.99),
+		MeanHit:               r.HitLatency.Mean(),
+		MeanMiss:              r.MissLatency.Mean(),
+		P99Hit:                r.HitLatency.Quantile(0.99),
+		P99Miss:               r.MissLatency.Quantile(0.99),
 	}
 	for i := range s.Phases {
 		s.Phases[i] = PhaseSnapshot{

@@ -268,6 +268,26 @@ func (s *Store) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(st kflushing.Stats) float64 { return st.Metrics.P99Flush.Seconds() })
 	emit("disk_segments", "live disk segments",
 		func(st kflushing.Stats) float64 { return float64(st.Disk.Segments) })
+	emit("disk_record_reads_total", "record preads served by the disk tier",
+		func(st kflushing.Stats) float64 { return float64(st.Disk.RecordReads) })
+	emit("disk_searches_total", "disk searches actually executed on memory misses",
+		func(st kflushing.Stats) float64 { return float64(st.Metrics.DiskSearches) })
+	emit("disk_searches_coalesced_total", "duplicate concurrent misses that shared an in-flight disk search",
+		func(st kflushing.Stats) float64 { return float64(st.Metrics.DiskSearchesCoalesced) })
+	emit("disk_bloom_probes_total", "per-segment Bloom filter consultations",
+		func(st kflushing.Stats) float64 { return float64(st.Disk.BloomProbes) })
+	emit("disk_bloom_skips_total", "segment directory probes skipped by Bloom filters",
+		func(st kflushing.Stats) float64 { return float64(st.Disk.BloomSkips) })
+	emit("disk_dir_probes_total", "segment directory probes performed",
+		func(st kflushing.Stats) float64 { return float64(st.Disk.DirProbes) })
+	emit("disk_cache_hits_total", "record reads served by the disk read cache",
+		func(st kflushing.Stats) float64 { return float64(st.Disk.CacheHits) })
+	emit("disk_cache_misses_total", "record cache lookups that fell through to a pread",
+		func(st kflushing.Stats) float64 { return float64(st.Disk.CacheMisses) })
+	emit("disk_cache_evictions_total", "record cache entries evicted by the byte budget",
+		func(st kflushing.Stats) float64 { return float64(st.Disk.CacheEvictions) })
+	emit("disk_cache_bytes", "bytes resident in the disk read cache",
+		func(st kflushing.Stats) float64 { return float64(st.Disk.CacheBytes) })
 
 	// Per-phase breakdown of kFlushing flushes (all-zero for FIFO/LRU).
 	emitPhase := func(name, help string, value func(kflushing.Stats, int) float64) {

@@ -136,6 +136,14 @@ type Options struct {
 	// DiskMaxSegments bounds the number of disk segments via automatic
 	// compaction (0 selects the default of 48; negative disables).
 	DiskMaxSegments int
+	// DiskCacheBytes bounds the disk tier's decoded-record read cache,
+	// which spares hot memory-missing keys repeated file reads (0
+	// selects the default of 8 MiB; negative disables).
+	DiskCacheBytes int64
+	// DiskSearchParallelism bounds the worker pool a memory-miss search
+	// fans candidate disk segments across (0 selects the default of
+	// GOMAXPROCS capped at 8; 1 forces sequential search).
+	DiskSearchParallelism int
 	// Durable enables a write-ahead log under the system directory:
 	// memory contents survive restarts and crashes. Off by default,
 	// matching the paper's model where only flushed data is on disk.
@@ -219,23 +227,25 @@ func Open(dir string, opt Options) (*System, error) {
 		return nil, err
 	}
 	eng, err := engine.New(engine.Config[string]{
-		K:               opt.K,
-		MemoryBudget:    opt.MemoryBudget,
-		FlushFraction:   opt.FlushFraction,
-		KeysOf:          attr.KeywordKeys,
-		KeyHash:         attr.HashString,
-		KeyLen:          attr.KeywordLen,
-		EncodeKey:       attr.KeywordEncode,
-		Ranker:          opt.Ranker,
-		Clock:           opt.Clock,
-		DiskDir:         dir,
-		DiskMaxSegments: opt.DiskMaxSegments,
-		WALDir:          walDir(dir, opt),
-		WALOptions:      walOptions(opt),
-		Policy:          pc.pol,
-		TrackTopK:       pc.trackTopK,
-		TrackOverK:      pc.trackOverK,
-		SyncFlush:       opt.SyncFlush,
+		K:                     opt.K,
+		MemoryBudget:          opt.MemoryBudget,
+		FlushFraction:         opt.FlushFraction,
+		KeysOf:                attr.KeywordKeys,
+		KeyHash:               attr.HashString,
+		KeyLen:                attr.KeywordLen,
+		EncodeKey:             attr.KeywordEncode,
+		Ranker:                opt.Ranker,
+		Clock:                 opt.Clock,
+		DiskDir:               dir,
+		DiskMaxSegments:       opt.DiskMaxSegments,
+		DiskCacheBytes:        opt.DiskCacheBytes,
+		DiskSearchParallelism: opt.DiskSearchParallelism,
+		WALDir:                walDir(dir, opt),
+		WALOptions:            walOptions(opt),
+		Policy:                pc.pol,
+		TrackTopK:             pc.trackTopK,
+		TrackOverK:            pc.trackOverK,
+		SyncFlush:             opt.SyncFlush,
 	})
 	if err != nil {
 		return nil, err

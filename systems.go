@@ -30,23 +30,25 @@ func OpenSpatial(dir string, grid *spatial.Grid, opt Options) (*SpatialSystem, e
 		return nil, err
 	}
 	eng, err := engine.New(engine.Config[spatial.Cell]{
-		K:               opt.K,
-		MemoryBudget:    opt.MemoryBudget,
-		FlushFraction:   opt.FlushFraction,
-		KeysOf:          attr.SpatialKeys(grid),
-		KeyHash:         attr.HashCell,
-		KeyLen:          attr.CellLen,
-		EncodeKey:       attr.CellEncode,
-		Ranker:          opt.Ranker,
-		Clock:           opt.Clock,
-		DiskDir:         dir,
-		DiskMaxSegments: opt.DiskMaxSegments,
-		WALDir:          walDir(dir, opt),
-		WALOptions:      walOptions(opt),
-		Policy:          pc.pol,
-		TrackTopK:       pc.trackTopK,
-		TrackOverK:      pc.trackOverK,
-		SyncFlush:       opt.SyncFlush,
+		K:                     opt.K,
+		MemoryBudget:          opt.MemoryBudget,
+		FlushFraction:         opt.FlushFraction,
+		KeysOf:                attr.SpatialKeys(grid),
+		KeyHash:               attr.HashCell,
+		KeyLen:                attr.CellLen,
+		EncodeKey:             attr.CellEncode,
+		Ranker:                opt.Ranker,
+		Clock:                 opt.Clock,
+		DiskDir:               dir,
+		DiskMaxSegments:       opt.DiskMaxSegments,
+		DiskCacheBytes:        opt.DiskCacheBytes,
+		DiskSearchParallelism: opt.DiskSearchParallelism,
+		WALDir:                walDir(dir, opt),
+		WALOptions:            walOptions(opt),
+		Policy:                pc.pol,
+		TrackTopK:             pc.trackTopK,
+		TrackOverK:            pc.trackOverK,
+		SyncFlush:             opt.SyncFlush,
 	})
 	if err != nil {
 		return nil, err
@@ -119,23 +121,25 @@ func OpenUser(dir string, opt Options) (*UserSystem, error) {
 		return nil, err
 	}
 	eng, err := engine.New(engine.Config[uint64]{
-		K:               opt.K,
-		MemoryBudget:    opt.MemoryBudget,
-		FlushFraction:   opt.FlushFraction,
-		KeysOf:          attr.UserKeys,
-		KeyHash:         attr.HashUint64,
-		KeyLen:          attr.UserLen,
-		EncodeKey:       attr.UserEncode,
-		Ranker:          opt.Ranker,
-		Clock:           opt.Clock,
-		DiskDir:         dir,
-		DiskMaxSegments: opt.DiskMaxSegments,
-		WALDir:          walDir(dir, opt),
-		WALOptions:      walOptions(opt),
-		Policy:          pc.pol,
-		TrackTopK:       pc.trackTopK,
-		TrackOverK:      pc.trackOverK,
-		SyncFlush:       opt.SyncFlush,
+		K:                     opt.K,
+		MemoryBudget:          opt.MemoryBudget,
+		FlushFraction:         opt.FlushFraction,
+		KeysOf:                attr.UserKeys,
+		KeyHash:               attr.HashUint64,
+		KeyLen:                attr.UserLen,
+		EncodeKey:             attr.UserEncode,
+		Ranker:                opt.Ranker,
+		Clock:                 opt.Clock,
+		DiskDir:               dir,
+		DiskMaxSegments:       opt.DiskMaxSegments,
+		DiskCacheBytes:        opt.DiskCacheBytes,
+		DiskSearchParallelism: opt.DiskSearchParallelism,
+		WALDir:                walDir(dir, opt),
+		WALOptions:            walOptions(opt),
+		Policy:                pc.pol,
+		TrackTopK:             pc.trackTopK,
+		TrackOverK:            pc.trackOverK,
+		SyncFlush:             opt.SyncFlush,
 	})
 	if err != nil {
 		return nil, err

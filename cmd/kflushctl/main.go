@@ -10,6 +10,13 @@
 //	                               miss fast-path counters (Bloom skips,
 //	                               directory probes, cache hits)
 //	kflushctl wal <wal-dir>        summarize a write-ahead log
+//
+// Two subcommands talk to a RUNNING kflushd instead of files:
+//
+//	kflushctl trace <base-url> <q> [k]  run one traced keyword search
+//	                               (?trace=1) and pretty-print the trace
+//	kflushctl flushlog <base-url> [n]   summarize the flush audit journal
+//	                               (/debug/flushlog)
 package main
 
 import (
@@ -18,8 +25,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/url"
 	"os"
+	"sort"
 	"strconv"
+	"strings"
+	"time"
 
 	"kflushing"
 	"kflushing/internal/disk"
@@ -68,6 +80,26 @@ func main() {
 		err = cmdProbe(args[1], args[2], k)
 	case "wal":
 		err = cmdWAL(args[1])
+	case "trace":
+		if len(args) < 3 {
+			usage()
+			os.Exit(2)
+		}
+		k := 20
+		if len(args) > 3 {
+			if k, err = strconv.Atoi(args[3]); err != nil || k < 1 {
+				log.Fatalf("bad k %q", args[3])
+			}
+		}
+		err = cmdTrace(args[1], args[2], k)
+	case "flushlog":
+		n := 20
+		if len(args) > 2 {
+			if n, err = strconv.Atoi(args[2]); err != nil || n < 1 {
+				log.Fatalf("bad count %q", args[2])
+			}
+		}
+		err = cmdFlushLog(args[1], n)
 	default:
 		usage()
 		os.Exit(2)
@@ -180,6 +212,111 @@ func cmdWAL(dir string) error {
 	return nil
 }
 
+// getJSON fetches base+path from a running kflushd and decodes into v.
+func getJSON(base, path string, v any) error {
+	base = strings.TrimSuffix(base, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	cli := &http.Client{Timeout: 30 * time.Second}
+	resp, err := cli.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// cmdTrace runs one traced keyword search against a running kflushd and
+// pretty-prints the execution trace: the memory probe per key and, on a
+// miss, every disk segment consulted with its Bloom/cache outcome.
+func cmdTrace(base, q string, k int) error {
+	path := fmt.Sprintf("/search/keywords?q=%s&k=%d&trace=1", url.QueryEscape(q), k)
+	if strings.Contains(q, ",") {
+		path += "&op=or"
+	}
+	var resp struct {
+		Items     []json.RawMessage `json:"items"`
+		MemoryHit bool              `json:"memory_hit"`
+		Trace     *kflushing.Trace  `json:"trace"`
+	}
+	if err := getJSON(base, path, &resp); err != nil {
+		return err
+	}
+	tr := resp.Trace
+	if tr == nil {
+		return fmt.Errorf("response carried no trace (server too old?)")
+	}
+	fmt.Printf("query op=%s k=%d keys=%s -> %d items, memory_hit=%v\n",
+		tr.Op, tr.K, strings.Join(tr.Keys, ","), tr.Items, tr.MemoryHit)
+	fmt.Printf("memory: hit=%v candidates=%d\n", tr.MemoryHit, tr.MemoryItems)
+	for _, e := range tr.Entries {
+		fmt.Printf("  entry %-24s found=%-5v postings=%-6d k_filled=%v\n",
+			e.Key, e.Found, e.Postings, e.KFilled)
+	}
+	if d := tr.Disk; d != nil {
+		fmt.Printf("disk: %d segments consulted, %d candidates, cache %d hits / %d misses, %d preads\n",
+			len(d.Segments), d.Items, d.CacheHits, d.CacheMisses, d.RecordsRead)
+		for _, sp := range d.Segments {
+			if sp.Pruned {
+				fmt.Printf("  seg %-22s PRUNED (max_score=%g)\n", sp.Segment, sp.MaxScore)
+				continue
+			}
+			fmt.Printf("  seg %-22s bloom=%d/%d passed=%-5v dir=%d cand=%d reads=%d items=%d %s\n",
+				sp.Segment, sp.BloomProbes, sp.BloomSkips, sp.BloomPassed,
+				sp.DirProbes, sp.Candidates, sp.RecordsRead, sp.Items,
+				time.Duration(sp.Nanos))
+		}
+	}
+	for _, st := range tr.Stages {
+		fmt.Printf("stage %-8s %s\n", st.Name, time.Duration(st.Nanos))
+	}
+	return nil
+}
+
+// cmdFlushLog fetches the flush audit journal from a running kflushd and
+// prints the most recent n cycles per attribute, one line per cycle with
+// its per-phase victim/freed breakdown.
+func cmdFlushLog(base string, n int) error {
+	var logs map[string][]kflushing.FlushEvent
+	if err := getJSON(base, fmt.Sprintf("/debug/flushlog?n=%d", n), &logs); err != nil {
+		return err
+	}
+	attrs := make([]string, 0, len(logs))
+	for a := range logs {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		evs := logs[a]
+		fmt.Printf("%s: %d cycles\n", a, len(evs))
+		for _, ev := range evs {
+			status := "satisfied"
+			if !ev.Satisfied {
+				status = "SHORT"
+			}
+			if ev.Err != "" {
+				status = "ERROR " + ev.Err
+			}
+			fmt.Printf("  #%-4d %-12s %-8s target=%-10d freed=%-10d mem %d->%d %s %s\n",
+				ev.Seq, ev.Policy, ev.Trigger, ev.Target, ev.Freed,
+				ev.MemBefore, ev.MemAfter, time.Duration(ev.Nanos), status)
+			for _, ph := range ev.Phases {
+				line := fmt.Sprintf("    phase %d %-12s victims=%-8d freed=%-10d %s",
+					ph.Phase, ph.Name, ph.Victims, ph.Freed, time.Duration(ph.Nanos))
+				if len(ph.ShardNanos) > 0 {
+					line += fmt.Sprintf(" shards=%d", len(ph.ShardNanos))
+				}
+				fmt.Println(line)
+			}
+		}
+	}
+	return nil
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `kflushctl administers kflushing data directories offline.
 
@@ -190,5 +327,7 @@ usage:
   kflushctl compact <dir> [n]
   kflushctl probe <dir> <key> [k]
   kflushctl wal <wal-dir>
+  kflushctl trace <base-url> <q> [k]
+  kflushctl flushlog <base-url> [n]
 `)
 }

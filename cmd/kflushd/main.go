@@ -6,12 +6,17 @@
 // Endpoints:
 //
 //	POST /microblogs                  ingest JSON object(s)
-//	GET  /search/keywords?q=a,b&op=and&k=20
-//	GET  /search/nearby?lat=40.7&lon=-74.0&k=20
-//	GET  /search/user?id=42&k=20
+//	GET  /search/keywords?q=a,b&op=and&k=20[&trace=1]
+//	GET  /search/nearby?lat=40.7&lon=-74.0&k=20[&trace=1]
+//	GET  /search/user?id=42&k=20[&trace=1]
 //	GET  /stats                       per-attribute snapshots (JSON)
 //	GET  /metrics                     Prometheus text format
+//	GET  /debug/flushlog              flush audit journal (JSON)
 //	GET  /healthz                     liveness probe
+//	GET  /readyz                      readiness probe (disk + WAL writable)
+//
+// trace=1 returns a per-query execution trace alongside the results;
+// -pprof mounts net/http/pprof; -log-level tunes diagnostic logging.
 //
 // Example:
 //
@@ -25,7 +30,9 @@ package main
 import (
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"os"
 
 	"kflushing"
 	"kflushing/internal/server"
@@ -39,7 +46,15 @@ func main() {
 	k := flag.Int("k", 20, "default top-k")
 	flushFrac := flag.Float64("flush", 0.10, "flushing budget B as a fraction")
 	durable := flag.Bool("durable", false, "write-ahead log memory contents")
+	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "diagnostic log level: debug|info|warn|error")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		log.Fatalf("bad -log-level %q: %v", *logLevel, err)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
 
 	store, err := server.OpenStore(*dataDir, kflushing.Options{
 		K:             *k,
@@ -54,7 +69,9 @@ func main() {
 	}
 	defer store.Close()
 
-	log.Printf("kflushd listening on %s (policy=%s budget=%dMiB/attr k=%d durable=%v)",
-		*addr, *policy, *budgetMiB, *k, *durable)
-	log.Fatal(http.ListenAndServe(*addr, store.Handler()))
+	log.Printf("kflushd listening on %s (policy=%s budget=%dMiB/attr k=%d durable=%v pprof=%v)",
+		*addr, *policy, *budgetMiB, *k, *durable, *enablePprof)
+	log.Fatal(http.ListenAndServe(*addr, store.HandlerWithOptions(server.HandlerOptions{
+		EnablePprof: *enablePprof,
+	})))
 }

@@ -1,0 +1,56 @@
+// Command promlint validates a Prometheus text exposition read from
+// stdin, a file, or a URL. It exits non-zero when the exposition is
+// malformed: missing HELP/TYPE metadata, duplicate series, gauge-typed
+// counters, or non-cumulative / unsorted histogram buckets.
+//
+//	kflushd -addr :8080 & curl -s localhost:8080/metrics | promlint
+//	promlint http://localhost:8080/metrics
+//	promlint exposition.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"kflushing/internal/promlint"
+)
+
+func main() {
+	var in io.ReadCloser = os.Stdin
+	if len(os.Args) > 1 {
+		arg := os.Args[1]
+		if strings.HasPrefix(arg, "http://") || strings.HasPrefix(arg, "https://") {
+			resp, err := http.Get(arg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "promlint:", err)
+				os.Exit(1)
+			}
+			if resp.StatusCode != http.StatusOK {
+				fmt.Fprintf(os.Stderr, "promlint: GET %s: %s\n", arg, resp.Status)
+				os.Exit(1)
+			}
+			in = resp.Body
+		} else {
+			f, err := os.Open(arg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "promlint:", err)
+				os.Exit(1)
+			}
+			in = f
+		}
+	}
+	defer in.Close()
+
+	probs := promlint.Lint(in)
+	for _, p := range probs {
+		fmt.Println(p)
+	}
+	if len(probs) > 0 {
+		fmt.Fprintf(os.Stderr, "promlint: %d problem(s)\n", len(probs))
+		os.Exit(1)
+	}
+	fmt.Println("promlint: exposition clean")
+}

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"kflushing/internal/flushlog"
 	"kflushing/internal/index"
 	"kflushing/internal/memsize"
 	"kflushing/internal/policy"
@@ -139,28 +140,41 @@ func (f *KFlushing[K]) OnAccess([]*store.Record) {}
 
 // Flush implements policy.Policy, running the phases in order until the
 // target is met. Each phase's duration and freed bytes are recorded in
-// the engine's metrics registry when one is attached.
+// the engine's metrics registry and flush audit journal when attached.
 func (f *KFlushing[K]) Flush(target int64) (int64, error) {
 	k := f.r.Index.K()
 	buf := policy.NewVictimBuffer(f.r.Mem, f.r.Sink, true)
-	freed := f.timedPhase(1, func() int64 { return f.phase1(k, buf) })
+	freed := f.timedPhase(1, "regular", func(pe *flushlog.PhaseEvent) int64 {
+		return f.phase1(k, buf, pe)
+	})
 	if freed < target && f.maxPhase >= 2 {
-		freed += f.timedPhase(2, func() int64 { return f.phase2(k, target-freed, buf) })
+		freed += f.timedPhase(2, "aggressive", func(pe *flushlog.PhaseEvent) int64 {
+			return f.phase2(k, target-freed, buf, pe)
+		})
 	}
 	if freed < target && f.maxPhase >= 3 {
-		freed += f.timedPhase(3, func() int64 { return f.phase3(k, target-freed, buf) })
+		freed += f.timedPhase(3, "forced", func(pe *flushlog.PhaseEvent) int64 {
+			return f.phase3(k, target-freed, buf, pe)
+		})
 	}
 	return freed, buf.Close()
 }
 
-// timedPhase runs one phase and feeds its duration and freed bytes to
-// the per-phase histograms.
-func (f *KFlushing[K]) timedPhase(phase int, run func() int64) int64 {
+// timedPhase runs one phase, feeds its duration and freed bytes to the
+// per-phase histograms, and records the phase in the audit journal. The
+// phase fills in its own victim count (and shard timings when parallel)
+// through the event it receives.
+func (f *KFlushing[K]) timedPhase(phase int, name string, run func(*flushlog.PhaseEvent) int64) int64 {
 	start := time.Now()
-	freed := run()
+	pe := flushlog.PhaseEvent{Phase: phase, Name: name}
+	freed := run(&pe)
+	d := time.Since(start)
 	if f.r.Metrics != nil {
-		f.r.Metrics.ObservePhase(phase, time.Since(start), freed)
+		f.r.Metrics.ObservePhase(phase, d, freed)
 	}
+	pe.Freed = freed
+	pe.Nanos = d.Nanoseconds()
+	f.r.Journal.Phase(pe)
 	return freed
 }
 
@@ -202,7 +216,7 @@ func (f *KFlushing[K]) workers(work int) int {
 // worker pool and the per-worker freed-byte counts are merged — this is
 // the digestion-side half of running flushing truly concurrently with a
 // multi-core ingest path.
-func (f *KFlushing[K]) phase1(k int, buf *policy.VictimBuffer) int64 {
+func (f *KFlushing[K]) phase1(k int, buf *policy.VictimBuffer, pe *flushlog.PhaseEvent) int64 {
 	var keep func(*store.Record) bool
 	if f.mk {
 		// MK retention rule: a posting beyond this entry's top-k stays
@@ -210,12 +224,15 @@ func (f *KFlushing[K]) phase1(k int, buf *policy.VictimBuffer) int64 {
 		keep = func(rec *store.Record) bool { return rec.TopKCount() > 0 }
 	}
 	entries := f.r.Index.TakeOverK()
+	pe.Victims = int64(len(entries))
 	workers := f.workers(len(entries))
 	if workers <= 1 {
 		return f.trimEntries(entries, k, keep, buf)
 	}
 	freedBy := make([]int64, workers)
+	shardNanos := make([]int64, workers)
 	var wg sync.WaitGroup
+	spawned := 0
 	chunk := (len(entries) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -223,13 +240,17 @@ func (f *KFlushing[K]) phase1(k int, buf *policy.VictimBuffer) int64 {
 		if lo >= hi {
 			break
 		}
+		spawned++
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			ws := time.Now()
 			freedBy[w] = f.trimEntries(entries[lo:hi], k, keep, buf)
+			shardNanos[w] = time.Since(ws).Nanoseconds()
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	pe.ShardNanos = shardNanos[:spawned]
 	var freed int64
 	for _, n := range freedBy {
 		freed += n
@@ -266,7 +287,7 @@ func (f *KFlushing[K]) trimEntries(entries []*index.Entry[K], k int, keep func(*
 
 // phase2 evicts whole under-k entries, least recently arrived first,
 // until target bytes are freed.
-func (f *KFlushing[K]) phase2(k int, target int64, buf *policy.VictimBuffer) int64 {
+func (f *KFlushing[K]) phase2(k int, target int64, buf *policy.VictimBuffer, pe *flushlog.PhaseEvent) int64 {
 	victims := f.selector.Select(f.r.Index, target, func(e *index.Entry[K]) (int64, bool) {
 		n := e.Len()
 		if n == 0 || n >= k {
@@ -279,6 +300,7 @@ func (f *KFlushing[K]) phase2(k int, target int64, buf *policy.VictimBuffer) int
 		if freed >= target {
 			break
 		}
+		pe.Victims++
 		var keep func(*store.Record) bool
 		if f.mk {
 			// Extended rule: keep postings that also live in a
@@ -298,7 +320,7 @@ func (f *KFlushing[K]) phase2(k int, target int64, buf *policy.VictimBuffer) int
 // size. Per Section IV-D, Phase 3 is identical under MK: everything
 // still in memory could cause a hit, so victims are chosen purely by
 // query recency.
-func (f *KFlushing[K]) phase3(_ int, target int64, buf *policy.VictimBuffer) int64 {
+func (f *KFlushing[K]) phase3(_ int, target int64, buf *policy.VictimBuffer, pe *flushlog.PhaseEvent) int64 {
 	victims := f.selector.Select(f.r.Index, target, func(e *index.Entry[K]) (int64, bool) {
 		if e.Len() == 0 {
 			return 0, false
@@ -310,6 +332,7 @@ func (f *KFlushing[K]) phase3(_ int, target int64, buf *policy.VictimBuffer) int
 		if freed >= target {
 			break
 		}
+		pe.Victims++
 		freed += f.evictEntry(e, nil, buf)
 	}
 	return freed

@@ -2,6 +2,7 @@ package disk
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -44,6 +45,9 @@ func (t *Tier[K]) CompactOldest(n int) error {
 		return err
 	}
 	t.compactions.Add(1)
+	slog.Debug("disk: compacted segments",
+		"dir", t.cfg.Dir, "inputs", len(inputs), "merged", merged.name(),
+		"records", merged.count)
 
 	t.mu.Lock()
 	// The inputs are still the oldest prefix (only Flush appends and

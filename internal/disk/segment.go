@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sync/atomic"
 
 	"kflushing/internal/types"
@@ -75,6 +76,10 @@ type segment struct {
 
 	refs atomic.Int32
 }
+
+// name returns the segment's file name, its identity in traces and
+// admin output.
+func (s *segment) name() string { return filepath.Base(s.path) }
 
 // acquire takes a reference for a reader.
 func (s *segment) acquire() { s.refs.Add(1) }

@@ -18,8 +18,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kflushing/internal/query"
+	"kflushing/internal/trace"
 	"kflushing/internal/types"
 )
 
@@ -202,6 +204,14 @@ func (t *Tier[K]) Flush(recs []FlushRecord) error {
 // otherwise. With parallelism > 1 candidate segments fan across a
 // bounded worker pool that shares the top-k pruning bound.
 func (t *Tier[K]) Search(keys []K, op query.Op, k int) ([]query.Item, error) {
+	return t.SearchTraced(keys, op, k, nil)
+}
+
+// SearchTraced is Search with an optional per-segment execution record:
+// a non-nil probe receives one SegmentProbe per segment consulted (or
+// pruned), with its Bloom outcome, directory probes, cache activity,
+// and duration. A nil probe is the zero-cost production path.
+func (t *Tier[K]) SearchTraced(keys []K, op query.Op, k int, dp *trace.DiskProbe) ([]query.Item, error) {
 	t.searches.Add(1)
 	enc := make([]string, len(keys))
 	for i, key := range keys {
@@ -224,7 +234,11 @@ func (t *Tier[K]) Search(keys []K, op query.Op, k int) ([]query.Item, error) {
 	}()
 
 	if t.parallelism > 1 && len(segs) > 2 {
-		return t.searchParallel(segs, enc, op, k)
+		items, err := t.searchParallel(segs, enc, op, k, dp)
+		if dp != nil && err == nil {
+			dp.Items = len(items)
+		}
+		return items, err
 	}
 
 	var lists [][]query.Item
@@ -235,9 +249,12 @@ func (t *Tier[K]) Search(keys []K, op query.Op, k int) ([]query.Item, error) {
 		// scores are not pruned — ties rank by ID, which the max-score
 		// bound does not know.)
 		if len(have) >= k && have[k-1].Score > s.maxScore {
+			if dp != nil {
+				dp.AddSegment(trace.SegmentProbe{Segment: s.name(), MaxScore: s.maxScore, Pruned: true})
+			}
 			continue
 		}
-		items, err := t.searchSegment(s, enc, op, k)
+		items, err := t.searchSegment(s, enc, op, k, dp)
 		if err != nil {
 			return nil, err
 		}
@@ -246,7 +263,11 @@ func (t *Tier[K]) Search(keys []K, op query.Op, k int) ([]query.Item, error) {
 			have = query.MergeTopK(lists, k)
 		}
 	}
-	return query.MergeTopK(lists, k), nil
+	out := query.MergeTopK(lists, k)
+	if dp != nil {
+		dp.Items = len(out)
+	}
+	return out, nil
 }
 
 // searchParallel fans segs (newest first) across a bounded worker pool.
@@ -255,7 +276,7 @@ func (t *Tier[K]) Search(keys []K, op query.Op, k int) ([]query.Item, error) {
 // segment is skipped once k results strictly above its best score are
 // in hand. The result is identical to the sequential search — pruning
 // only ever discards segments that cannot alter the final top-k.
-func (t *Tier[K]) searchParallel(segs []*segment, enc []string, op query.Op, k int) ([]query.Item, error) {
+func (t *Tier[K]) searchParallel(segs []*segment, enc []string, op query.Op, k int, dp *trace.DiskProbe) ([]query.Item, error) {
 	workers := t.parallelism
 	if workers > len(segs) {
 		workers = len(segs)
@@ -286,9 +307,12 @@ func (t *Tier[K]) searchParallel(segs []*segment, enc []string, op query.Op, k i
 				prune := len(have) >= k && have[k-1].Score > s.maxScore
 				mu.Unlock()
 				if prune {
+					if dp != nil {
+						dp.AddSegment(trace.SegmentProbe{Segment: s.name(), MaxScore: s.maxScore, Pruned: true})
+					}
 					continue
 				}
-				items, err := t.searchSegment(s, enc, op, k)
+				items, err := t.searchSegment(s, enc, op, k, dp)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -313,25 +337,38 @@ func (t *Tier[K]) searchParallel(segs []*segment, enc []string, op query.Op, k i
 // returning the keys whose directory entries must still be probed and
 // whether the segment can match at all. v1 segments pass everything
 // through. The counters feed Stats: every filter consultation is a
-// probe, every avoided directory lookup a skip.
-func (t *Tier[K]) bloomFilterKeys(s *segment, keys []string, op query.Op) ([]string, bool) {
+// probe, every avoided directory lookup a skip. A non-nil sp receives
+// the same counts for this one segment.
+func (t *Tier[K]) bloomFilterKeys(s *segment, keys []string, op query.Op, sp *trace.SegmentProbe) ([]string, bool) {
 	if s.bloom == nil {
 		return keys, true
 	}
+	probe := func(n int64) {
+		t.bloomProbes.Add(n)
+		if sp != nil {
+			sp.BloomProbes += int(n)
+		}
+	}
+	skip := func(n int64) {
+		t.bloomSkips.Add(n)
+		if sp != nil {
+			sp.BloomSkips += int(n)
+		}
+	}
 	switch op {
 	case query.OpSingle:
-		t.bloomProbes.Add(1)
+		probe(1)
 		if !s.bloom.mayContain(keys[0]) {
-			t.bloomSkips.Add(1)
+			skip(1)
 			return nil, false
 		}
 		return keys, true
 	case query.OpAnd:
 		// One provably-absent key rules out the whole intersection.
 		for i, key := range keys {
-			t.bloomProbes.Add(1)
+			probe(1)
 			if !s.bloom.mayContain(key) {
-				t.bloomSkips.Add(int64(len(keys) - i))
+				skip(int64(len(keys) - i))
 				return nil, false
 			}
 		}
@@ -339,11 +376,11 @@ func (t *Tier[K]) bloomFilterKeys(s *segment, keys []string, op query.Op) ([]str
 	case query.OpOr:
 		kept := keys[:0:0]
 		for _, key := range keys {
-			t.bloomProbes.Add(1)
+			probe(1)
 			if s.bloom.mayContain(key) {
 				kept = append(kept, key)
 			} else {
-				t.bloomSkips.Add(1)
+				skip(1)
 			}
 		}
 		return kept, len(kept) > 0
@@ -351,16 +388,36 @@ func (t *Tier[K]) bloomFilterKeys(s *segment, keys []string, op query.Op) ([]str
 	return keys, true
 }
 
-// searchSegment collects up to k ranked matches from one segment.
-func (t *Tier[K]) searchSegment(s *segment, keys []string, op query.Op, k int) ([]query.Item, error) {
-	keys, may := t.bloomFilterKeys(s, keys, op)
+// searchSegment collects up to k ranked matches from one segment. A
+// non-nil dp receives the segment's execution record.
+func (t *Tier[K]) searchSegment(s *segment, keys []string, op query.Op, k int, dp *trace.DiskProbe) ([]query.Item, error) {
+	var sp *trace.SegmentProbe
+	var start time.Time
+	if dp != nil {
+		start = time.Now()
+		sp = &trace.SegmentProbe{Segment: s.name(), MaxScore: s.maxScore}
+		defer func() {
+			sp.Nanos = time.Since(start).Nanoseconds()
+			dp.AddSegment(*sp)
+		}()
+	}
+	keys, may := t.bloomFilterKeys(s, keys, op, sp)
+	if sp != nil {
+		sp.BloomPassed = may
+	}
 	if !may {
 		return nil, nil
+	}
+	dirProbe := func() {
+		t.dirProbes.Add(1)
+		if sp != nil {
+			sp.DirProbes++
+		}
 	}
 	var ords []uint32
 	switch op {
 	case query.OpSingle:
-		t.dirProbes.Add(1)
+		dirProbe()
 		ords = s.dir[keys[0]]
 		if len(ords) > k {
 			ords = ords[:k] // ordinal lists are ranked best-first
@@ -368,7 +425,7 @@ func (t *Tier[K]) searchSegment(s *segment, keys []string, op query.Op, k int) (
 	case query.OpOr:
 		seen := make(map[uint32]struct{})
 		for _, key := range keys {
-			t.dirProbes.Add(1)
+			dirProbe()
 			n := 0
 			for _, o := range s.dir[key] {
 				if n >= k {
@@ -390,7 +447,7 @@ func (t *Tier[K]) searchSegment(s *segment, keys []string, op query.Op, k int) (
 		// per-segment) so a counting pass suffices.
 		counts := make(map[uint32]int)
 		for _, key := range keys {
-			t.dirProbes.Add(1)
+			dirProbe()
 			for _, o := range s.dir[key] {
 				counts[o]++
 			}
@@ -405,35 +462,71 @@ func (t *Tier[K]) searchSegment(s *segment, keys []string, op query.Op, k int) (
 			ords = ords[:k]
 		}
 	}
+	if sp != nil {
+		sp.Candidates = len(ords)
+	}
 	items := make([]query.Item, 0, len(ords))
 	for _, o := range ords {
-		fr, err := t.readRecordCached(s, o)
+		fr, hit, err := t.readRecordCached(s, o)
 		if err != nil {
 			return nil, err
 		}
+		if sp != nil {
+			if hit {
+				sp.CacheHits++
+			} else {
+				sp.CacheMisses++
+				sp.RecordsRead++
+			}
+		}
 		items = append(items, query.Item{MB: fr.MB, Score: fr.Score})
+	}
+	if sp != nil {
+		sp.Items = len(items)
 	}
 	return items, nil
 }
 
 // readRecordCached serves a record from the read cache when present,
-// falling back to (and then caching) a real file read.
-func (t *Tier[K]) readRecordCached(s *segment, ord uint32) (FlushRecord, error) {
+// falling back to (and then caching) a real file read. hit reports
+// whether the cache supplied the record.
+func (t *Tier[K]) readRecordCached(s *segment, ord uint32) (FlushRecord, bool, error) {
 	if t.cache == nil {
 		t.recordReads.Add(1)
-		return s.readRecord(ord)
+		fr, err := s.readRecord(ord)
+		return fr, false, err
 	}
 	key := cacheKey{seg: s.id, ord: ord}
 	if fr, ok := t.cache.get(key); ok {
-		return fr, nil
+		return fr, true, nil
 	}
 	t.recordReads.Add(1)
 	fr, err := s.readRecord(ord)
 	if err != nil {
-		return fr, err
+		return fr, false, err
 	}
 	t.cache.put(key, fr, s.recordSize(ord))
-	return fr, nil
+	return fr, false, nil
+}
+
+// CheckWritable verifies the tier directory still accepts new segment
+// files by creating and removing a probe file — the readiness signal a
+// load balancer needs before routing writes here. It deliberately does
+// real I/O: a read-only remount or a deleted directory fails it.
+func (t *Tier[K]) CheckWritable() error {
+	f, err := os.CreateTemp(t.cfg.Dir, ".ready-*")
+	if err != nil {
+		return fmt.Errorf("disk: tier directory not writable: %w", err)
+	}
+	name := f.Name()
+	if err := f.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("disk: close readiness probe: %w", err)
+	}
+	if err := os.Remove(name); err != nil {
+		return fmt.Errorf("disk: remove readiness probe: %w", err)
+	}
+	return nil
 }
 
 // Stats returns a snapshot of tier activity.

@@ -13,12 +13,14 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"kflushing/internal/clock"
 	"kflushing/internal/disk"
+	"kflushing/internal/flushlog"
 	"kflushing/internal/index"
 	"kflushing/internal/memsize"
 	"kflushing/internal/metrics"
@@ -26,6 +28,7 @@ import (
 	"kflushing/internal/query"
 	"kflushing/internal/ranking"
 	"kflushing/internal/store"
+	"kflushing/internal/trace"
 	"kflushing/internal/types"
 	"kflushing/internal/wal"
 )
@@ -109,6 +112,10 @@ type Engine[K comparable] struct {
 	reg   metrics.Registry
 	clk   clock.Clock
 
+	// journal is the flush audit ring: one structured event per flush
+	// cycle, served at /debug/flushlog.
+	journal *flushlog.Journal
+
 	wal *wal.Log
 
 	// flights coalesces concurrent identical disk-fallback searches.
@@ -147,7 +154,8 @@ func New[K comparable](cfg Config[K]) (*Engine[K], error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.NewLogical(1, 1)
 	}
-	e := &Engine[K]{cfg: cfg, store: store.New(), clk: cfg.Clock}
+	e := &Engine[K]{cfg: cfg, store: store.New(), clk: cfg.Clock,
+		journal: flushlog.New(flushlog.DefaultSize)}
 	e.idx = index.New(index.Config[K]{
 		Hash:       cfg.KeyHash,
 		KeyLen:     cfg.KeyLen,
@@ -182,6 +190,7 @@ func New[K comparable](cfg Config[K]) (*Engine[K], error) {
 		KeysOf:  cfg.KeysOf,
 		Clock:   cfg.Clock,
 		Metrics: &e.reg,
+		Journal: e.journal,
 	})
 	if cfg.WALDir != "" {
 		w, err := wal.Open(cfg.WALDir, cfg.WALOptions)
@@ -239,8 +248,10 @@ func (e *Engine[K]) recoverFromWAL() error {
 	if maxID > e.ids.Load() {
 		e.ids.Store(maxID)
 	}
+	slog.Info("engine: wal recovery complete",
+		"records", len(recs), "max_id", maxID, "mem_used", e.mem.Used())
 	if e.mem.Used() >= e.cfg.MemoryBudget {
-		e.maybeFlush()
+		e.maybeFlush(flushlog.TriggerRecovery)
 	}
 	return nil
 }
@@ -311,7 +322,7 @@ func (e *Engine[K]) IngestBatch(mbs []*types.Microblog) ([]types.ID, error) {
 	e.pol.OnIngest(recs, recKeys)
 	e.reg.Ingested.Add(int64(len(recs)))
 	e.reg.IngestBatches.Add(1)
-	e.maybeFlush()
+	e.maybeFlush(flushlog.TriggerBudget)
 	return ids, nil
 }
 
@@ -325,7 +336,7 @@ func (e *Engine[K]) IngestBatch(mbs []*types.Microblog) ([]types.ID, error) {
 // every-few-seconds flushing the paper's Section II-C warns about. A
 // new flush is therefore allowed only after memory grew by at least
 // 0.5% of the budget since the previous one ended.
-func (e *Engine[K]) maybeFlush() {
+func (e *Engine[K]) maybeFlush(trigger string) {
 	used := e.mem.Used()
 	if used < e.cfg.MemoryBudget {
 		return
@@ -337,32 +348,43 @@ func (e *Engine[K]) maybeFlush() {
 		return // a flush is already in flight
 	}
 	if e.cfg.SyncFlush {
-		e.runFlushLocked()
+		e.runFlushLocked(trigger)
 		return
 	}
-	go e.runFlushLocked()
+	go e.runFlushLocked(trigger)
 }
 
 // runFlushLocked executes one flush cycle; the caller must hold flushMu,
 // which is released on return.
-func (e *Engine[K]) runFlushLocked() {
+func (e *Engine[K]) runFlushLocked(trigger string) {
 	defer e.flushMu.Unlock()
-	_, err := e.flushCycle()
+	_, err := e.flushCycle(trigger)
 	if err != nil {
 		e.lastError.Store(err)
+		slog.Error("engine: background flush failed",
+			"policy", e.pol.Name(), "trigger", trigger, "error", err)
 	}
 }
 
-// flushCycle runs the policy once at the configured target and updates
-// the flush counters. Callers must hold flushMu.
-func (e *Engine[K]) flushCycle() (int64, error) {
+// flushCycle runs the policy once at the configured target, updates the
+// flush counters, and records the cycle in the audit journal (the
+// policy fills in its per-phase events between Begin and End). Callers
+// must hold flushMu.
+func (e *Engine[K]) flushCycle(trigger string) (int64, error) {
 	start := time.Now()
 	target := int64(e.cfg.FlushFraction * float64(e.cfg.MemoryBudget))
+	e.journal.Begin(e.pol.Name(), trigger, target, e.mem.Used(), start)
 	freed, err := e.pol.Flush(target)
+	d := time.Since(start)
 	e.reg.Flushes.Add(1)
 	e.reg.FlushedBytes.Add(freed)
-	e.reg.FlushLatency.Observe(time.Since(start))
-	e.lastFlushUsed.Store(e.mem.Used())
+	e.reg.FlushLatency.Observe(d)
+	used := e.mem.Used()
+	e.lastFlushUsed.Store(used)
+	e.journal.End(freed, used, d, err)
+	slog.Debug("engine: flush cycle",
+		"policy", e.pol.Name(), "trigger", trigger,
+		"target", target, "freed", freed, "duration", d)
 	return freed, err
 }
 
@@ -377,12 +399,17 @@ func (e *Engine[K]) FlushNow() (int64, error) {
 	}
 	e.flushMu.Lock()
 	defer e.flushMu.Unlock()
-	return e.flushCycle()
+	return e.flushCycle(flushlog.TriggerManual)
 }
 
 // Search evaluates one basic top-k search query (Section II-B). The
 // answer is ranked best-first; Result.MemoryHit reports whether memory
 // alone supplied the full k answers — the paper's hit-ratio event.
+//
+// When req.Trace is non-nil the execution is recorded into it: the
+// memory probe outcome per key, per-segment disk activity on a miss,
+// and stage timings. Every trace-related branch is guarded by a nil
+// check, so the disabled path adds no allocations.
 func (e *Engine[K]) Search(req query.Request[K]) (query.Result, error) {
 	if e.closed.Load() {
 		return query.Result{}, ErrClosed
@@ -398,6 +425,15 @@ func (e *Engine[K]) Search(req query.Request[K]) (query.Result, error) {
 	if len(req.Keys) == 1 {
 		op = query.OpSingle
 	}
+	tr := req.Trace
+	if tr != nil {
+		tr.Op = op.String()
+		tr.K = k
+		tr.Keys = make([]string, len(req.Keys))
+		for i, key := range req.Keys {
+			tr.Keys[i] = e.cfg.EncodeKey(key)
+		}
+	}
 	start := time.Now()
 	now := e.clk.Now()
 
@@ -406,11 +442,14 @@ func (e *Engine[K]) Search(req query.Request[K]) (query.Result, error) {
 	recsByID := make(map[types.ID]*store.Record)
 	lists := make([][]query.Item, 0, len(req.Keys))
 	everyKeyFilled := true // every queried key contributed >= k candidates
-	for _, key := range req.Keys {
+	for ki, key := range req.Keys {
 		en := e.idx.Entry(key)
 		if en == nil {
 			lists = append(lists, nil)
 			everyKeyFilled = false
+			if tr != nil {
+				tr.AddEntry(trace.EntryProbe{Key: tr.Keys[ki]})
+			}
 			continue
 		}
 		en.Touch(now)
@@ -432,6 +471,12 @@ func (e *Engine[K]) Search(req query.Request[K]) (query.Result, error) {
 			recsByID[r.MB.ID] = r
 		}
 		lists = append(lists, items)
+		if tr != nil {
+			n := en.Len()
+			tr.AddEntry(trace.EntryProbe{
+				Key: tr.Keys[ki], Found: true, Postings: n, KFilled: n >= k,
+			})
+		}
 	}
 
 	// Hit determination follows Section IV-D: a single-key query hits
@@ -457,12 +502,25 @@ func (e *Engine[K]) Search(req query.Request[K]) (query.Result, error) {
 		hit = len(mem) >= k
 	}
 
+	if tr != nil {
+		tr.MemoryHit = hit
+		tr.MemoryItems = len(mem)
+		tr.Stage("memory", start)
+	}
+
 	res := query.Result{Items: mem, MemoryHit: hit}
 	if !res.MemoryHit {
 		res.DiskChecked = true
-		diskItems, err := e.diskSearch(req.Keys, op, k)
+		var diskStart time.Time
+		if tr != nil {
+			diskStart = time.Now()
+		}
+		diskItems, err := e.diskSearch(req.Keys, op, k, tr)
 		if err != nil {
 			return query.Result{}, err
+		}
+		if tr != nil {
+			tr.Stage("disk", diskStart)
 		}
 		res.Items = query.MergeTopK([][]query.Item{mem, diskItems}, k)
 	}
@@ -480,6 +538,10 @@ func (e *Engine[K]) Search(req query.Request[K]) (query.Result, error) {
 	}
 
 	e.reg.RecordQuery(op.String(), res.MemoryHit, time.Since(start))
+	if tr != nil {
+		tr.Items = len(res.Items)
+		tr.Stage("total", start)
+	}
 	return res, nil
 }
 
@@ -488,7 +550,16 @@ func (e *Engine[K]) Search(req query.Request[K]) (query.Result, error) {
 // for the same (keys, op, k) pay one disk search and share its result.
 // Sharing is safe because query items are immutable once produced and
 // every caller merges them into a fresh result slice.
-func (e *Engine[K]) diskSearch(keys []K, op query.Op, k int) ([]query.Item, error) {
+//
+// A traced search bypasses coalescing and runs the disk search itself:
+// sharing another caller's in-flight result would leave the trace with
+// no per-segment record — exactly the detail the caller asked for — and
+// traced queries are rare, diagnostic traffic.
+func (e *Engine[K]) diskSearch(keys []K, op query.Op, k int, tr *trace.Trace) ([]query.Item, error) {
+	if tr != nil {
+		e.reg.DiskSearches.Add(1)
+		return e.tier.SearchTraced(keys, op, k, tr.BeginDisk())
+	}
 	var sb []byte
 	for _, key := range keys {
 		sb = append(sb, e.cfg.EncodeKey(key)...)
@@ -529,6 +600,29 @@ func (e *Engine[K]) Mem() *memsize.Tracker { return &e.mem }
 
 // Metrics exposes the counter registry.
 func (e *Engine[K]) Metrics() *metrics.Registry { return &e.reg }
+
+// Journal exposes the flush audit journal: one structured event per
+// completed flush cycle, newest DefaultSize retained.
+func (e *Engine[K]) Journal() *flushlog.Journal { return e.journal }
+
+// CheckReady verifies the engine can currently accept writes: the disk
+// tier directory must accept new files and the write-ahead log (when
+// durability is on) must be appendable. It performs real probe I/O, so
+// call it from readiness endpoints, not hot paths.
+func (e *Engine[K]) CheckReady() error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if err := e.tier.CheckWritable(); err != nil {
+		return err
+	}
+	if e.wal != nil {
+		if err := e.wal.CheckAppendable(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Policy exposes the attached flushing policy.
 func (e *Engine[K]) Policy() policy.Policy[K] { return e.pol }

@@ -1,0 +1,204 @@
+// Package flushlog is the flush audit journal: a fixed-size lock-free
+// ring buffer of structured flush-cycle events. Every flush cycle —
+// whatever the policy — records its trigger, byte target, per-phase
+// victims/freed bytes/durations (with per-shard worker timings for the
+// parallel kFlushing Phase 1), and whether the budget was satisfied.
+//
+// The journal answers the question aggregate counters cannot: what did
+// the MOST RECENT flush cycles actually choose, and why. It is served
+// at /debug/flushlog and summarized by `kflushctl flushlog`.
+//
+// Concurrency model: flush cycles are serialized by the engine's flush
+// gate, so there is exactly one writer at a time; Begin/Phase/End need
+// no writer-side locking beyond atomics. Readers (Events) run
+// concurrently with writers and never block them: each ring slot is an
+// atomic pointer to an immutable, published Event.
+package flushlog
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSize is the ring capacity used by the engine: enough to hold
+// hours of flush history at production flush rates while staying under
+// ~100 KiB of pointers.
+const DefaultSize = 256
+
+// Cycle triggers.
+const (
+	// TriggerBudget is an ingestion-driven flush: memory hit the budget.
+	TriggerBudget = "budget"
+	// TriggerManual is an explicit FlushNow call.
+	TriggerManual = "manual"
+	// TriggerRecovery is a flush after WAL replay overfilled the budget.
+	TriggerRecovery = "recovery"
+)
+
+// PhaseEvent describes one phase of a flush cycle. kFlushing records
+// one per executed phase (1=regular, 2=aggressive, 3=forced); the
+// single-phase baselines record exactly one with Phase 0.
+type PhaseEvent struct {
+	// Phase is the kFlushing phase number, or 0 for single-phase
+	// policies (FIFO, LRU).
+	Phase int `json:"phase"`
+	// Name labels the phase ("regular", "aggressive", "forced",
+	// "fifo-segments", "lru-tail").
+	Name string `json:"name"`
+	// Victims counts the phase's eviction units: index entries trimmed
+	// (Phase 1), entries evicted (Phases 2-3), segments dropped (FIFO),
+	// or records evicted (LRU).
+	Victims int64 `json:"victims"`
+	// Freed is the budget-relevant bytes the phase freed.
+	Freed int64 `json:"freed_bytes"`
+	// Nanos is the phase duration.
+	Nanos int64 `json:"nanos"`
+	// ShardNanos are per-worker durations when the phase fanned out
+	// over a worker pool (parallel Phase 1), empty otherwise.
+	ShardNanos []int64 `json:"shard_nanos,omitempty"`
+}
+
+// Event is one completed flush cycle.
+type Event struct {
+	// Seq is the journal-assigned cycle number, ascending from 1.
+	Seq uint64 `json:"seq"`
+	// Start is the cycle start time in Unix nanoseconds.
+	Start int64 `json:"start_unix_nanos"`
+	// Policy is the flushing policy that ran.
+	Policy string `json:"policy"`
+	// Trigger says why the cycle ran: "budget" (memory filled),
+	// "manual" (FlushNow), or "recovery" (WAL replay overfilled).
+	Trigger string `json:"trigger"`
+	// Target is the requested bytes to free (budget B).
+	Target int64 `json:"target_bytes"`
+	// Freed is the budget-relevant bytes actually freed.
+	Freed int64 `json:"freed_bytes"`
+	// Satisfied reports Freed >= Target — the saturation signal of the
+	// paper's Figure 5(a) regime when persistently false.
+	Satisfied bool `json:"satisfied"`
+	// Nanos is the whole-cycle duration.
+	Nanos int64 `json:"nanos"`
+	// MemBefore/MemAfter bracket the cycle's memory gauge.
+	MemBefore int64 `json:"mem_before_bytes"`
+	MemAfter  int64 `json:"mem_after_bytes"`
+	// Err is the flush error, if any.
+	Err string `json:"error,omitempty"`
+	// Phases are the executed phases in order.
+	Phases []PhaseEvent `json:"phases"`
+}
+
+// Journal is the ring. The zero value is not usable; use New. A nil
+// *Journal is a valid no-op sink: every method is nil-receiver safe, so
+// policies record events unconditionally.
+type Journal struct {
+	slots []atomic.Pointer[Event]
+	seq   atomic.Uint64
+	// cur is the open (in-progress) cycle. Only the single flushing
+	// goroutine writes it; it is never exposed to readers until End
+	// publishes it into the ring.
+	cur atomic.Pointer[Event]
+}
+
+// New returns an empty journal holding the last size events (DefaultSize
+// when size <= 0).
+func New(size int) *Journal {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	return &Journal{slots: make([]atomic.Pointer[Event], size)}
+}
+
+// Begin opens a cycle event. The caller must serialize flush cycles
+// (the engine's flush gate does); a Begin without a matching End
+// discards the open event on the next Begin. Nil-safe.
+func (j *Journal) Begin(policy, trigger string, target, memBefore int64, start time.Time) {
+	if j == nil {
+		return
+	}
+	j.cur.Store(&Event{
+		Start:     start.UnixNano(),
+		Policy:    policy,
+		Trigger:   trigger,
+		Target:    target,
+		MemBefore: memBefore,
+	})
+}
+
+// Phase appends one phase record to the open cycle. Nil-safe; a Phase
+// with no open cycle (policy driven directly in tests) is dropped.
+func (j *Journal) Phase(pe PhaseEvent) {
+	if j == nil {
+		return
+	}
+	if ev := j.cur.Load(); ev != nil {
+		ev.Phases = append(ev.Phases, pe)
+	}
+}
+
+// End seals the open cycle and publishes it into the ring. Nil-safe.
+func (j *Journal) End(freed, memAfter int64, d time.Duration, err error) {
+	if j == nil {
+		return
+	}
+	ev := j.cur.Swap(nil)
+	if ev == nil {
+		return
+	}
+	ev.Freed = freed
+	ev.Satisfied = freed >= ev.Target
+	ev.MemAfter = memAfter
+	ev.Nanos = d.Nanoseconds()
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	seq := j.seq.Add(1)
+	ev.Seq = seq
+	j.slots[(seq-1)%uint64(len(j.slots))].Store(ev)
+}
+
+// Len returns the number of cycles recorded so far (not capped by the
+// ring size). Nil-safe.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	return int(j.seq.Load())
+}
+
+// Events returns the retained cycles oldest-first. The returned events
+// are immutable snapshots; the slice is freshly allocated. Nil-safe.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	n := len(j.slots)
+	out := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		if ev := j.slots[i].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	// Slots wrap, so restore sequence order.
+	sortBySeq(out)
+	return out
+}
+
+// Last returns the most recent n cycles oldest-first (all when n <= 0).
+// Nil-safe.
+func (j *Journal) Last(n int) []Event {
+	evs := j.Events()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// sortBySeq is an insertion sort: the ring is already sorted except for
+// one rotation point, so this is O(n) in practice.
+func sortBySeq(evs []Event) {
+	for i := 1; i < len(evs); i++ {
+		for k := i; k > 0 && evs[k].Seq < evs[k-1].Seq; k-- {
+			evs[k], evs[k-1] = evs[k-1], evs[k]
+		}
+	}
+}

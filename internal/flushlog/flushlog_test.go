@@ -1,0 +1,137 @@
+package flushlog
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func record(j *Journal, policy string, target, freed int64) {
+	j.Begin(policy, TriggerBudget, target, 100, time.Unix(0, 1))
+	j.Phase(PhaseEvent{Phase: 1, Name: "regular", Victims: 3, Freed: freed})
+	j.End(freed, 100-freed, time.Millisecond, nil)
+}
+
+func TestJournalBasics(t *testing.T) {
+	j := New(4)
+	if j.Len() != 0 || len(j.Events()) != 0 {
+		t.Fatal("new journal not empty")
+	}
+	record(j, "kflushing", 10, 20)
+	evs := j.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	ev := evs[0]
+	if ev.Seq != 1 || ev.Policy != "kflushing" || ev.Trigger != TriggerBudget {
+		t.Fatalf("event header: %+v", ev)
+	}
+	if !ev.Satisfied || ev.Freed != 20 || ev.Target != 10 {
+		t.Fatalf("budget accounting: %+v", ev)
+	}
+	if ev.MemBefore != 100 || ev.MemAfter != 80 {
+		t.Fatalf("memory bracket: %+v", ev)
+	}
+	if len(ev.Phases) != 1 || ev.Phases[0].Name != "regular" || ev.Phases[0].Victims != 3 {
+		t.Fatalf("phases: %+v", ev.Phases)
+	}
+}
+
+func TestJournalUnsatisfiedAndError(t *testing.T) {
+	j := New(4)
+	j.Begin("lru", TriggerManual, 100, 50, time.Unix(0, 1))
+	j.End(30, 20, time.Millisecond, errors.New("sink failed"))
+	ev := j.Events()[0]
+	if ev.Satisfied {
+		t.Fatal("freed 30 < target 100 marked satisfied")
+	}
+	if ev.Err != "sink failed" {
+		t.Fatalf("err = %q", ev.Err)
+	}
+}
+
+func TestJournalRingWrapKeepsNewestInOrder(t *testing.T) {
+	j := New(4)
+	for i := 1; i <= 10; i++ {
+		record(j, "kflushing", int64(i), int64(i))
+	}
+	if j.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", j.Len())
+	}
+	evs := j.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring retained %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (oldest-first)", i, ev.Seq, want)
+		}
+	}
+	last := j.Last(2)
+	if len(last) != 2 || last[0].Seq != 9 || last[1].Seq != 10 {
+		t.Fatalf("Last(2) = %+v", last)
+	}
+}
+
+func TestJournalOpenCycleInvisible(t *testing.T) {
+	j := New(4)
+	j.Begin("fifo", TriggerBudget, 10, 10, time.Unix(0, 1))
+	j.Phase(PhaseEvent{Name: "fifo-segments"})
+	if len(j.Events()) != 0 {
+		t.Fatal("open cycle visible to readers before End")
+	}
+	j.End(10, 0, time.Millisecond, nil)
+	if len(j.Events()) != 1 {
+		t.Fatal("sealed cycle not published")
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Begin("x", TriggerBudget, 1, 1, time.Unix(0, 1))
+	j.Phase(PhaseEvent{})
+	j.End(1, 0, time.Millisecond, nil)
+	if j.Len() != 0 || j.Events() != nil || j.Last(5) != nil {
+		t.Fatal("nil journal not a no-op")
+	}
+}
+
+func TestJournalPhaseWithoutBeginDropped(t *testing.T) {
+	j := New(4)
+	j.Phase(PhaseEvent{Name: "stray"})
+	record(j, "kflushing", 1, 1)
+	if phases := j.Events()[0].Phases; len(phases) != 1 || phases[0].Name != "regular" {
+		t.Fatalf("stray phase leaked into the next cycle: %+v", phases)
+	}
+}
+
+func TestJournalConcurrentReaders(t *testing.T) {
+	j := New(8)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, ev := range j.Events() {
+					if ev.Seq == 0 {
+						t.Error("reader saw unsealed event")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		record(j, "kflushing", int64(i), int64(i))
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -5,40 +5,39 @@ package metrics
 
 import (
 	"math"
+	"math/bits"
 	"sync/atomic"
 	"time"
 )
 
+// HistBuckets is the number of power-of-two histogram buckets. The span
+// covers 1 ns up to 2^48 ns (~3.3 days); longer observations clamp into
+// the last bucket.
+const HistBuckets = 48
+
 // Histogram is a lock-free power-of-two latency histogram. Bucket i
 // counts observations in [2^i, 2^(i+1)) nanoseconds.
 type Histogram struct {
-	buckets [48]atomic.Int64
+	buckets [HistBuckets]atomic.Int64
 	count   atomic.Int64
 	sum     atomic.Int64
 }
 
-// Observe records one duration.
+// Observe records one duration. Sub-nanosecond durations count as 1 ns.
 func (h *Histogram) Observe(d time.Duration) {
 	n := d.Nanoseconds()
 	if n < 1 {
 		n = 1
 	}
-	b := 63 - leadingZeros(uint64(n))
+	// 63-LeadingZeros64 is floor(log2 n), so n lands in [2^b, 2^(b+1))
+	// exactly as the bucket contract documents.
+	b := 63 - bits.LeadingZeros64(uint64(n))
 	if b >= len(h.buckets) {
 		b = len(h.buckets) - 1
 	}
 	h.buckets[b].Add(1)
 	h.count.Add(1)
 	h.sum.Add(n)
-}
-
-func leadingZeros(x uint64) int {
-	n := 0
-	for x&(1<<63) == 0 && n < 64 {
-		x <<= 1
-		n++
-	}
-	return n
 }
 
 // Count returns the number of observations.
@@ -72,6 +71,35 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		}
 	}
 	return time.Duration(int64(1) << uint(len(h.buckets)))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, the raw
+// material for the Prometheus cumulative _bucket/_sum/_count series.
+// Counts[i] is the (non-cumulative) count of bucket i, whose upper bound
+// is 2^(i+1) nanoseconds; Sum is in nanoseconds.
+type HistogramSnapshot struct {
+	Counts [HistBuckets]int64 `json:"-"`
+	Count  int64              `json:"-"`
+	Sum    int64              `json:"-"`
+}
+
+// BucketUpperNanos returns bucket i's exclusive upper bound in
+// nanoseconds (the Prometheus `le` edge).
+func BucketUpperNanos(i int) int64 { return int64(1) << uint(i+1) }
+
+// Snap copies the histogram. The copy is not atomic across buckets —
+// concurrent observations may land between bucket loads — so Count is
+// derived from the loaded buckets rather than the live counter: the
+// +Inf cumulative bucket and _count then always agree, which the
+// Prometheus exposition requires.
+func (h *Histogram) Snap() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+		s.Count += s.Counts[i]
+	}
+	s.Sum = h.sum.Load()
+	return s
 }
 
 // FlushPhases is the number of instrumented flushing phases: kFlushing's
@@ -179,6 +207,9 @@ type PhaseSnapshot struct {
 	FreedBytes int64
 	Mean       time.Duration
 	P99        time.Duration
+	// Hist carries the full phase-latency distribution for the
+	// Prometheus exposition; excluded from /stats JSON.
+	Hist HistogramSnapshot `json:"-"`
 }
 
 // Snapshot is a point-in-time copy of the registry for reporting.
@@ -210,6 +241,13 @@ type Snapshot struct {
 	MeanMiss time.Duration
 	P99Hit   time.Duration
 	P99Miss  time.Duration
+
+	// Full latency distributions for the Prometheus histogram series
+	// (_bucket/_sum/_count); excluded from /stats JSON, where the
+	// mean/p99 summaries above remain the human-readable view.
+	FlushHist HistogramSnapshot `json:"-"`
+	HitHist   HistogramSnapshot `json:"-"`
+	MissHist  HistogramSnapshot `json:"-"`
 }
 
 // Snap returns a snapshot of all counters.
@@ -237,6 +275,9 @@ func (r *Registry) Snap() Snapshot {
 		MeanMiss:              r.MissLatency.Mean(),
 		P99Hit:                r.HitLatency.Quantile(0.99),
 		P99Miss:               r.MissLatency.Quantile(0.99),
+		FlushHist:             r.FlushLatency.Snap(),
+		HitHist:               r.HitLatency.Snap(),
+		MissHist:              r.MissLatency.Snap(),
 	}
 	for i := range s.Phases {
 		s.Phases[i] = PhaseSnapshot{
@@ -244,6 +285,7 @@ func (r *Registry) Snap() Snapshot {
 			FreedBytes: r.PhaseFreed[i].Load(),
 			Mean:       r.PhaseLatency[i].Mean(),
 			P99:        r.PhaseLatency[i].Quantile(0.99),
+			Hist:       r.PhaseLatency[i].Snap(),
 		}
 	}
 	return s

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -86,5 +88,90 @@ func TestRegistryConcurrent(t *testing.T) {
 	s := r.Snap()
 	if s.Queries != 8000 || s.Hits != 4000 || s.Misses != 4000 {
 		t.Fatalf("concurrent totals: %+v", s)
+	}
+}
+
+func TestHistogramBucketContract(t *testing.T) {
+	// Bucket i must hold observations in [2^i, 2^(i+1)) nanoseconds.
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{1, 0},                 // 1ns -> [1,2)
+		{2, 1},                 // 2ns -> [2,4)
+		{3, 1},                 // 3ns -> [2,4)
+		{4, 2},                 // 4ns -> [4,8)
+		{1023, 9},              // just under 2^10
+		{1024, 10},             // exactly 2^10
+		{time.Microsecond, 9},  // 1000ns -> [512,1024)
+		{time.Millisecond, 19}, // 1e6ns -> [2^19, 2^20)
+		{time.Second, 29},      // 1e9ns -> [2^29, 2^30)
+	}
+	for _, tc := range cases {
+		var h Histogram
+		h.Observe(tc.d)
+		s := h.Snap()
+		for i, c := range s.Counts {
+			want := int64(0)
+			if i == tc.bucket {
+				want = 1
+			}
+			if c != want {
+				t.Fatalf("Observe(%dns): bucket %d = %d, want bucket %d occupied", tc.d.Nanoseconds(), i, c, tc.bucket)
+			}
+		}
+	}
+}
+
+func TestHistogramClampsToLastBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Duration(1) << 62) // far beyond 2^48ns
+	s := h.Snap()
+	if s.Counts[HistBuckets-1] != 1 {
+		t.Fatal("oversized observation not clamped into the last bucket")
+	}
+}
+
+func TestBucketUpperNanos(t *testing.T) {
+	if BucketUpperNanos(0) != 2 || BucketUpperNanos(9) != 1024 {
+		t.Fatalf("edges: %d %d", BucketUpperNanos(0), BucketUpperNanos(9))
+	}
+	for i := 1; i < HistBuckets; i++ {
+		if BucketUpperNanos(i) != 2*BucketUpperNanos(i-1) {
+			t.Fatalf("edges not doubling at %d", i)
+		}
+	}
+}
+
+func TestSnapCountMatchesBuckets(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snap()
+	var sum int64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if s.Count != sum {
+		t.Fatalf("Snap.Count %d != bucket sum %d", s.Count, sum)
+	}
+	if s.Count != h.Count() {
+		t.Fatalf("Snap.Count %d != live count %d (quiescent)", s.Count, h.Count())
+	}
+	if s.Sum <= 0 {
+		t.Fatal("Snap.Sum not positive")
+	}
+}
+
+func TestSnapshotHistsExcludedFromJSON(t *testing.T) {
+	var r Registry
+	r.FlushLatency.Observe(time.Millisecond)
+	b, err := json.Marshal(r.Snap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "Counts") {
+		t.Fatalf("histogram snapshot leaked into JSON: %s", b)
 	}
 }

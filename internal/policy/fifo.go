@@ -2,7 +2,9 @@ package policy
 
 import (
 	"sync"
+	"time"
 
+	"kflushing/internal/flushlog"
 	"kflushing/internal/memsize"
 	"kflushing/internal/store"
 )
@@ -71,10 +73,12 @@ func (f *FIFO[K]) OnIngest(recs []*store.Record, keys [][]K) {
 func (f *FIFO[K]) OnAccess([]*store.Record) {}
 
 // Flush drops the oldest segments until at least target bytes are freed
-// or no sealed data remains.
+// or no sealed data remains. The audit journal receives one phase event
+// counting the temporal segments dropped.
 func (f *FIFO[K]) Flush(target int64) (int64, error) {
+	start := time.Now()
 	buf := NewVictimBuffer(f.r.Mem, f.r.Sink, false)
-	var freed int64
+	var freed, victims int64
 	for freed < target {
 		f.mu.Lock()
 		if len(f.segs) == 0 {
@@ -88,8 +92,16 @@ func (f *FIFO[K]) Flush(target int64) (int64, error) {
 		}
 		f.mu.Unlock()
 		freed += f.evictSegment(seg, buf)
+		victims++
 	}
-	return freed, buf.Close()
+	err := buf.Close()
+	f.r.Journal.Phase(flushlog.PhaseEvent{
+		Name:    "fifo-segments",
+		Victims: victims,
+		Freed:   freed,
+		Nanos:   time.Since(start).Nanoseconds(),
+	})
+	return freed, err
 }
 
 // evictSegment unlinks every record of seg from the index and releases

@@ -3,7 +3,9 @@ package policy
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"kflushing/internal/flushlog"
 	"kflushing/internal/memsize"
 	"kflushing/internal/store"
 )
@@ -95,10 +97,12 @@ func (l *LRU[K]) OnAccess(recs []*store.Record) {
 }
 
 // Flush evicts records from the list tail until at least target bytes
-// are freed or the list empties.
+// are freed or the list empties. The audit journal receives one phase
+// event counting the records evicted.
 func (l *LRU[K]) Flush(target int64) (int64, error) {
+	start := time.Now()
 	buf := NewVictimBuffer(l.r.Mem, l.r.Sink, true)
-	var freed int64
+	var freed, victims int64
 	for freed < target {
 		l.mu.Lock()
 		rec := l.tail
@@ -110,8 +114,16 @@ func (l *LRU[K]) Flush(target int64) (int64, error) {
 		l.mu.Unlock()
 		l.len.Add(-1)
 		freed += l.evict(rec, buf)
+		victims++
 	}
-	return freed, buf.Close()
+	err := buf.Close()
+	l.r.Journal.Phase(flushlog.PhaseEvent{
+		Name:    "lru-tail",
+		Victims: victims,
+		Freed:   freed,
+		Nanos:   time.Since(start).Nanoseconds(),
+	})
+	return freed, err
 }
 
 // evict removes every index posting of rec and releases it.

@@ -13,6 +13,7 @@ import (
 
 	"kflushing/internal/clock"
 	"kflushing/internal/disk"
+	"kflushing/internal/flushlog"
 	"kflushing/internal/index"
 	"kflushing/internal/memsize"
 	"kflushing/internal/metrics"
@@ -43,6 +44,10 @@ type Resources[K comparable] struct {
 	// Metrics receives per-phase flushing instrumentation; may be nil
 	// (direct policy tests).
 	Metrics *metrics.Registry
+	// Journal receives the structured flush audit events; may be nil
+	// (all Journal methods are nil-safe, so policies record events
+	// unconditionally).
+	Journal *flushlog.Journal
 }
 
 // Unref releases one index reference on rec. When the count reaches zero

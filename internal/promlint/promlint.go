@@ -1,0 +1,361 @@
+// Package promlint validates Prometheus text exposition (version 0.0.4)
+// the way a scraper would: every sample must belong to a metric with
+// HELP and TYPE metadata, no series may be emitted twice, monotonic
+// `*_total` series must be counters, and histogram `_bucket` series must
+// be cumulative, `le`-sorted, and closed by a `+Inf` bucket that agrees
+// with `_count`.
+//
+// It backs the exposition tests in internal/server and the cmd/promlint
+// binary the CI metrics-lint job runs against a live /metrics scrape, so
+// a malformed metric cannot merge.
+package promlint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Problem is one lint finding.
+type Problem struct {
+	// Line is the 1-based line number the problem was found at (0 for
+	// whole-exposition problems discovered after the scan).
+	Line int
+	// Msg describes the problem.
+	Msg string
+}
+
+func (p Problem) String() string {
+	if p.Line > 0 {
+		return fmt.Sprintf("line %d: %s", p.Line, p.Msg)
+	}
+	return p.Msg
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// sample is one parsed exposition line.
+type sample struct {
+	line   int
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// histKey identifies one histogram series: base name + labels minus le.
+type histKey struct {
+	name   string
+	labels string
+}
+
+// bucket is one _bucket sample of a histogram.
+type bucket struct {
+	le    float64
+	leRaw string
+	value float64
+	line  int
+}
+
+// Lint reads one exposition and returns every problem found, in input
+// order. An empty slice means the exposition is clean.
+func Lint(r io.Reader) []Problem {
+	var probs []Problem
+	add := func(line int, format string, args ...any) {
+		probs = append(probs, Problem{Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	help := map[string]int{}     // metric -> first HELP line
+	types := map[string]string{} // metric -> declared type
+	seen := map[string]int{}     // series identity -> first line
+	var samples []sample
+	buckets := map[histKey][]bucket{}
+	counts := map[histKey]float64{}
+	sums := map[histKey]bool{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !nameRe.MatchString(name) {
+				add(lineno, "invalid metric name %q in %s line", name, fields[1])
+				continue
+			}
+			switch fields[1] {
+			case "HELP":
+				if _, dup := help[name]; dup {
+					add(lineno, "duplicate HELP for %s", name)
+				}
+				help[name] = lineno
+				if len(fields) < 4 || strings.TrimSpace(fields[3]) == "" {
+					add(lineno, "empty HELP text for %s", name)
+				}
+			case "TYPE":
+				if _, dup := types[name]; dup {
+					add(lineno, "duplicate TYPE for %s", name)
+				}
+				if len(fields) < 4 {
+					add(lineno, "TYPE line for %s missing type", name)
+					continue
+				}
+				typ := strings.TrimSpace(fields[3])
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					add(lineno, "invalid TYPE %q for %s", typ, name)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+
+		s, err := parseSample(line)
+		if err != nil {
+			add(lineno, "unparseable sample: %v", err)
+			continue
+		}
+		s.line = lineno
+		samples = append(samples, s)
+
+		id := s.name + "{" + canonicalLabels(s.labels) + "}"
+		if first, dup := seen[id]; dup {
+			add(lineno, "duplicate series %s (first at line %d)", id, first)
+		} else {
+			seen[id] = lineno
+		}
+	}
+	if err := sc.Err(); err != nil {
+		add(0, "read: %v", err)
+		return probs
+	}
+
+	for _, s := range samples {
+		base, role := baseName(s.name, types)
+		if _, ok := types[base]; !ok {
+			add(s.line, "sample %s has no TYPE metadata", s.name)
+		}
+		if _, ok := help[base]; !ok {
+			add(s.line, "sample %s has no HELP metadata", s.name)
+		}
+		if strings.HasSuffix(base, "_total") && types[base] != "counter" && types[base] != "" {
+			add(s.line, "metric %s ends in _total but is declared %s, not counter", base, types[base])
+		}
+		if role == "" && (types[base] == "counter" || strings.HasSuffix(base, "_total")) && s.value < 0 {
+			add(s.line, "counter %s has negative value %g", base, s.value)
+		}
+		for k := range s.labels {
+			if !labelRe.MatchString(k) {
+				add(s.line, "invalid label name %q on %s", k, s.name)
+			}
+		}
+
+		if types[base] == "histogram" {
+			labels := s.labels
+			switch role {
+			case "bucket":
+				leRaw, ok := labels["le"]
+				if !ok {
+					add(s.line, "histogram bucket %s missing le label", s.name)
+					continue
+				}
+				le, err := parseLe(leRaw)
+				if err != nil {
+					add(s.line, "histogram bucket %s has bad le %q", s.name, leRaw)
+					continue
+				}
+				k := histKey{base, canonicalLabelsExcept(labels, "le")}
+				buckets[k] = append(buckets[k], bucket{le: le, leRaw: leRaw, value: s.value, line: s.line})
+			case "count":
+				counts[histKey{base, canonicalLabels(labels)}] = s.value
+			case "sum":
+				sums[histKey{base, canonicalLabels(labels)}] = true
+			default:
+				add(s.line, "histogram %s emitted bare sample %s", base, s.name)
+			}
+		}
+	}
+
+	// Per-histogram-series structural checks.
+	keys := make([]histKey, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].labels < keys[j].labels
+	})
+	for _, k := range keys {
+		bs := buckets[k]
+		last := bs[len(bs)-1]
+		if !math.IsInf(last.le, 1) {
+			add(last.line, "histogram %s{%s} does not end with a +Inf bucket", k.name, k.labels)
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i].le <= bs[i-1].le {
+				add(bs[i].line, "histogram %s{%s} buckets not le-sorted: %q after %q",
+					k.name, k.labels, bs[i].leRaw, bs[i-1].leRaw)
+			}
+			if bs[i].value < bs[i-1].value {
+				add(bs[i].line, "histogram %s{%s} buckets not cumulative: le=%q count %g < le=%q count %g",
+					k.name, k.labels, bs[i].leRaw, bs[i].value, bs[i-1].leRaw, bs[i-1].value)
+			}
+		}
+		if cnt, ok := counts[k]; !ok {
+			add(last.line, "histogram %s{%s} has no _count series", k.name, k.labels)
+		} else if math.IsInf(last.le, 1) && last.value != cnt {
+			add(last.line, "histogram %s{%s} +Inf bucket %g != _count %g",
+				k.name, k.labels, last.value, cnt)
+		}
+		if !sums[k] {
+			add(last.line, "histogram %s{%s} has no _sum series", k.name, k.labels)
+		}
+	}
+
+	sort.SliceStable(probs, func(i, j int) bool { return probs[i].Line < probs[j].Line })
+	return probs
+}
+
+// baseName resolves a sample name to its metadata metric: histogram
+// samples map _bucket/_sum/_count onto the declared base name. role is
+// "bucket", "sum", "count", or "" for a plain sample.
+func baseName(name string, types map[string]string) (string, string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if b, ok := strings.CutSuffix(name, suf); ok && types[b] == "histogram" {
+			return b, suf[1:]
+		}
+	}
+	return name, ""
+}
+
+// parseLe parses a bucket upper bound, accepting +Inf.
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseSample parses `name{labels} value [timestamp]`.
+func parseSample(line string) (sample, error) {
+	s := sample{labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if sp := strings.IndexAny(rest, " \t"); brace >= 0 && (sp < 0 || brace < sp) {
+		nameEnd = brace
+	} else if sp >= 0 {
+		nameEnd = sp
+	} else {
+		return s, fmt.Errorf("no value")
+	}
+	s.name = rest[:nameEnd]
+	if !nameRe.MatchString(s.name) {
+		return s, fmt.Errorf("invalid metric name %q", s.name)
+	}
+	rest = rest[nameEnd:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("expected value [timestamp], got %q", rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		if fields[0] == "+Inf" || fields[0] == "-Inf" || fields[0] == "NaN" {
+			v = 0
+		} else {
+			return s, fmt.Errorf("bad value %q", fields[0])
+		}
+	}
+	s.value = v
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at rest[0]=='{' and
+// returns the index just past the closing brace.
+func parseLabels(rest string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		for i < len(rest) && (rest[i] == ' ' || rest[i] == ',') {
+			i++
+		}
+		if i < len(rest) && rest[i] == '}' {
+			return i + 1, nil
+		}
+		eq := strings.IndexByte(rest[i:], '=')
+		if eq < 0 {
+			return 0, fmt.Errorf("label without '='")
+		}
+		key := rest[i : i+eq]
+		i += eq + 1
+		if i >= len(rest) || rest[i] != '"' {
+			return 0, fmt.Errorf("label value for %q not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		for i < len(rest) && rest[i] != '"' {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				i++
+			}
+			val.WriteByte(rest[i])
+			i++
+		}
+		if i >= len(rest) {
+			return 0, fmt.Errorf("unterminated label value for %q", key)
+		}
+		i++ // closing quote
+		if _, dup := out[key]; dup {
+			return 0, fmt.Errorf("duplicate label %q", key)
+		}
+		out[key] = val.String()
+	}
+}
+
+// canonicalLabels renders a label set sorted by key, for identity
+// comparison.
+func canonicalLabels(labels map[string]string) string {
+	return canonicalLabelsExcept(labels, "")
+}
+
+func canonicalLabelsExcept(labels map[string]string, drop string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != drop {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}

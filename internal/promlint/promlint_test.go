@@ -1,0 +1,125 @@
+package promlint
+
+import (
+	"strings"
+	"testing"
+)
+
+func lint(t *testing.T, exposition string) []Problem {
+	t.Helper()
+	return Lint(strings.NewReader(exposition))
+}
+
+func wantProblem(t *testing.T, probs []Problem, substr string) {
+	t.Helper()
+	for _, p := range probs {
+		if strings.Contains(p.Msg, substr) {
+			return
+		}
+	}
+	t.Fatalf("no problem mentioning %q in %v", substr, probs)
+}
+
+const clean = `# HELP m_requests_total requests served
+# TYPE m_requests_total counter
+m_requests_total{code="200"} 10
+m_requests_total{code="500"} 1
+# HELP m_temp_celsius current temperature
+# TYPE m_temp_celsius gauge
+m_temp_celsius 21.5
+# HELP m_latency_seconds request latency
+# TYPE m_latency_seconds histogram
+m_latency_seconds_bucket{le="0.1"} 3
+m_latency_seconds_bucket{le="1"} 5
+m_latency_seconds_bucket{le="+Inf"} 6
+m_latency_seconds_sum 2.2
+m_latency_seconds_count 6
+`
+
+func TestCleanExposition(t *testing.T) {
+	if probs := lint(t, clean); len(probs) != 0 {
+		t.Fatalf("clean exposition flagged: %v", probs)
+	}
+}
+
+func TestMissingMetadata(t *testing.T) {
+	wantProblem(t, lint(t, "m_x 1\n"), "no TYPE metadata")
+	wantProblem(t, lint(t, "m_x 1\n"), "no HELP metadata")
+}
+
+func TestTotalMustBeCounter(t *testing.T) {
+	probs := lint(t, `# HELP m_ops_total ops
+# TYPE m_ops_total gauge
+m_ops_total 5
+`)
+	wantProblem(t, probs, "not counter")
+}
+
+func TestDuplicateSeries(t *testing.T) {
+	probs := lint(t, `# HELP m_x x
+# TYPE m_x gauge
+m_x{a="1",b="2"} 1
+m_x{b="2",a="1"} 2
+`)
+	wantProblem(t, probs, "duplicate series")
+}
+
+func TestHistogramNotCumulative(t *testing.T) {
+	probs := lint(t, `# HELP m_h h
+# TYPE m_h histogram
+m_h_bucket{le="1"} 5
+m_h_bucket{le="2"} 3
+m_h_bucket{le="+Inf"} 5
+m_h_sum 1
+m_h_count 5
+`)
+	wantProblem(t, probs, "not cumulative")
+}
+
+func TestHistogramUnsortedLe(t *testing.T) {
+	probs := lint(t, `# HELP m_h h
+# TYPE m_h histogram
+m_h_bucket{le="2"} 1
+m_h_bucket{le="1"} 1
+m_h_bucket{le="+Inf"} 1
+m_h_sum 1
+m_h_count 1
+`)
+	wantProblem(t, probs, "not le-sorted")
+}
+
+func TestHistogramMissingInf(t *testing.T) {
+	probs := lint(t, `# HELP m_h h
+# TYPE m_h histogram
+m_h_bucket{le="1"} 1
+m_h_sum 1
+m_h_count 1
+`)
+	wantProblem(t, probs, "+Inf")
+}
+
+func TestHistogramInfDisagreesWithCount(t *testing.T) {
+	probs := lint(t, `# HELP m_h h
+# TYPE m_h histogram
+m_h_bucket{le="+Inf"} 4
+m_h_sum 1
+m_h_count 5
+`)
+	wantProblem(t, probs, "!= _count")
+}
+
+func TestDuplicateTypeLine(t *testing.T) {
+	probs := lint(t, `# HELP m_x x
+# TYPE m_x gauge
+# TYPE m_x counter
+m_x 1
+`)
+	wantProblem(t, probs, "duplicate TYPE")
+}
+
+func TestUnparseableSample(t *testing.T) {
+	wantProblem(t, lint(t, `# HELP m_x x
+# TYPE m_x gauge
+m_x{a="1" 1
+`), "unparseable")
+}

@@ -12,6 +12,7 @@ package query
 import (
 	"sort"
 
+	"kflushing/internal/trace"
 	"kflushing/internal/types"
 )
 
@@ -128,6 +129,10 @@ type Request[K comparable] struct {
 	Op Op
 	// K is the result limit; 0 selects the engine default.
 	K int
+	// Trace, when non-nil, collects the end-to-end execution record of
+	// the query (memory probe, per-segment disk activity, stage
+	// timings). Nil — the default — disables tracing at zero cost.
+	Trace *trace.Trace
 }
 
 // Result is a query answer with its provenance.

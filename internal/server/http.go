@@ -3,25 +3,47 @@ package server
 import (
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 
 	"kflushing"
+	"kflushing/internal/metrics"
 )
 
-// Handler returns the HTTP API over the store:
+// HandlerOptions tunes the HTTP API surface.
+type HandlerOptions struct {
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose heap contents and must be
+	// opted into (kflushd's -pprof flag).
+	EnablePprof bool
+}
+
+// Handler returns the HTTP API over the store with default options:
 //
 //	POST /microblogs            one JSON object or a stream of objects
-//	GET  /search/keywords?q=a,b&op=single|and|or&k=20
-//	GET  /search/nearby?lat=40.7&lon=-74.0&k=20[&radius=5]   (miles)
-//	GET  /search/user?id=42&k=20
+//	GET  /search/keywords?q=a,b&op=single|and|or&k=20[&trace=1]
+//	GET  /search/nearby?lat=40.7&lon=-74.0&k=20[&radius=5][&trace=1]
+//	GET  /search/user?id=42&k=20[&trace=1]
 //	GET  /stats                 per-attribute gauges and counters
 //	GET  /metrics               Prometheus text exposition
+//	GET  /debug/flushlog        flush audit journal (JSON)
 //	GET  /healthz               liveness probe
+//	GET  /readyz                readiness probe (disk + WAL writable)
+//
+// trace=1 attaches a per-query execution trace to the JSON response:
+// the memory probe per key and, on a miss, every disk segment consulted
+// with Bloom/cache outcomes and stage timings.
 func (s *Store) Handler() http.Handler {
+	return s.HandlerWithOptions(HandlerOptions{})
+}
+
+// HandlerWithOptions returns the HTTP API with explicit options.
+func (s *Store) HandlerWithOptions(o HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/microblogs", s.handleIngest)
 	mux.HandleFunc("/search/keywords", s.handleSearchKeywords)
@@ -29,9 +51,18 @@ func (s *Store) Handler() http.Handler {
 	mux.HandleFunc("/search/user", s.handleSearchUser)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/flushlog", s.handleFlushLog)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", s.handleReady)
+	if o.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -133,6 +164,20 @@ func parseK(r *http.Request) (int, error) {
 	return v, nil
 }
 
+// traceWanted reports whether the request opted into query tracing.
+func traceWanted(r *http.Request) bool {
+	return r.URL.Query().Get("trace") == "1"
+}
+
+// writeSearch emits a search response, attaching the trace when present.
+func writeSearch(w http.ResponseWriter, res kflushing.Result, tr *kflushing.Trace) {
+	body := map[string]any{"items": toItems(res), "memory_hit": res.MemoryHit}
+	if tr != nil {
+		body["trace"] = tr
+	}
+	writeJSON(w, body)
+}
+
 func (s *Store) handleSearchKeywords(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	var keywords []string
@@ -161,12 +206,18 @@ func (s *Store) handleSearchKeywords(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := s.SearchKeywords(keywords, op, k)
+	var res kflushing.Result
+	var tr *kflushing.Trace
+	if traceWanted(r) {
+		res, tr, err = s.SearchKeywordsTraced(keywords, op, k)
+	} else {
+		res, err = s.SearchKeywords(keywords, op, k)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, map[string]any{"items": toItems(res), "memory_hit": res.MemoryHit})
+	writeSearch(w, res, tr)
 }
 
 func (s *Store) handleSearchNearby(w http.ResponseWriter, r *http.Request) {
@@ -191,12 +242,18 @@ func (s *Store) handleSearchNearby(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := s.SearchNearby(lat, lon, radius, k)
+	var res kflushing.Result
+	var tr *kflushing.Trace
+	if traceWanted(r) {
+		res, tr, err = s.SearchNearbyTraced(lat, lon, radius, k)
+	} else {
+		res, err = s.SearchNearby(lat, lon, radius, k)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, map[string]any{"items": toItems(res), "memory_hit": res.MemoryHit})
+	writeSearch(w, res, tr)
 }
 
 func (s *Store) handleSearchUser(w http.ResponseWriter, r *http.Request) {
@@ -210,19 +267,69 @@ func (s *Store) handleSearchUser(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := s.SearchUser(id, k)
+	var res kflushing.Result
+	var tr *kflushing.Trace
+	if traceWanted(r) {
+		res, tr, err = s.SearchUserTraced(id, k)
+	} else {
+		res, err = s.SearchUser(id, k)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, map[string]any{"items": toItems(res), "memory_hit": res.MemoryHit})
+	writeSearch(w, res, tr)
 }
 
 func (s *Store) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.Stats())
 }
 
-// handleMetrics writes the Prometheus text exposition format.
+// handleFlushLog serves the flush audit journal. ?n bounds the number of
+// cycles per attribute (default 50); ?attr restricts to one attribute.
+func (s *Store) handleFlushLog(w http.ResponseWriter, r *http.Request) {
+	n := 50
+	if ns := r.URL.Query().Get("n"); ns != "" {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 1 || v > 100_000 {
+			http.Error(w, "n must be an integer in [1,100000]", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	logs := s.FlushLogs(n)
+	if attr := r.URL.Query().Get("attr"); attr != "" {
+		evs, ok := logs[attr]
+		if !ok {
+			http.Error(w, "attr must be keyword|spatial|user", http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]any{attr: evs})
+		return
+	}
+	writeJSON(w, logs)
+}
+
+// handleReady is the readiness probe: it verifies every attribute
+// system can actually write (disk tier dir writable, WAL appendable
+// when durable) and answers 503 with the failing attributes otherwise.
+func (s *Store) handleReady(w http.ResponseWriter, _ *http.Request) {
+	failures := s.Ready()
+	if len(failures) == 0 {
+		writeJSON(w, map[string]any{"ready": true})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	if err := json.NewEncoder(w).Encode(map[string]any{"ready": false, "reasons": failures}); err != nil {
+		slog.Error("server: encode readiness response", "err", err)
+	}
+}
+
+// handleMetrics writes the Prometheus text exposition format: one HELP
+// and TYPE line per metric name, gauges and counters per attribute, and
+// real cumulative histograms (_bucket/_sum/_count) for the latency
+// distributions.
 func (s *Store) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	stats := s.Stats()
@@ -232,67 +339,79 @@ func (s *Store) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	sort.Strings(attrs)
 
-	emit := func(name, help string, value func(kflushing.Stats) float64) {
+	emit := func(name, typ, help string, value func(kflushing.Stats) float64) {
 		fmt.Fprintf(w, "# HELP kflushing_%s %s\n", name, help)
-		fmt.Fprintf(w, "# TYPE kflushing_%s gauge\n", name)
+		fmt.Fprintf(w, "# TYPE kflushing_%s %s\n", name, typ)
 		for _, a := range attrs {
 			fmt.Fprintf(w, "kflushing_%s{attr=%q,policy=%q} %g\n",
 				name, a, stats[a].Policy, value(stats[a]))
 		}
 	}
-	emit("memory_used_bytes", "budget-relevant memory in use",
+	emit("memory_used_bytes", "gauge", "budget-relevant memory in use",
 		func(st kflushing.Stats) float64 { return float64(st.MemoryUsed) })
-	emit("memory_budget_bytes", "configured memory budget",
+	emit("memory_budget_bytes", "gauge", "configured memory budget",
 		func(st kflushing.Stats) float64 { return float64(st.MemoryBudget) })
-	emit("policy_overhead_bytes", "flushing-policy bookkeeping memory",
+	emit("policy_overhead_bytes", "gauge", "flushing-policy bookkeeping memory",
 		func(st kflushing.Stats) float64 { return float64(st.PolicyOverhead) })
-	emit("records", "records in the raw data store",
+	emit("records", "gauge", "records in the raw data store",
 		func(st kflushing.Stats) float64 { return float64(st.StoreRecords) })
-	emit("index_entries", "live index entries",
+	emit("index_entries", "gauge", "live index entries",
 		func(st kflushing.Stats) float64 { return float64(st.Census.Entries) })
-	emit("kfilled_entries", "entries able to serve top-k from memory",
+	emit("kfilled_entries", "gauge", "entries able to serve top-k from memory",
 		func(st kflushing.Stats) float64 { return float64(st.Census.KFilled) })
-	emit("ingested_total", "records digested",
+	emit("ingested_total", "counter", "records digested",
 		func(st kflushing.Stats) float64 { return float64(st.Metrics.Ingested) })
-	emit("queries_total", "queries evaluated",
+	emit("queries_total", "counter", "queries evaluated",
 		func(st kflushing.Stats) float64 { return float64(st.Metrics.Queries) })
-	emit("query_hits_total", "queries answered entirely from memory",
+	emit("query_hits_total", "counter", "queries answered entirely from memory",
 		func(st kflushing.Stats) float64 { return float64(st.Metrics.Hits) })
-	emit("flushes_total", "flush cycles executed",
+	emit("flushes_total", "counter", "flush cycles executed",
 		func(st kflushing.Stats) float64 { return float64(st.Metrics.Flushes) })
-	emit("ingest_batches_total", "batched ingestion calls (per-record ingest is a batch of one)",
+	emit("ingest_batches_total", "counter", "batched ingestion calls (per-record ingest is a batch of one)",
 		func(st kflushing.Stats) float64 { return float64(st.Metrics.IngestBatches) })
-	emit("flush_seconds_mean", "mean flush-cycle duration",
-		func(st kflushing.Stats) float64 { return st.Metrics.MeanFlush.Seconds() })
-	emit("flush_seconds_p99", "p99 flush-cycle duration",
-		func(st kflushing.Stats) float64 { return st.Metrics.P99Flush.Seconds() })
-	emit("disk_segments", "live disk segments",
+	emit("disk_segments", "gauge", "live disk segments",
 		func(st kflushing.Stats) float64 { return float64(st.Disk.Segments) })
-	emit("disk_record_reads_total", "record preads served by the disk tier",
+	emit("disk_record_reads_total", "counter", "record preads served by the disk tier",
 		func(st kflushing.Stats) float64 { return float64(st.Disk.RecordReads) })
-	emit("disk_searches_total", "disk searches actually executed on memory misses",
+	emit("disk_searches_total", "counter", "disk searches actually executed on memory misses",
 		func(st kflushing.Stats) float64 { return float64(st.Metrics.DiskSearches) })
-	emit("disk_searches_coalesced_total", "duplicate concurrent misses that shared an in-flight disk search",
+	emit("disk_searches_coalesced_total", "counter", "duplicate concurrent misses that shared an in-flight disk search",
 		func(st kflushing.Stats) float64 { return float64(st.Metrics.DiskSearchesCoalesced) })
-	emit("disk_bloom_probes_total", "per-segment Bloom filter consultations",
+	emit("disk_bloom_probes_total", "counter", "per-segment Bloom filter consultations",
 		func(st kflushing.Stats) float64 { return float64(st.Disk.BloomProbes) })
-	emit("disk_bloom_skips_total", "segment directory probes skipped by Bloom filters",
+	emit("disk_bloom_skips_total", "counter", "segment directory probes skipped by Bloom filters",
 		func(st kflushing.Stats) float64 { return float64(st.Disk.BloomSkips) })
-	emit("disk_dir_probes_total", "segment directory probes performed",
+	emit("disk_dir_probes_total", "counter", "segment directory probes performed",
 		func(st kflushing.Stats) float64 { return float64(st.Disk.DirProbes) })
-	emit("disk_cache_hits_total", "record reads served by the disk read cache",
+	emit("disk_cache_hits_total", "counter", "record reads served by the disk read cache",
 		func(st kflushing.Stats) float64 { return float64(st.Disk.CacheHits) })
-	emit("disk_cache_misses_total", "record cache lookups that fell through to a pread",
+	emit("disk_cache_misses_total", "counter", "record cache lookups that fell through to a pread",
 		func(st kflushing.Stats) float64 { return float64(st.Disk.CacheMisses) })
-	emit("disk_cache_evictions_total", "record cache entries evicted by the byte budget",
+	emit("disk_cache_evictions_total", "counter", "record cache entries evicted by the byte budget",
 		func(st kflushing.Stats) float64 { return float64(st.Disk.CacheEvictions) })
-	emit("disk_cache_bytes", "bytes resident in the disk read cache",
+	emit("disk_cache_bytes", "gauge", "bytes resident in the disk read cache",
 		func(st kflushing.Stats) float64 { return float64(st.Disk.CacheBytes) })
 
-	// Per-phase breakdown of kFlushing flushes (all-zero for FIFO/LRU).
-	emitPhase := func(name, help string, value func(kflushing.Stats, int) float64) {
+	// Latency distributions as real cumulative histograms. The engine's
+	// power-of-two buckets become `le` edges of 2^(i+1) ns in seconds.
+	emitHist := func(name, help string, snap func(kflushing.Stats) metrics.HistogramSnapshot) {
 		fmt.Fprintf(w, "# HELP kflushing_%s %s\n", name, help)
-		fmt.Fprintf(w, "# TYPE kflushing_%s gauge\n", name)
+		fmt.Fprintf(w, "# TYPE kflushing_%s histogram\n", name)
+		for _, a := range attrs {
+			writeHistSeries(w, name, fmt.Sprintf("attr=%q,policy=%q", a, stats[a].Policy), snap(stats[a]))
+		}
+	}
+	emitHist("flush_duration_seconds", "flush-cycle duration",
+		func(st kflushing.Stats) metrics.HistogramSnapshot { return st.Metrics.FlushHist })
+	emitHist("query_hit_duration_seconds", "latency of queries answered from memory",
+		func(st kflushing.Stats) metrics.HistogramSnapshot { return st.Metrics.HitHist })
+	emitHist("query_miss_duration_seconds", "latency of queries that fell back to disk",
+		func(st kflushing.Stats) metrics.HistogramSnapshot { return st.Metrics.MissHist })
+
+	// Per-phase breakdown of kFlushing flushes (all-zero for FIFO/LRU).
+	emitPhase := func(name, typ, help string, value func(kflushing.Stats, int) float64) {
+		fmt.Fprintf(w, "# HELP kflushing_%s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE kflushing_%s %s\n", name, typ)
 		for _, a := range attrs {
 			for p := 0; p < len(stats[a].Metrics.Phases); p++ {
 				fmt.Fprintf(w, "kflushing_%s{attr=%q,policy=%q,phase=\"%d\"} %g\n",
@@ -300,17 +419,53 @@ func (s *Store) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			}
 		}
 	}
-	emitPhase("flush_phase_runs_total", "executions of each kFlushing phase",
+	emitPhase("flush_phase_runs_total", "counter", "executions of each kFlushing phase",
 		func(st kflushing.Stats, p int) float64 { return float64(st.Metrics.Phases[p].Runs) })
-	emitPhase("flush_phase_freed_bytes_total", "budget-relevant bytes freed by each kFlushing phase",
+	emitPhase("flush_phase_freed_bytes_total", "counter", "budget-relevant bytes freed by each kFlushing phase",
 		func(st kflushing.Stats, p int) float64 { return float64(st.Metrics.Phases[p].FreedBytes) })
-	emitPhase("flush_phase_seconds_mean", "mean duration of each kFlushing phase",
-		func(st kflushing.Stats, p int) float64 { return st.Metrics.Phases[p].Mean.Seconds() })
+	fmt.Fprintf(w, "# HELP kflushing_flush_phase_duration_seconds duration of each kFlushing phase\n")
+	fmt.Fprintf(w, "# TYPE kflushing_flush_phase_duration_seconds histogram\n")
+	for _, a := range attrs {
+		for p := 0; p < len(stats[a].Metrics.Phases); p++ {
+			labels := fmt.Sprintf("attr=%q,policy=%q,phase=\"%d\"", a, stats[a].Policy, p+1)
+			writeHistSeries(w, "flush_phase_duration_seconds", labels, stats[a].Metrics.Phases[p].Hist)
+		}
+	}
+
+	// Process-wide runtime health, once (no attr label).
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP kflushing_goroutines live goroutines in the server process\n")
+	fmt.Fprintf(w, "# TYPE kflushing_goroutines gauge\n")
+	fmt.Fprintf(w, "kflushing_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP kflushing_heap_alloc_bytes heap bytes allocated and still in use\n")
+	fmt.Fprintf(w, "# TYPE kflushing_heap_alloc_bytes gauge\n")
+	fmt.Fprintf(w, "kflushing_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "# HELP kflushing_gc_cycles_total completed garbage-collection cycles\n")
+	fmt.Fprintf(w, "# TYPE kflushing_gc_cycles_total counter\n")
+	fmt.Fprintf(w, "kflushing_gc_cycles_total %d\n", ms.NumGC)
+	fmt.Fprintf(w, "# HELP kflushing_gc_pause_seconds_total cumulative stop-the-world pause time\n")
+	fmt.Fprintf(w, "# TYPE kflushing_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(w, "kflushing_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
+}
+
+// writeHistSeries emits one labeled histogram as cumulative _bucket
+// lines (le edges ascending, closed by +Inf), then _sum and _count.
+func writeHistSeries(w http.ResponseWriter, name, labels string, h metrics.HistogramSnapshot) {
+	var cum int64
+	for i := 0; i < metrics.HistBuckets; i++ {
+		cum += h.Counts[i]
+		le := strconv.FormatFloat(float64(metrics.BucketUpperNanos(i))/1e9, 'g', -1, 64)
+		fmt.Fprintf(w, "kflushing_%s_bucket{%s,le=%q} %d\n", name, labels, le, cum)
+	}
+	fmt.Fprintf(w, "kflushing_%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, h.Count)
+	fmt.Fprintf(w, "kflushing_%s_sum{%s} %g\n", name, labels, float64(h.Sum)/1e9)
+	fmt.Fprintf(w, "kflushing_%s_count{%s} %d\n", name, labels, h.Count)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("server: encode response: %v", err)
+		slog.Error("server: encode response", "err", err)
 	}
 }

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"kflushing"
+	"kflushing/internal/promlint"
+)
+
+// TestMetricsExpositionLints parses the full /metrics output through the
+// exposition linter: every series must carry HELP/TYPE, histogram
+// buckets must be cumulative and le-sorted, and no series may repeat.
+func TestMetricsExpositionLints(t *testing.T) {
+	st := newTestStore(t)
+	// Generate traffic so histograms and counters are non-trivial.
+	for i := 1; i <= 50; i++ {
+		if _, err := st.Ingest(&kflushing.Microblog{
+			Keywords: []string{fmt.Sprintf("k%d", i%7)},
+			UserID:   uint64(i%5 + 1),
+			HasGeo:   true, Lat: 40.7, Lon: -74.0,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.SearchKeywords([]string{"k1"}, kflushing.OpSingle, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.kw.FlushNow(); err != nil {
+		t.Fatal(err)
+	}
+	rw := do(t, st.Handler(), http.MethodGet, "/metrics", "")
+	if rw.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rw.Code)
+	}
+	body := rw.Body.String()
+	if probs := promlint.Lint(strings.NewReader(body)); len(probs) != 0 {
+		for _, p := range probs {
+			t.Error(p)
+		}
+		t.Fatalf("%d exposition problems", len(probs))
+	}
+	// The histogram replacement landed: real series, no mean/p99 gauges.
+	for _, want := range []string{
+		"# TYPE kflushing_flush_duration_seconds histogram",
+		`kflushing_flush_duration_seconds_bucket{attr="keyword"`,
+		"# TYPE kflushing_flushes_total counter",
+		"kflushing_goroutines ",
+		"kflushing_heap_alloc_bytes ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	for _, gone := range []string{"flush_seconds_mean", "flush_seconds_p99", "flush_phase_seconds_mean"} {
+		if strings.Contains(body, gone) {
+			t.Errorf("legacy summary gauge %q still emitted", gone)
+		}
+	}
+}
+
+// TestSearchTraceParam exercises ?trace=1 end to end: a miss must name
+// the disk segments probed with their Bloom and cache outcomes.
+func TestSearchTraceParam(t *testing.T) {
+	st := newTestStore(t)
+	for i := 1; i <= 10; i++ {
+		if _, err := st.Ingest(&kflushing.Microblog{Keywords: []string{"hot"}, UserID: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Under-filled key (2 < k=5 postings): guaranteed memory miss.
+	for i := 0; i < 2; i++ {
+		if _, err := st.Ingest(&kflushing.Microblog{Keywords: []string{"cold"}, UserID: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.kw.FlushNow(); err != nil {
+		t.Fatal(err)
+	}
+	h := st.Handler()
+
+	// Untraced requests must not carry a trace.
+	rw := do(t, h, http.MethodGet, "/search/keywords?q=hot&k=5", "")
+	var plain map[string]json.RawMessage
+	if err := json.Unmarshal(rw.Body.Bytes(), &plain); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain["trace"]; ok {
+		t.Fatal("trace attached without trace=1")
+	}
+
+	rw = do(t, h, http.MethodGet, "/search/keywords?q=cold&k=5&trace=1", "")
+	if rw.Code != http.StatusOK {
+		t.Fatalf("traced search status %d: %s", rw.Code, rw.Body)
+	}
+	var resp struct {
+		Items     []json.RawMessage `json:"items"`
+		MemoryHit bool              `json:"memory_hit"`
+		Trace     *kflushing.Trace  `json:"trace"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace == nil {
+		t.Fatal("trace=1 returned no trace")
+	}
+	tr := resp.Trace
+	if resp.MemoryHit || tr.MemoryHit {
+		t.Fatal("under-filled key should miss")
+	}
+	if len(tr.Entries) != 1 || tr.Entries[0].Key != "cold" {
+		t.Fatalf("entry probes: %+v", tr.Entries)
+	}
+	if tr.Disk == nil || len(tr.Disk.Segments) == 0 {
+		t.Fatalf("miss trace names no segments: %+v", tr.Disk)
+	}
+	for _, sp := range tr.Disk.Segments {
+		if sp.Segment == "" {
+			t.Fatalf("unnamed segment probe: %+v", sp)
+		}
+	}
+	if len(tr.Stages) < 3 {
+		t.Fatalf("stages: %+v", tr.Stages)
+	}
+}
+
+// TestFlushLogEndpoint verifies /debug/flushlog reports per-phase
+// victims and freed bytes for recent cycles.
+func TestFlushLogEndpoint(t *testing.T) {
+	st := newTestStore(t)
+	for i := 1; i <= 100; i++ {
+		if _, err := st.Ingest(&kflushing.Microblog{Keywords: []string{fmt.Sprintf("k%d", i%7)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.kw.FlushNow(); err != nil {
+		t.Fatal(err)
+	}
+	h := st.Handler()
+	rw := do(t, h, http.MethodGet, "/debug/flushlog", "")
+	if rw.Code != http.StatusOK {
+		t.Fatalf("/debug/flushlog status %d", rw.Code)
+	}
+	var logs map[string][]kflushing.FlushEvent
+	if err := json.Unmarshal(rw.Body.Bytes(), &logs); err != nil {
+		t.Fatal(err)
+	}
+	evs := logs["keyword"]
+	if len(evs) == 0 {
+		t.Fatal("keyword attribute has no flush cycles")
+	}
+	ev := evs[len(evs)-1]
+	if ev.Policy != "kflushing" || ev.Trigger == "" || len(ev.Phases) == 0 {
+		t.Fatalf("cycle event incomplete: %+v", ev)
+	}
+	if ev.Phases[0].Name != "regular" {
+		t.Fatalf("first phase: %+v", ev.Phases[0])
+	}
+	var victims int64
+	for _, ph := range ev.Phases {
+		victims += ph.Victims
+	}
+	if victims == 0 {
+		t.Fatal("no victims recorded across phases")
+	}
+
+	// attr filter and validation.
+	rw = do(t, h, http.MethodGet, "/debug/flushlog?attr=keyword&n=1", "")
+	if rw.Code != http.StatusOK {
+		t.Fatalf("filtered flushlog status %d", rw.Code)
+	}
+	logs = nil
+	if err := json.Unmarshal(rw.Body.Bytes(), &logs); err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) != 1 || len(logs["keyword"]) != 1 {
+		t.Fatalf("attr/n filter ignored: %v", logs)
+	}
+	if rw = do(t, h, http.MethodGet, "/debug/flushlog?attr=bogus", ""); rw.Code != http.StatusBadRequest {
+		t.Fatalf("bogus attr accepted: %d", rw.Code)
+	}
+}
+
+// TestReadyz verifies the readiness probe does real I/O checks and
+// reports failures as 503 with a JSON reason.
+func TestReadyz(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, kflushing.Options{MemoryBudget: 8 << 20, K: 5, SyncFlush: true, Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := st.Handler()
+	rw := do(t, h, http.MethodGet, "/readyz", "")
+	if rw.Code != http.StatusOK {
+		t.Fatalf("healthy store not ready: %d %s", rw.Code, rw.Body)
+	}
+	var ok struct {
+		Ready bool `json:"ready"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &ok); err != nil || !ok.Ready {
+		t.Fatalf("ready body: %s (err=%v)", rw.Body, err)
+	}
+
+	// A closed store can no longer append to its WAL or write its tier.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rw = do(t, h, http.MethodGet, "/readyz", "")
+	if rw.Code != http.StatusServiceUnavailable {
+		t.Fatalf("closed store reported ready: %d %s", rw.Code, rw.Body)
+	}
+	var fail struct {
+		Ready   bool              `json:"ready"`
+		Reasons map[string]string `json:"reasons"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &fail); err != nil {
+		t.Fatal(err)
+	}
+	if fail.Ready || len(fail.Reasons) == 0 {
+		t.Fatalf("failure body lacks reasons: %s", rw.Body)
+	}
+}
+
+// TestPprofGate verifies profiling endpoints are mounted only on opt-in.
+func TestPprofGate(t *testing.T) {
+	st := newTestStore(t)
+	if rw := do(t, st.Handler(), http.MethodGet, "/debug/pprof/", ""); rw.Code != http.StatusNotFound {
+		t.Fatalf("pprof served without opt-in: %d", rw.Code)
+	}
+	h := st.HandlerWithOptions(HandlerOptions{EnablePprof: true})
+	if rw := do(t, h, http.MethodGet, "/debug/pprof/", ""); rw.Code != http.StatusOK {
+		t.Fatalf("pprof opt-in not served: %d", rw.Code)
+	}
+}

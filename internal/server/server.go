@@ -162,19 +162,73 @@ func (s *Store) SearchKeywords(keywords []string, op kflushing.Op, k int) (kflus
 	return s.kw.Search(keywords, op, k)
 }
 
+// SearchKeywordsTraced runs a top-k keyword query with an execution
+// trace (the ?trace=1 path).
+func (s *Store) SearchKeywordsTraced(keywords []string, op kflushing.Op, k int) (kflushing.Result, *kflushing.Trace, error) {
+	return s.kw.SearchTraced(keywords, op, k)
+}
+
+// nearbyCells resolves a nearby query to grid tiles and an operator.
+func (s *Store) nearbyCells(lat, lon, radiusMiles float64) ([]kflushing.Cell, kflushing.Op) {
+	if radiusMiles <= 0 {
+		return []kflushing.Cell{s.sp.Grid().CellOf(lat, lon)}, kflushing.OpSingle
+	}
+	cells := s.sp.Grid().CellsWithin(lat, lon, radiusMiles)
+	if len(cells) == 1 {
+		return cells, kflushing.OpSingle
+	}
+	return cells, kflushing.OpOr
+}
+
 // SearchNearby returns the most recent k posts near (lat, lon): within
 // the containing grid tile when radiusMiles <= 0, else within the given
 // radius (an OR query across the covered tiles).
 func (s *Store) SearchNearby(lat, lon, radiusMiles float64, k int) (kflushing.Result, error) {
-	if radiusMiles <= 0 {
-		return s.sp.SearchAt(lat, lon, k)
-	}
-	return s.sp.SearchRadius(lat, lon, radiusMiles, k)
+	cells, op := s.nearbyCells(lat, lon, radiusMiles)
+	return s.sp.SearchCells(cells, op, k)
+}
+
+// SearchNearbyTraced is SearchNearby with an execution trace.
+func (s *Store) SearchNearbyTraced(lat, lon, radiusMiles float64, k int) (kflushing.Result, *kflushing.Trace, error) {
+	cells, op := s.nearbyCells(lat, lon, radiusMiles)
+	return s.sp.SearchCellsTraced(cells, op, k)
 }
 
 // SearchUser returns the top-k timeline of one user.
 func (s *Store) SearchUser(id uint64, k int) (kflushing.Result, error) {
 	return s.us.SearchUser(id, k)
+}
+
+// SearchUserTraced is SearchUser with an execution trace.
+func (s *Store) SearchUserTraced(id uint64, k int) (kflushing.Result, *kflushing.Trace, error) {
+	return s.us.SearchUserTraced(id, k)
+}
+
+// FlushLogs returns the most recent n audited flush cycles of every
+// attribute system, oldest-first (all retained cycles when n <= 0).
+func (s *Store) FlushLogs(n int) map[string][]kflushing.FlushEvent {
+	return map[string][]kflushing.FlushEvent{
+		"keyword": s.kw.FlushLog(n),
+		"spatial": s.sp.FlushLog(n),
+		"user":    s.us.FlushLog(n),
+	}
+}
+
+// Ready verifies every attribute system can serve writes (disk tier
+// writable, WAL appendable when durable), returning per-attribute
+// failure reasons; an empty map means ready.
+func (s *Store) Ready() map[string]string {
+	out := map[string]string{}
+	if err := s.kw.Ready(); err != nil {
+		out["keyword"] = err.Error()
+	}
+	if err := s.sp.Ready(); err != nil {
+		out["spatial"] = err.Error()
+	}
+	if err := s.us.Ready(); err != nil {
+		out["user"] = err.Error()
+	}
+	return out
 }
 
 // SetK changes the default top-k threshold of all attribute systems.

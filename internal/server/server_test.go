@@ -205,7 +205,7 @@ func TestStatsAndMetrics(t *testing.T) {
 	for _, want := range []string{
 		`kflushing_records{attr="keyword",policy="kflushing"} 1`,
 		`kflushing_memory_budget_bytes{attr="user"`,
-		"# TYPE kflushing_queries_total gauge",
+		"# TYPE kflushing_queries_total counter",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q", want)

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -186,6 +187,21 @@ func (l *Log) AppendBatch(frs []disk.FlushRecord) error {
 // Appended returns the number of records appended by this process.
 func (l *Log) Appended() int64 { return l.appended.Load() }
 
+// CheckAppendable verifies the log can still accept appends: the active
+// file must be open and syncable. It is the WAL half of the /readyz
+// readiness probe — a full disk or revoked file handle fails the sync.
+func (l *Log) CheckAppendable() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: closed")
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: active file not syncable: %w", err)
+	}
+	return nil
+}
+
 // Sync forces the active file to stable storage.
 func (l *Log) Sync() error {
 	l.mu.Lock()
@@ -239,17 +255,24 @@ func replayFile(path string, lastFile bool, fn func(disk.FlushRecord) error) err
 	pos := headerSize
 	for pos < len(b) {
 		if pos+8 > len(b) {
-			return nil // truncated frame header at EOF
+			// Truncated frame header at EOF: the expected crash artifact.
+			slog.Warn("wal: tolerating torn frame header at end of file",
+				"file", filepath.Base(path), "offset", pos)
+			return nil
 		}
 		n := int(binary.LittleEndian.Uint32(b[pos:]))
 		crc := binary.LittleEndian.Uint32(b[pos+4:])
 		pos += 8
 		if pos+n > len(b) || n < 0 {
-			return nil // truncated payload at EOF
+			slog.Warn("wal: tolerating torn payload at end of file",
+				"file", filepath.Base(path), "offset", pos-8)
+			return nil
 		}
 		payload := b[pos : pos+n]
 		if crc32.Checksum(payload, crcTable) != crc {
 			if lastFile {
+				slog.Warn("wal: tolerating bad checksum in final frame",
+					"file", filepath.Base(path), "offset", pos-8)
 				return nil
 			}
 			return fmt.Errorf("%w: bad checksum in %s", ErrCorrupt, filepath.Base(path))
@@ -257,6 +280,8 @@ func replayFile(path string, lastFile bool, fn func(disk.FlushRecord) error) err
 		fr, used, err := disk.DecodeRecord(payload)
 		if err != nil || used != n {
 			if lastFile {
+				slog.Warn("wal: tolerating undecodable final frame",
+					"file", filepath.Base(path), "offset", pos-8)
 				return nil
 			}
 			return fmt.Errorf("%w: undecodable record in %s", ErrCorrupt, filepath.Base(path))

@@ -35,9 +35,11 @@ import (
 	"kflushing/internal/clock"
 	"kflushing/internal/core"
 	"kflushing/internal/engine"
+	"kflushing/internal/flushlog"
 	"kflushing/internal/policy"
 	"kflushing/internal/query"
 	"kflushing/internal/ranking"
+	"kflushing/internal/trace"
 	"kflushing/internal/types"
 	"kflushing/internal/wal"
 )
@@ -64,6 +66,11 @@ type (
 	Clock = clock.Clock
 	// Stats summarizes a system's state and counters.
 	Stats = engine.Stats
+	// Trace is a per-query execution trace; see the *Traced search
+	// variants.
+	Trace = trace.Trace
+	// FlushEvent is one audited flush cycle from the flush journal.
+	FlushEvent = flushlog.Event
 )
 
 // Query operators.
@@ -275,6 +282,21 @@ func (s *System) SearchKeyword(keyword string, k int) (Result, error) {
 	return s.Search([]string{keyword}, OpSingle, k)
 }
 
+// SearchTraced runs a top-k keyword query and returns the execution
+// trace alongside the result: which index entries were probed in
+// memory, and on a miss which disk segments were consulted, with Bloom
+// filter and read-cache outcomes and per-stage timings. Tracing
+// allocates, so it is for diagnostics, not the hot path.
+func (s *System) SearchTraced(keywords []string, op Op, k int) (Result, *Trace, error) {
+	tr := trace.New()
+	res, err := s.eng.Search(query.Request[string]{Keys: keywords, Op: op, K: k, Trace: tr})
+	return res, tr, err
+}
+
+// FlushLog returns the most recent n audited flush cycles oldest-first
+// (all retained cycles when n <= 0).
+func (s *System) FlushLog(n int) []FlushEvent { return s.eng.Journal().Last(n) }
+
 // SetK changes the default top-k threshold at run time.
 func (s *System) SetK(k int) { s.eng.SetK(k) }
 
@@ -286,6 +308,11 @@ func (s *System) Stats() Stats { return s.eng.Stats() }
 
 // Err returns the most recent background flush error, if any.
 func (s *System) Err() error { return s.eng.Err() }
+
+// Ready verifies the system can serve writes: the disk tier directory
+// is writable and, when durability is on, the write-ahead log accepts
+// appends. It is the backing check of the server's /readyz endpoint.
+func (s *System) Ready() error { return s.eng.CheckReady() }
 
 // Close drains background work and releases the disk tier.
 func (s *System) Close() error { return s.eng.Close() }

@@ -5,6 +5,7 @@ import (
 	"kflushing/internal/engine"
 	"kflushing/internal/query"
 	"kflushing/internal/spatial"
+	"kflushing/internal/trace"
 )
 
 // Cell identifies one tile of a spatial system's grid.
@@ -90,6 +91,21 @@ func (s *SpatialSystem) SearchCells(cells []Cell, op Op, k int) (Result, error) 
 	return s.eng.Search(query.Request[Cell]{Keys: cells, Op: op, K: k})
 }
 
+// SearchCellsTraced runs a top-k query over explicit tiles and returns
+// the execution trace alongside the result.
+func (s *SpatialSystem) SearchCellsTraced(cells []Cell, op Op, k int) (Result, *Trace, error) {
+	tr := trace.New()
+	res, err := s.eng.Search(query.Request[Cell]{Keys: cells, Op: op, K: k, Trace: tr})
+	return res, tr, err
+}
+
+// FlushLog returns the most recent n audited flush cycles oldest-first
+// (all retained cycles when n <= 0).
+func (s *SpatialSystem) FlushLog(n int) []FlushEvent { return s.eng.Journal().Last(n) }
+
+// Ready verifies the system can serve writes; see System.Ready.
+func (s *SpatialSystem) Ready() error { return s.eng.CheckReady() }
+
 // SetK changes the default top-k threshold at run time.
 func (s *SpatialSystem) SetK(k int) { s.eng.SetK(k) }
 
@@ -158,6 +174,21 @@ func (s *UserSystem) IngestBatch(mbs []*Microblog) ([]ID, error) { return s.eng.
 func (s *UserSystem) SearchUser(userID uint64, k int) (Result, error) {
 	return s.eng.Search(query.Request[uint64]{Keys: []uint64{userID}, Op: OpSingle, K: k})
 }
+
+// SearchUserTraced returns the top-k timeline of one user along with
+// the execution trace.
+func (s *UserSystem) SearchUserTraced(userID uint64, k int) (Result, *Trace, error) {
+	tr := trace.New()
+	res, err := s.eng.Search(query.Request[uint64]{Keys: []uint64{userID}, Op: OpSingle, K: k, Trace: tr})
+	return res, tr, err
+}
+
+// FlushLog returns the most recent n audited flush cycles oldest-first
+// (all retained cycles when n <= 0).
+func (s *UserSystem) FlushLog(n int) []FlushEvent { return s.eng.Journal().Last(n) }
+
+// Ready verifies the system can serve writes; see System.Ready.
+func (s *UserSystem) Ready() error { return s.eng.CheckReady() }
 
 // SetK changes the default top-k threshold at run time.
 func (s *UserSystem) SetK(k int) { s.eng.SetK(k) }

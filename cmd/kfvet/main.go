@@ -1,0 +1,52 @@
+// Command kfvet runs the kflushing static analysis suite
+// (internal/analyze) over the module: locksafe (lock release on all
+// paths, no blocking under hot locks, lock-order DAG), atomiccheck
+// (no mixed plain/atomic field access), nilrecv (//kfvet:nilsafe
+// nil-receiver guards), and errlint (no discarded durability errors).
+//
+// Usage:
+//
+//	kfvet [packages]
+//
+// Packages follow the go tool's pattern syntax; the default is ./...
+// from the current directory. Findings print as
+// file:line:col: [analyzer] message, one per line, and a non-empty
+// report exits 1. Suppress a reviewed finding with a
+// `//kfvet:allow <analyzer>` comment on the flagged line or the line
+// above it.
+//
+// kfvet is part of the tier-1 loop — run it with vet before
+// committing:
+//
+//	go vet ./... && go run ./cmd/kfvet ./...
+//
+// See DESIGN.md §7.3 for the analyzer contracts and the lock-order
+// DAG.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"kflushing/internal/analyze"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analyze.LoadModule(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kfvet:", err)
+		os.Exit(2)
+	}
+	findings := analyze.Run(pkgs, analyze.DefaultConfig())
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "kfvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,275 @@
+// Package analyze is kfvet: a codebase-aware static analysis suite for
+// the concurrency and invariant contracts `go vet` and the race
+// detector cannot check before code runs. It parses and type-checks the
+// whole module on the stdlib go/ast + go/types toolchain (following the
+// hand-written internal/promlint precedent — no external analysis
+// framework) and runs four analyzers:
+//
+//   - locksafe: every Lock() is released on all return paths (paired or
+//     deferred), no blocking operation runs while a declared hot mutex
+//     is held, and nested acquisitions respect the lock-order DAG
+//     (engine → policy → index → entry → store → disk → wal), making
+//     intra-function deadlocks impossible by construction.
+//   - atomiccheck: a struct field accessed through sync/atomic anywhere
+//     must be accessed atomically everywhere — mixed plain/atomic
+//     access is the classic race the detector only catches when the
+//     schedule cooperates.
+//   - nilrecv: packages opted in with a `//kfvet:nilsafe` marker must
+//     guard every pointer-receiver method with a `receiver == nil`
+//     check before touching fields, enforcing the documented
+//     nil-receiver-safe contracts of internal/trace and
+//     internal/flushlog.
+//   - errlint: no discarded error from Write/Sync/Close in the
+//     durability-bearing packages (wal, disk, engine) — an unchecked
+//     Close is a silent torn segment.
+//
+// A finding is suppressed by a `//kfvet:allow <analyzer>` comment on
+// the flagged line or the line above it; suppressions are deliberate,
+// reviewable artifacts. kfvet runs as a package test (TestModuleClean),
+// as the cmd/kfvet binary, and as the CI static-analysis job.
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic.
+type Finding struct {
+	// Analyzer names the analyzer that produced the finding.
+	Analyzer string
+	// Pos locates the offending code.
+	Pos token.Position
+	// Message describes the violation.
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Config declares the codebase-specific knowledge the analyzers check
+// against: the lock-order DAG, the hot locks that must never wrap a
+// blocking operation, and the packages where discarded durability
+// errors are findings.
+type Config struct {
+	// LockRank maps a lock identity ("pkgpath.Type.field" for struct
+	// fields, "pkgpath.var" for package-level mutexes) to its level in
+	// the lock-order DAG. While a ranked lock is held, only strictly
+	// higher-ranked locks may be acquired; equal or lower acquisitions
+	// are order violations (same-rank covers the two-shards case).
+	// Unranked locks are exempt from ordering.
+	LockRank map[string]int
+	// NoBlockLocks are the hot lock identities under which blocking
+	// operations — channel sends/receives, select, file I/O, policy
+	// callback invocations — are forbidden.
+	NoBlockLocks map[string]bool
+	// BlockingRecvTypes are named types ("os.File") whose method calls
+	// count as blocking I/O.
+	BlockingRecvTypes map[string]bool
+	// BlockingFuncs are package-level functions ("os.WriteFile",
+	// "time.Sleep") that count as blocking.
+	BlockingFuncs map[string]bool
+	// CallbackIfaces are interface types ("kflushing/internal/policy.Policy")
+	// whose method invocations count as blocking: callbacks run
+	// arbitrary user code and must never execute under a hot lock.
+	CallbackIfaces map[string]bool
+	// ErrlintPkgs are the import paths where errlint applies.
+	ErrlintPkgs map[string]bool
+	// ErrlintMethods are the method names whose discarded error returns
+	// errlint reports.
+	ErrlintMethods map[string]bool
+}
+
+// DefaultConfig returns the declared invariants of this codebase.
+//
+// The lock-order DAG (acquire downward only):
+//
+//	10 engine.Engine.flushMu
+//	12 engine.flightGroup.mu
+//	15 policy.LRU.mu / policy.FIFO.mu
+//	20 index.Index.overMu
+//	22 index.shard.mu
+//	30 index.Entry.mu
+//	40 store.shard.mu
+//	50 policy.VictimBuffer.mu
+//	60 disk.Tier.flushMu
+//	62 disk.Tier.mu
+//	64 disk.cacheShard.mu
+//	70 wal.Log.mu
+//	80 trace.Trace.mu / 81 trace.DiskProbe.mu
+func DefaultConfig() Config {
+	return Config{
+		LockRank: map[string]int{
+			"kflushing/internal/engine.Engine.flushMu":  10,
+			"kflushing/internal/engine.flightGroup.mu":  12,
+			"kflushing/internal/policy.LRU.mu":          15,
+			"kflushing/internal/policy.FIFO.mu":         15,
+			"kflushing/internal/index.Index.overMu":     20,
+			"kflushing/internal/index.shard.mu":         22,
+			"kflushing/internal/index.Entry.mu":         30,
+			"kflushing/internal/store.shard.mu":         40,
+			"kflushing/internal/policy.VictimBuffer.mu": 50,
+			"kflushing/internal/disk.Tier.flushMu":      60,
+			"kflushing/internal/disk.Tier.mu":           62,
+			"kflushing/internal/disk.cacheShard.mu":     64,
+			"kflushing/internal/wal.Log.mu":             70,
+			"kflushing/internal/trace.Trace.mu":         80,
+			"kflushing/internal/trace.DiskProbe.mu":     81,
+		},
+		NoBlockLocks: map[string]bool{
+			"kflushing/internal/index.Index.overMu":    true,
+			"kflushing/internal/index.shard.mu":        true,
+			"kflushing/internal/index.Entry.mu":        true,
+			"kflushing/internal/store.shard.mu":        true,
+			"kflushing/internal/engine.flightGroup.mu": true,
+		},
+		BlockingRecvTypes: map[string]bool{
+			"os.File": true,
+		},
+		BlockingFuncs: map[string]bool{
+			"os.Open": true, "os.OpenFile": true, "os.Create": true,
+			"os.CreateTemp": true, "os.ReadFile": true, "os.WriteFile": true,
+			"os.Remove": true, "os.RemoveAll": true, "os.Rename": true,
+			"os.MkdirAll": true, "os.Stat": true,
+			"time.Sleep": true,
+		},
+		CallbackIfaces: map[string]bool{
+			"kflushing/internal/policy.Policy": true,
+		},
+		ErrlintPkgs: map[string]bool{
+			"kflushing/internal/wal":    true,
+			"kflushing/internal/disk":   true,
+			"kflushing/internal/engine": true,
+		},
+		ErrlintMethods: map[string]bool{
+			"Write": true, "WriteString": true, "Sync": true, "Close": true,
+		},
+	}
+}
+
+// FixtureConfig returns the config the analyzer fixtures are written
+// against: rank/hot-lock/errlint declarations keyed to the fixture
+// package types instead of the real module's.
+func FixtureConfig(pkgPath string) Config {
+	cfg := DefaultConfig()
+	cfg.LockRank = map[string]int{
+		pkgPath + ".Engine.mu": 10,
+		pkgPath + ".Index.mu":  20,
+		pkgPath + ".Entry.mu":  30,
+		pkgPath + ".Store.mu":  40,
+	}
+	cfg.NoBlockLocks = map[string]bool{
+		pkgPath + ".Index.mu": true,
+		pkgPath + ".Entry.mu": true,
+	}
+	cfg.CallbackIfaces = map[string]bool{
+		pkgPath + ".Policy": true,
+	}
+	cfg.ErrlintPkgs = map[string]bool{pkgPath: true}
+	return cfg
+}
+
+// pass carries the shared state of one analyzer run over one package.
+type pass struct {
+	pkg      *Package
+	cfg      Config
+	findings *[]Finding
+	analyzer string
+}
+
+// report records one finding.
+func (p *pass) report(pos token.Pos, format string, args ...interface{}) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.analyzer,
+		Pos:      p.pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every analyzer over pkgs and returns the surviving
+// findings sorted by position. Findings suppressed by `//kfvet:allow`
+// comments are dropped.
+func Run(pkgs []*Package, cfg Config) []Finding {
+	var findings []Finding
+	atomicFields := collectAtomicFields(pkgs)
+	for _, pkg := range pkgs {
+		runLocksafe(&pass{pkg: pkg, cfg: cfg, findings: &findings, analyzer: "locksafe"})
+		runAtomicCheck(&pass{pkg: pkg, cfg: cfg, findings: &findings, analyzer: "atomiccheck"}, atomicFields)
+		runNilRecv(&pass{pkg: pkg, cfg: cfg, findings: &findings, analyzer: "nilrecv"})
+		runErrlint(&pass{pkg: pkg, cfg: cfg, findings: &findings, analyzer: "errlint"})
+	}
+	findings = applySuppressions(pkgs, findings)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// allowMarker is the suppression comment prefix.
+const allowMarker = "//kfvet:allow "
+
+// applySuppressions drops findings covered by an allow comment on the
+// same line or the line directly above.
+func applySuppressions(pkgs []*Package, findings []Finding) []Finding {
+	// allowed[file][line] holds the analyzer names allowed there.
+	allowed := make(map[string]map[int]map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, allowMarker)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					lines := allowed[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]map[string]bool)
+						allowed[pos.Filename] = lines
+					}
+					names := lines[pos.Line]
+					if names == nil {
+						names = make(map[string]bool)
+						lines[pos.Line] = names
+					}
+					for _, name := range strings.Split(rest, ",") {
+						names[strings.TrimSpace(name)] = true
+					}
+				}
+			}
+		}
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		lines := allowed[f.Pos.Filename]
+		if lines != nil && (lines[f.Pos.Line][f.Analyzer] || lines[f.Pos.Line-1][f.Analyzer]) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+// funcBodies yields every function or method body in the package along
+// with its declaration, including function literals nested inside.
+// Function literals get a nil decl.
+func funcBodies(pkg *Package, visit func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				visit(fd, fd.Body)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomiccheck enforces all-or-nothing atomicity per field: a struct
+// field whose address is ever passed to a sync/atomic function must be
+// accessed through sync/atomic everywhere. A plain read racing an
+// atomic write is undefined behavior the race detector only reports
+// when the schedule interleaves the two — this check reports it before
+// the program runs. Fields of the typed atomic kinds (atomic.Int64,
+// atomic.Bool, ...) are immune by construction: their plain methods are
+// the atomic API.
+
+// collectAtomicFields scans every package for `atomic.XxxInt64(&s.f, ...)`
+// call shapes and returns the struct-field objects so addressed, each
+// mapped to one sanctioned use for the diagnostic. All packages share
+// one type-check universe (see LoadModule), so a field object collected
+// in its defining package matches uses from every other package.
+func collectAtomicFields(pkgs []*Package) map[*types.Var]token.Position {
+	fields := make(map[*types.Var]token.Position)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg, call) || len(call.Args) == 0 {
+					return true
+				}
+				if fld := addrField(pkg, call.Args[0]); fld != nil {
+					if _, seen := fields[fld]; !seen {
+						fields[fld] = pkg.Fset.Position(call.Pos())
+					}
+				}
+				return true
+			})
+		}
+	}
+	return fields
+}
+
+// isAtomicCall reports whether call invokes a package-level sync/atomic
+// function (AddInt64, LoadPointer, CompareAndSwapUint32, ...).
+func isAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// addrField unwraps `&x.f` to the struct-field object f, or nil when
+// the expression has a different shape.
+func addrField(pkg *Package, expr ast.Expr) *types.Var {
+	unary, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fld, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !fld.IsField() {
+		return nil
+	}
+	return fld
+}
+
+// runAtomicCheck reports every non-atomic access of a collected field.
+// Sanctioned accesses — the `&s.f` address argument of a sync/atomic
+// call — are skipped by steering the walk around that argument.
+func runAtomicCheck(p *pass, fields map[*types.Var]token.Position) {
+	if len(fields) == 0 {
+		return
+	}
+	var scan func(n ast.Node) bool
+	scan = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isAtomicCall(p.pkg, n) {
+				if len(n.Args) > 0 && addrField(p.pkg, n.Args[0]) == nil {
+					ast.Inspect(n.Args[0], scan)
+				}
+				for _, a := range n.Args[1:] {
+					ast.Inspect(a, scan)
+				}
+				return false
+			}
+		case *ast.SelectorExpr:
+			fld, ok := p.pkg.Info.Uses[n.Sel].(*types.Var)
+			if !ok || !fld.IsField() {
+				return true
+			}
+			if atomicAt, tracked := fields[fld]; tracked {
+				p.report(n.Pos(), "field %s.%s is accessed atomically (e.g. at %s) but plainly here; mixed access races",
+					fld.Pkg().Name(), fld.Name(), atomicAt)
+			}
+		}
+		return true
+	}
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, scan)
+	}
+}

@@ -1,0 +1,73 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errlint reports discarded error returns from durability-bearing
+// method calls — Write/WriteString/Sync/Close — in the packages that
+// own persistence (wal, disk, engine). An unchecked Close on a segment
+// or WAL file is a silently torn write: the kernel may only surface the
+// flush failure at close time, and dropping that error converts data
+// loss into success. The check fires on bare call statements
+// (`f.Close()`); an explicit discard (`_ = f.Close()`) and deferred
+// calls are accepted as deliberate, reviewable decisions.
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func runErrlint(p *pass) {
+	if !p.cfg.ErrlintPkgs[p.pkg.Path] {
+		return
+	}
+	funcBodies(p.pkg, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if recvType, name := durabilityMethod(p, call); name != "" {
+				p.report(stmt.Pos(), "error returned by (%s).%s is discarded; handle it or discard explicitly with `_ =`",
+					recvType, name)
+			}
+			return true
+		})
+	})
+}
+
+// durabilityMethod reports the receiver type and method name when call
+// invokes a configured durability method that returns an error.
+func durabilityMethod(p *pass, call *ast.CallExpr) (recvType, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := p.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || !p.cfg.ErrlintMethods[fn.Name()] {
+		return "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !returnsError(sig) {
+		return "", ""
+	}
+	rt := types.Unalias(sig.Recv().Type())
+	if named := namedOf(rt); named != nil {
+		return named.Obj().Name(), fn.Name()
+	}
+	return rt.String(), fn.Name()
+}
+
+// returnsError reports whether any result of sig is the error type.
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,506 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// locksafe checks three lock invariants over every function body:
+//
+//  1. Release on all paths: a Lock()/RLock() must be matched by an
+//     Unlock()/RUnlock() — paired before every return and before the
+//     fall-through end of the function, or registered with defer. A
+//     lock acquired inside a branch or loop body must be released
+//     before that block ends (on the next iteration the Lock would
+//     self-deadlock; after the branch the merge states disagree).
+//  2. No blocking under hot locks: while a lock named in
+//     Config.NoBlockLocks is held, channel sends/receives, select
+//     statements, file I/O, and policy-callback invocations are
+//     forbidden — they turn a nanosecond critical section into an
+//     unbounded one and invite lock-ordering deadlocks through
+//     arbitrary callback code.
+//  3. Lock-order DAG: while a ranked lock is held, only strictly
+//     higher-ranked locks may be acquired, and no held lock may be
+//     acquired again. Intra-function nested acquisitions therefore
+//     cannot deadlock by construction.
+//
+// The analysis is intraprocedural and path-insensitive by design:
+// TryLock/TryRLock acquisitions are not tracked (their ownership is
+// conditional and conventionally handed to *Locked helpers), and locks
+// released by callees are not modeled. Cross-function lock transfer is
+// covered by the DAG declaration in DESIGN.md §7.3, not by this check.
+type lockChecker struct {
+	p *pass
+	// lits queues nested function literals for separate analysis with a
+	// fresh lock state (goroutine bodies, deferred closures).
+	lits []*ast.FuncLit
+}
+
+// heldLock is one statically-tracked acquisition.
+type heldLock struct {
+	key      string    // printed lock expression, the pairing identity
+	rankKey  string    // "pkg.Type.field" identity for rank/hot lookups
+	rank     int       // DAG rank, -1 when unranked
+	read     bool      // RLock rather than Lock
+	deferred bool      // an Unlock is registered with defer
+	pos      token.Pos // the Lock call, for reporting
+}
+
+func runLocksafe(p *pass) {
+	c := &lockChecker{p: p}
+	funcBodies(p.pkg, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		c.checkFunc(body)
+	})
+	// Function literals found while checking spawn further checks; the
+	// queue grows until every nested literal has been analyzed.
+	for len(c.lits) > 0 {
+		lit := c.lits[0]
+		c.lits = c.lits[1:]
+		c.checkFunc(lit.Body)
+	}
+}
+
+// checkFunc analyzes one function body starting with no locks held.
+func (c *lockChecker) checkFunc(body *ast.BlockStmt) {
+	held := c.block(body.List, nil)
+	for _, h := range held {
+		if !h.deferred {
+			c.p.report(h.pos, "%s.Lock() is not released on the fall-through return path (no Unlock or defer)", h.key)
+		}
+	}
+}
+
+// mutexOp classifies a call expression against the sync mutex API.
+type mutexOp int
+
+const (
+	opNone mutexOp = iota
+	opLock
+	opRLock
+	opUnlock
+	opRUnlock
+	opTryLock // tracked only to be ignored
+)
+
+// classifyMutexCall reports whether call is a sync.Mutex/RWMutex method
+// invocation and on which lock expression.
+func (c *lockChecker) classifyMutexCall(call *ast.CallExpr) (mutexOp, ast.Expr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return opNone, nil
+	}
+	fn, ok := c.p.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return opNone, nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return opNone, nil
+	}
+	recv := namedOf(sig.Recv().Type())
+	if recv == nil {
+		return opNone, nil
+	}
+	if name := recv.Obj().Name(); name != "Mutex" && name != "RWMutex" {
+		return opNone, nil
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		return opLock, sel.X
+	case "RLock":
+		return opRLock, sel.X
+	case "Unlock":
+		return opUnlock, sel.X
+	case "RUnlock":
+		return opRUnlock, sel.X
+	case "TryLock", "TryRLock":
+		return opTryLock, sel.X
+	}
+	return opNone, nil
+}
+
+// namedOf unwraps pointers and aliases down to the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// lockRankKey derives the configured identity of a lock expression:
+// "pkgpath.Type.field" for a struct-field mutex, "pkgpath.name" for a
+// package-level one, "" (unranked) otherwise.
+func (c *lockChecker) lockRankKey(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		tv, ok := c.p.pkg.Info.Types[e.X]
+		if !ok {
+			return ""
+		}
+		named := namedOf(tv.Type)
+		if named == nil || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name
+	case *ast.Ident:
+		obj := c.p.pkg.Info.Uses[e]
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() { // package-level var
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// block processes a statement list sequentially, threading the held-set
+// through and returning the state at the end of the list.
+func (c *lockChecker) block(stmts []ast.Stmt, held []heldLock) []heldLock {
+	for _, s := range stmts {
+		held = c.stmt(s, held)
+	}
+	return held
+}
+
+// branch processes a nested block (if/for/switch body) on a copy of the
+// held-set and reports locks the block acquires but does not release by
+// its end — unless the block terminates (return/panic), in which case
+// the return-path check inside already ran.
+func (c *lockChecker) branch(stmts []ast.Stmt, held []heldLock, what string) {
+	entry := len(held)
+	out := c.block(stmts, append([]heldLock(nil), held...))
+	if terminates(stmts) {
+		return
+	}
+	for _, h := range out[min(entry, len(out)):] {
+		if !h.deferred && !heldIn(held, h) {
+			c.p.report(h.pos, "%s.Lock() acquired in %s is not released before the %s ends", h.key, what, what)
+		}
+	}
+}
+
+// heldIn reports whether h (by pairing key and mode) was already in the
+// entry state — i.e. it is not a branch-local acquisition.
+func heldIn(held []heldLock, h heldLock) bool {
+	for _, e := range held {
+		if e.key == h.key && e.read == h.read {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether a statement list ends in a statement that
+// never falls through: return, panic, or an unconditional for-loop.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.ForStmt:
+		return last.Cond == nil && !hasBreak(last.Body)
+	}
+	return false
+}
+
+// hasBreak reports whether body contains a break that exits this loop.
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				found = true
+			}
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+			*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false // break inside these does not exit our loop
+		}
+		return !found
+	})
+	return found
+}
+
+// stmt processes one statement and returns the updated held-set.
+func (c *lockChecker) stmt(s ast.Stmt, held []heldLock) []heldLock {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return c.scanExpr(s.X, held)
+	case *ast.SendStmt:
+		c.checkBlocking(s.Pos(), held, "channel send")
+		held = c.scanExpr(s.Chan, held)
+		return c.scanExpr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = c.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			held = c.scanExpr(e, held)
+		}
+		return held
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return held
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				for _, e := range vs.Values {
+					held = c.scanExpr(e, held)
+				}
+			}
+		}
+		return held
+	case *ast.IncDecStmt:
+		return c.scanExpr(s.X, held)
+	case *ast.DeferStmt:
+		return c.deferStmt(s, held)
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.lits = append(c.lits, lit)
+		}
+		for _, a := range s.Call.Args {
+			held = c.scanExpr(a, held)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			held = c.scanExpr(e, held)
+		}
+		for _, h := range held {
+			if !h.deferred {
+				c.p.report(s.Pos(), "return while %s is held (locked at %s) without unlock or defer",
+					h.key, c.p.pkg.Fset.Position(h.pos))
+			}
+		}
+		return held
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = c.stmt(s.Init, held)
+		}
+		held = c.scanExpr(s.Cond, held)
+		c.branch(s.Body.List, held, "branch")
+		if s.Else != nil {
+			c.branch([]ast.Stmt{s.Else}, held, "branch")
+		}
+		return held
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = c.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			held = c.scanExpr(s.Cond, held)
+		}
+		c.branch(s.Body.List, held, "loop body")
+		return held
+	case *ast.RangeStmt:
+		held = c.scanExpr(s.X, held)
+		c.branch(s.Body.List, held, "loop body")
+		return held
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = c.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			held = c.scanExpr(s.Tag, held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.branch(cc.Body, held, "case body")
+			}
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.branch(cc.Body, held, "case body")
+			}
+		}
+		return held
+	case *ast.SelectStmt:
+		c.checkBlocking(s.Pos(), held, "select statement")
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				c.branch(cc.Body, held, "case body")
+			}
+		}
+		return held
+	case *ast.BlockStmt:
+		return c.block(s.List, held)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, held)
+	}
+	return held
+}
+
+// deferStmt registers deferred unlocks: `defer mu.Unlock()` directly,
+// or any unlock inside a deferred closure.
+func (c *lockChecker) deferStmt(s *ast.DeferStmt, held []heldLock) []heldLock {
+	if op, lockExpr := c.classifyMutexCall(s.Call); op == opUnlock || op == opRUnlock {
+		key := types.ExprString(lockExpr)
+		return markDeferred(held, key, op == opRUnlock)
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op, lockExpr := c.classifyMutexCall(call); op == opUnlock || op == opRUnlock {
+				held = markDeferred(held, types.ExprString(lockExpr), op == opRUnlock)
+			}
+			return true
+		})
+		c.lits = append(c.lits, lit)
+	}
+	return held
+}
+
+// markDeferred flags the most recent matching acquisition as released
+// by defer.
+func markDeferred(held []heldLock, key string, read bool) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].key == key && held[i].read == read && !held[i].deferred {
+			held[i].deferred = true
+			break
+		}
+	}
+	return held
+}
+
+// scanExpr walks one expression for mutex operations, blocking channel
+// receives, and blocking calls, returning the updated held-set.
+// Function literals are queued for separate analysis, not descended
+// into — their bodies run under their own lock state.
+func (c *lockChecker) scanExpr(expr ast.Expr, held []heldLock) []heldLock {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.lits = append(c.lits, n)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.checkBlocking(n.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			held = c.call(n, held)
+		}
+		return true
+	})
+	return held
+}
+
+// call applies one call expression to the lock state.
+func (c *lockChecker) call(call *ast.CallExpr, held []heldLock) []heldLock {
+	op, lockExpr := c.classifyMutexCall(call)
+	switch op {
+	case opLock, opRLock:
+		return c.acquire(call, lockExpr, op == opRLock, held)
+	case opUnlock, opRUnlock:
+		return release(held, types.ExprString(lockExpr), op == opRUnlock)
+	case opTryLock:
+		return held // conditional ownership, conventionally handed to *Locked helpers
+	}
+	if why := c.blockingCall(call); why != "" {
+		c.checkBlocking(call.Pos(), held, why)
+	}
+	return held
+}
+
+// acquire records a Lock/RLock, enforcing the no-recursion and
+// lock-order rules against everything currently held.
+func (c *lockChecker) acquire(call *ast.CallExpr, lockExpr ast.Expr, read bool, held []heldLock) []heldLock {
+	key := types.ExprString(lockExpr)
+	rankKey := c.lockRankKey(lockExpr)
+	rank := -1
+	if r, ok := c.p.cfg.LockRank[rankKey]; ok {
+		rank = r
+	}
+	for _, h := range held {
+		if h.key == key {
+			c.p.report(call.Pos(), "%s is already held (locked at %s); recursive acquisition deadlocks",
+				key, c.p.pkg.Fset.Position(h.pos))
+			continue
+		}
+		if rank >= 0 && h.rank >= 0 && rank <= h.rank {
+			c.p.report(call.Pos(), "acquiring %s (rank %d) while holding %s (rank %d) violates the lock-order DAG",
+				rankKey, rank, h.rankKey, h.rank)
+		}
+	}
+	return append(held, heldLock{key: key, rankKey: rankKey, rank: rank, read: read, pos: call.Pos()})
+}
+
+// release drops the most recent matching acquisition. Unmatched
+// unlocks are ignored: helpers conventionally named *Locked release
+// locks their callers acquired, which an intraprocedural pass cannot
+// pair.
+func release(held []heldLock, key string, read bool) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].key == key && held[i].read == read {
+			return append(append([]heldLock(nil), held[:i]...), held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// checkBlocking reports `what` if any held lock is declared hot.
+func (c *lockChecker) checkBlocking(pos token.Pos, held []heldLock, what string) {
+	for _, h := range held {
+		if c.p.cfg.NoBlockLocks[h.rankKey] {
+			c.p.report(pos, "%s while holding hot lock %s (locked at %s)",
+				what, h.key, c.p.pkg.Fset.Position(h.pos))
+			return
+		}
+	}
+}
+
+// blockingCall classifies a call as a blocking operation: file I/O
+// (os.File methods and os package helpers), time.Sleep, or an invocation
+// through a declared callback interface. It returns a description, or
+// "" for non-blocking calls.
+func (c *lockChecker) blockingCall(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := c.p.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		rt := types.Unalias(recv.Type())
+		if named := namedOf(rt); named != nil && named.Obj().Pkg() != nil {
+			key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if c.p.cfg.BlockingRecvTypes[key] {
+				return "file I/O call (" + key + ")." + fn.Name()
+			}
+			if c.p.cfg.CallbackIfaces[key] {
+				return "callback invocation (" + key + ")." + fn.Name()
+			}
+		}
+		// Interface methods may also be reached through an unnamed
+		// embedded interface; the named lookup above covers this
+		// codebase's declared callbacks.
+		return ""
+	}
+	if c.p.cfg.BlockingFuncs[fn.Pkg().Path()+"."+fn.Name()] {
+		return "blocking call " + fn.Pkg().Path() + "." + fn.Name()
+	}
+	return ""
+}

@@ -1,0 +1,42 @@
+// Package atomiccheck holds the atomiccheck analyzer fixtures: mixed
+// plain/atomic access to the same field is the positive; all-atomic,
+// all-plain, and typed-atomic fields are the negatives.
+package atomiccheck
+
+import "sync/atomic"
+
+type Counter struct {
+	hits  int64 // atomic everywhere: clean
+	mixed int64 // atomic in Add, plain in ReadMixed: the race
+	plain int64 // never atomic: clean
+}
+
+func (c *Counter) Add() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.mixed, 1)
+	c.plain++
+}
+
+func (c *Counter) ReadHits() int64 { return atomic.LoadInt64(&c.hits) }
+
+func (c *Counter) ReadMixed() int64 {
+	return c.mixed // want "accessed atomically"
+}
+
+func (c *Counter) ResetMixed() {
+	c.mixed = 0 // want "accessed atomically"
+}
+
+func (c *Counter) ReadPlain() int64 { return c.plain }
+
+// Typed uses the typed atomic API, which cannot be mixed by
+// construction — plain method calls ARE the atomic access.
+type Typed struct{ n atomic.Int64 }
+
+func (t *Typed) Inc()       { t.n.Add(1) }
+func (t *Typed) Get() int64 { return t.n.Load() }
+
+// Suppressed is a reviewed mixed access silenced with an allow comment.
+func (c *Counter) Suppressed() int64 {
+	return c.mixed //kfvet:allow atomiccheck
+}

@@ -1,0 +1,66 @@
+// Package nilrecv holds the nilrecv analyzer fixtures. The marker
+// below opts the package in; every pointer-receiver method touching
+// fields must then start with a terminating nil guard.
+//
+//kfvet:nilsafe
+package nilrecv
+
+type Probe struct {
+	n     int
+	notes []string
+}
+
+// Guarded is the canonical nil-safe method.
+func (p *Probe) Guarded() {
+	if p == nil {
+		return
+	}
+	p.n++
+}
+
+// GuardedCompound relies on short-circuit `||`: still safe.
+func (p *Probe) GuardedCompound(skip bool) {
+	if p == nil || skip {
+		return
+	}
+	p.notes = append(p.notes, "x")
+}
+
+// Unguarded touches fields with no guard at all.
+func (p *Probe) Unguarded() { // want "without a leading"
+	p.n++
+}
+
+// GuardsWrongThing nil-checks the argument, not the receiver.
+func (p *Probe) GuardsWrongThing(q *Probe) { // want "without a leading"
+	if q == nil {
+		return
+	}
+	p.n++
+}
+
+// GuardDoesNotTerminate checks nil but falls through to the access.
+func (p *Probe) GuardDoesNotTerminate() { // want "without a leading"
+	if p == nil {
+		_ = 0
+	}
+	p.n++
+}
+
+// DelegatesOnly calls other methods on the receiver; the callees
+// guard, so no leading check is required here.
+func (p *Probe) DelegatesOnly() {
+	p.Guarded()
+	p.GuardedCompound(false)
+}
+
+// ValueRecv has a value receiver: a nil pointer cannot reach it as a
+// dereference happens at the call site.
+func (p Probe) ValueRecv() int { return p.n }
+
+// Suppressed is a reviewed exception.
+//
+//kfvet:allow nilrecv
+func (p *Probe) Suppressed() {
+	p.n++
+}

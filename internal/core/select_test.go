@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -114,6 +115,146 @@ func TestSelectorEmptyIndex(t *testing.T) {
 	} {
 		if v := sel.Select(ix, 1000, classifyArrival); len(v) != 0 {
 			t.Errorf("%s: victims from empty index: %v", name, v)
+		}
+	}
+}
+
+// phase2Classify is the real Phase 2 predicate: an entry is a victim
+// candidate only while it holds fewer than k postings (and is alive).
+func phase2Classify(k int) func(e *index.Entry[string]) (int64, bool) {
+	return func(e *index.Entry[string]) (int64, bool) {
+		n := e.Len()
+		if n == 0 || n >= k {
+			return 0, false
+		}
+		return int64(e.LastArrival()), true
+	}
+}
+
+// TestSelectorEmptyCandidateSet feeds a populated index through a
+// classify that rejects every entry (the Phase 2 predicate with k=1:
+// nothing is below k). Both selectors must return nothing rather than
+// fall back to unclassified entries.
+func TestSelectorEmptyCandidateSet(t *testing.T) {
+	ts := []int64{400, 100, 300, 200, 500, 700, 600}
+	for name, sel := range map[string]Selector[string]{
+		"heap": HeapSelector[string]{},
+		"sort": SortSelector[string]{},
+	} {
+		ix := buildSelectorIndex(ts)
+		if v := sel.Select(ix, 1_000_000, phase2Classify(1)); len(v) != 0 {
+			t.Errorf("%s: %d victims from an empty candidate set", name, len(v))
+		}
+	}
+}
+
+// TestSelectorAllEntriesBelowK is the Phase 2 shape where every entry
+// qualifies (all single-posting, k=5) and the target exceeds the total
+// freeable bytes: both selectors must surrender every entry, least
+// recently arrived first, instead of looping or stopping short.
+func TestSelectorAllEntriesBelowK(t *testing.T) {
+	ts := []int64{400, 100, 300, 200, 500, 700, 600, 900, 800}
+	for name, sel := range map[string]Selector[string]{
+		"heap": HeapSelector[string]{},
+		"sort": SortSelector[string]{},
+	} {
+		ix := buildSelectorIndex(ts)
+		victims := sel.Select(ix, 1<<40, phase2Classify(5))
+		if len(victims) != len(ts) {
+			t.Fatalf("%s: %d victims, want all %d", name, len(victims), len(ts))
+		}
+		last := int64(-1)
+		for _, e := range victims {
+			if int64(e.LastArrival()) < last {
+				t.Errorf("%s: victims not in ascending arrival order", name)
+			}
+			last = int64(e.LastArrival())
+		}
+	}
+}
+
+// shardOf locates the index shard holding entry e.
+func shardOf(t *testing.T, ix *index.Index[string], target *index.Entry[string]) int {
+	t.Helper()
+	for i := 0; i < ix.ShardCount(); i++ {
+		found := false
+		ix.RangeShard(i, func(e *index.Entry[string]) bool {
+			if e == target {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return i
+		}
+	}
+	t.Fatalf("entry %q not found in any shard", target.Key())
+	return -1
+}
+
+// TestSelectorBudgetExactAtShardBoundary sets the target to the exact
+// freeable sum of the j oldest entries, with j chosen so the last
+// admitted entry and the first excluded one live in different index
+// shards — the cut crosses a shard boundary, which is where the
+// shard-parallel scan could plausibly over- or under-collect. All
+// entries share one key length, so every freeable estimate is equal and
+// the minimal victim set is exactly the j oldest; both selectors must
+// hit the target with not one entry more.
+func TestSelectorBudgetExactAtShardBoundary(t *testing.T) {
+	const n = 32
+	ts := make([]int64, n)
+	for i := range ts {
+		ts[i] = int64((i*7)%n + 1) // distinct arrivals, scrambled
+	}
+	ix := buildSelectorIndex(ts)
+
+	// Entries ordered by arrival, oldest first.
+	var byAge []*index.Entry[string]
+	ix.Range(func(e *index.Entry[string]) bool {
+		byAge = append(byAge, e)
+		return true
+	})
+	sort.Slice(byAge, func(i, j int) bool { return byAge[i].LastArrival() < byAge[j].LastArrival() })
+
+	fb := byAge[0].FreeableBytes(ix.KeyLen(byAge[0].Key()))
+	for _, e := range byAge {
+		if got := e.FreeableBytes(ix.KeyLen(e.Key())); got != fb {
+			t.Fatalf("freeable bytes differ (%d vs %d); fixture needs uniform entries", got, fb)
+		}
+	}
+
+	// The first age-adjacent pair split across shards marks the cut.
+	j := -1
+	for i := 0; i+1 < len(byAge); i++ {
+		if shardOf(t, ix, byAge[i]) != shardOf(t, ix, byAge[i+1]) {
+			j = i + 1
+			break
+		}
+	}
+	if j < 1 {
+		t.Skip("all entries hashed into one shard; boundary case unreachable")
+	}
+	target := int64(j) * fb
+
+	for name, sel := range map[string]Selector[string]{
+		"heap": HeapSelector[string]{},
+		"sort": SortSelector[string]{},
+	} {
+		victims := sel.Select(ix, target, classifyArrival)
+		if len(victims) != j {
+			t.Errorf("%s: %d victims for an exactly-satisfiable target, want %d", name, len(victims), j)
+			continue
+		}
+		var sum int64
+		for i, e := range victims {
+			if e != byAge[i] {
+				t.Errorf("%s: victim %d is %q, want oldest-first %q", name, i, e.Key(), byAge[i].Key())
+			}
+			sum += e.FreeableBytes(ix.KeyLen(e.Key()))
+		}
+		if sum != target {
+			t.Errorf("%s: freeable sum %d, want exactly %d", name, sum, target)
 		}
 	}
 }

@@ -88,7 +88,9 @@ func (s *segment) acquire() { s.refs.Add(1) }
 // goes away.
 func (s *segment) release() {
 	if s.refs.Add(-1) == 0 {
-		s.f.Close()
+		// Read-only handle: a Close error cannot lose data, and the
+		// last reader has nowhere to report it.
+		_ = s.f.Close()
 	}
 }
 
@@ -296,22 +298,26 @@ func openSegment(path string) (*segment, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every early return below must drop the handle; the segment owns
+	// it only once construction succeeds.
+	ok := false
+	defer func() {
+		if !ok {
+			_ = f.Close()
+		}
+	}()
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
 		return nil, err
 	}
 	if st.Size() < 12 {
-		f.Close()
 		return nil, ErrCorrupt
 	}
 	head := make([]byte, 12)
 	if _, err := f.ReadAt(head, 0); err != nil {
-		f.Close()
 		return nil, err
 	}
 	if string(head[:4]) != segMagic {
-		f.Close()
 		return nil, ErrCorrupt
 	}
 	version := binary.LittleEndian.Uint16(head[4:])
@@ -324,20 +330,16 @@ func openSegment(path string) (*segment, error) {
 	case segVersion:
 		footerSize = footerSizeV2
 	default:
-		f.Close()
 		return nil, ErrCorrupt
 	}
 	if st.Size() < int64(footerSize)+12 {
-		f.Close()
 		return nil, ErrCorrupt
 	}
 	foot := make([]byte, footerSize)
 	if _, err := f.ReadAt(foot, st.Size()-int64(footerSize)); err != nil {
-		f.Close()
 		return nil, err
 	}
 	if string(foot[footerSize-4:]) != segEndMagic {
-		f.Close()
 		return nil, ErrCorrupt
 	}
 	offsetsPos := binary.LittleEndian.Uint64(foot[0:])
@@ -351,12 +353,10 @@ func openSegment(path string) (*segment, error) {
 	tailLen := st.Size() - int64(footerSize) - int64(offsetsPos)
 	if tailLen < 0 || dirPos < offsetsPos ||
 		(version >= 2 && bloomPos < dirPos) {
-		f.Close()
 		return nil, ErrCorrupt
 	}
 	tail := make([]byte, tailLen)
 	if _, err := f.ReadAt(tail, int64(offsetsPos)); err != nil {
-		f.Close()
 		return nil, err
 	}
 	offsets := make([]uint64, count)
@@ -386,7 +386,6 @@ func openSegment(path string) (*segment, error) {
 	if version >= 2 {
 		bloom, _, err = decodeBloom(tail[bloomPos-offsetsPos:])
 		if err != nil {
-			f.Close()
 			return nil, err
 		}
 	}
@@ -397,6 +396,7 @@ func openSegment(path string) (*segment, error) {
 		maxScore: maxScore, end: offsetsPos,
 	}
 	s.refs.Store(1) // the tier's reference
+	ok = true
 	return s, nil
 }
 

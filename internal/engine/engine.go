@@ -195,13 +195,15 @@ func New[K comparable](cfg Config[K]) (*Engine[K], error) {
 	if cfg.WALDir != "" {
 		w, err := wal.Open(cfg.WALDir, cfg.WALOptions)
 		if err != nil {
-			tier.Close()
+			// Construction failed; the open error is the one to
+			// surface, not the cleanup's.
+			_ = tier.Close()
 			return nil, err
 		}
 		e.wal = w
 		if err := e.recoverFromWAL(); err != nil {
-			w.Close()
-			tier.Close()
+			_ = w.Close()
+			_ = tier.Close()
 			return nil, err
 		}
 	}

@@ -13,6 +13,12 @@
 // no writer-side locking beyond atomics. Readers (Events) run
 // concurrently with writers and never block them: each ring slot is an
 // atomic pointer to an immutable, published Event.
+//
+// A nil *Journal is the disabled state — every method is
+// nil-receiver safe, a contract machine-checked by kfvet's nilrecv
+// analyzer via the marker below.
+//
+//kfvet:nilsafe
 package flushlog
 
 import (

@@ -8,7 +8,12 @@
 // Tracing is strictly opt-in. A nil *Trace disables it: every method is
 // nil-receiver safe and returns immediately, so the disabled path adds
 // no allocations and no atomic traffic to the query hot path (verified
-// by BenchmarkSearchTraceDisabled in internal/engine).
+// by BenchmarkSearchTraceDisabled in internal/engine). The contract is
+// machine-checked: the marker below opts this package into kfvet's
+// nilrecv analyzer, which rejects any pointer-receiver method that
+// touches fields without a leading nil guard.
+//
+//kfvet:nilsafe
 package trace
 
 import (

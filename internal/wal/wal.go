@@ -128,7 +128,9 @@ func (l *Log) rotateLocked() error {
 	copy(hdr[:4], fileMagic)
 	binary.LittleEndian.PutUint16(hdr[4:], fileVersion)
 	if _, err := f.Write(hdr[:]); err != nil {
-		f.Close()
+		// The header write already failed; the Write error is the one
+		// to surface, not the cleanup's.
+		_ = f.Close()
 		return err
 	}
 	l.f = f
@@ -303,11 +305,18 @@ func (l *Log) WriteSnapshot(recs []disk.FlushRecord) error {
 	if err != nil {
 		return err
 	}
+	// On any failure before the explicit Close, drop the handle; the
+	// write/sync error is the one to surface, not the cleanup's.
+	closed := false
+	defer func() {
+		if !closed {
+			_ = f.Close()
+		}
+	}()
 	var hdr [headerSize]byte
 	copy(hdr[:4], fileMagic)
 	binary.LittleEndian.PutUint16(hdr[4:], fileVersion)
 	if _, err := f.Write(hdr[:]); err != nil {
-		f.Close()
 		return err
 	}
 	var frame [8]byte
@@ -316,18 +325,16 @@ func (l *Log) WriteSnapshot(recs []disk.FlushRecord) error {
 		binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
 		binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
 		if _, err := f.Write(frame[:]); err != nil {
-			f.Close()
 			return err
 		}
 		if _, err := f.Write(payload); err != nil {
-			f.Close()
 			return err
 		}
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
 		return err
 	}
+	closed = true
 	if err := f.Close(); err != nil {
 		return err
 	}
@@ -340,7 +347,10 @@ func (l *Log) WriteSnapshot(recs []disk.FlushRecord) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f != nil {
-		l.f.Close()
+		if err := l.f.Close(); err != nil {
+			l.f = nil
+			return err
+		}
 		l.f = nil
 	}
 	files, err := l.logFiles()

@@ -17,6 +17,9 @@
 //	                               (?trace=1) and pretty-print the trace
 //	kflushctl flushlog <base-url> [n]   summarize the flush audit journal
 //	                               (/debug/flushlog)
+//	kflushctl probe <base-url>     report readiness and degraded
+//	                               read-only state (/readyz, /stats);
+//	                               exits non-zero when not ready
 package main
 
 import (
@@ -67,6 +70,12 @@ func main() {
 			err = cmdSegments(args[1])
 		}
 	case "probe":
+		if len(args) == 2 {
+			// One operand: probe a RUNNING kflushd for readiness and
+			// degraded read-only mode instead of a data directory.
+			err = cmdProbeServer(args[1])
+			break
+		}
 		if len(args) < 3 {
 			usage()
 			os.Exit(2)
@@ -157,6 +166,64 @@ func cmdProbe(dir, key string, k int) error {
 		fmt.Printf("  dir:   %d probes performed\n", st.DirProbes)
 		fmt.Printf("  reads: %d preads, cache %d hits / %d misses / %d evictions (%d bytes resident)\n",
 			st.RecordReads, st.CacheHits, st.CacheMisses, st.CacheEvictions, st.CacheBytes)
+	}
+	return nil
+}
+
+// cmdProbeServer asks a running kflushd whether it can serve writes:
+// the /readyz verdict with its per-attribute reasons, and each attribute
+// system's degraded read-only state from /stats. It exits non-zero when
+// the server is not ready, so it scripts as a health check.
+func cmdProbeServer(base string) error {
+	base = strings.TrimSuffix(base, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	cli := &http.Client{Timeout: 30 * time.Second}
+	resp, err := cli.Get(base + "/readyz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var ready struct {
+		Ready   bool              `json:"ready"`
+		Reasons map[string]string `json:"reasons"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		return fmt.Errorf("GET /readyz: %s: %w", resp.Status, err)
+	}
+	fmt.Printf("readyz: %s\n", resp.Status)
+	attrs := make([]string, 0, len(ready.Reasons))
+	for a := range ready.Reasons {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		fmt.Printf("  %-8s %s\n", a, ready.Reasons[a])
+	}
+
+	var stats map[string]struct {
+		Degraded       bool
+		DegradedReason string
+	}
+	if err := getJSON(base, "/stats", &stats); err != nil {
+		return err
+	}
+	attrs = attrs[:0]
+	for a := range stats {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		st := stats[a]
+		if st.Degraded {
+			fmt.Printf("%-8s DEGRADED read-only: %s\n", a, st.DegradedReason)
+		} else {
+			fmt.Printf("%-8s writable\n", a)
+		}
+	}
+	if !ready.Ready {
+		return fmt.Errorf("server not ready")
 	}
 	return nil
 }
@@ -326,6 +393,7 @@ usage:
   kflushctl verify <dir>
   kflushctl compact <dir> [n]
   kflushctl probe <dir> <key> [k]
+  kflushctl probe <base-url>
   kflushctl wal <wal-dir>
   kflushctl trace <base-url> <q> [k]
   kflushctl flushlog <base-url> [n]

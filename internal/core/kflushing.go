@@ -32,6 +32,8 @@ import (
 	"sync"
 	"time"
 
+	"kflushing/internal/failpoint"
+
 	"kflushing/internal/flushlog"
 	"kflushing/internal/index"
 	"kflushing/internal/memsize"
@@ -147,10 +149,27 @@ func (f *KFlushing[K]) Flush(target int64) (int64, error) {
 	freed := f.timedPhase(1, "regular", func(pe *flushlog.PhaseEvent) int64 {
 		return f.phase1(k, buf, pe)
 	})
+	// The inter-phase failpoints model a failure (or crash) with the
+	// victim buffer partially filled: everything evicted so far must
+	// still reach the sink or be rolled back by the engine, so Close
+	// runs even on the error path and its error wins only if no phase
+	// failed first.
+	if err := failpoint.Eval(failpoint.FlushAfterPhase1); err != nil {
+		if cerr := buf.Close(); cerr != nil {
+			return freed, cerr
+		}
+		return freed, err
+	}
 	if freed < target && f.maxPhase >= 2 {
 		freed += f.timedPhase(2, "aggressive", func(pe *flushlog.PhaseEvent) int64 {
 			return f.phase2(k, target-freed, buf, pe)
 		})
+	}
+	if err := failpoint.Eval(failpoint.FlushAfterPhase2); err != nil {
+		if cerr := buf.Close(); cerr != nil {
+			return freed, cerr
+		}
+		return freed, err
 	}
 	if freed < target && f.maxPhase >= 3 {
 		freed += f.timedPhase(3, "forced", func(pe *flushlog.PhaseEvent) int64 {

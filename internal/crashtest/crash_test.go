@@ -1,0 +1,296 @@
+//go:build failpoint
+
+package crashtest
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
+	"testing"
+
+	"kflushing"
+	"kflushing/internal/disk"
+	"kflushing/internal/failpoint"
+	"kflushing/internal/index"
+)
+
+// childOptions is the configuration both the crashing child and the
+// verifying parent open the store with: a budget small enough that the
+// workload flushes many times (reaching the segment-write, compaction
+// and multi-phase flush sites), k=2 so kFlushing trims aggressively,
+// per-append WAL fsync so an acknowledged ingest is durable by
+// definition, and synchronous flushing so every run is deterministic.
+func childOptions() kflushing.Options {
+	return kflushing.Options{
+		Policy:          kflushing.PolicyKFlushing,
+		K:               2,
+		MemoryBudget:    24 << 10,
+		FlushFraction:   0.9,
+		SyncFlush:       true,
+		DiskMaxSegments: 3,
+		Durable:         true,
+		WALSyncEvery:    1,
+	}
+}
+
+// TestCrashChild is the workload the matrix crashes: it is only run as a
+// re-exec'd child process with the failpoint environment inherited. Two
+// store sessions back to back exercise ingest, inline flushing,
+// compaction, close (WAL snapshot), and reopen (WAL recovery); after
+// every acknowledged batch the returned IDs are appended and fsynced to
+// the ack file, so the parent knows exactly which records the store
+// promised to keep.
+func TestCrashChild(t *testing.T) {
+	if os.Getenv("CRASHTEST_CHILD") != "1" {
+		t.Skip("crash-matrix child workload; driven by TestCrashMatrix")
+	}
+	dir := os.Getenv("CRASHTEST_DIR")
+	ackPath := os.Getenv("CRASHTEST_ACK")
+	if dir == "" || ackPath == "" {
+		t.Fatal("CRASHTEST_DIR / CRASHTEST_ACK not set")
+	}
+	for session, n := range []int{900, 300} {
+		ingestSession(t, dir, ackPath, session, n)
+	}
+}
+
+// ingestSession opens the store, ingests n records in small batches, and
+// closes it. Keywords give every record one hot key ("all"), one warm
+// key (8-way bucket) and one unique key, so flushes exercise both the
+// over-k trimming of Phase 1 and the under-filled eviction of Phase 2.
+func ingestSession(t *testing.T, dir, ackPath string, session, n int) {
+	t.Helper()
+	sys, err := kflushing.Open(dir, childOptions())
+	if err != nil {
+		t.Fatalf("session %d: open: %v", session, err)
+	}
+	ack, err := os.OpenFile(ackPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("session %d: open ack file: %v", session, err)
+	}
+	defer ack.Close()
+	const batchSize = 8
+	for i := 0; i < n; i += batchSize {
+		mbs := make([]*kflushing.Microblog, 0, batchSize)
+		for j := i; j < i+batchSize && j < n; j++ {
+			mbs = append(mbs, &kflushing.Microblog{
+				Keywords: []string{
+					"all",
+					"b" + strconv.Itoa(j%8),
+					"u" + strconv.Itoa(session*1_000_000+j),
+				},
+				Text: strings.Repeat("x", 120),
+			})
+		}
+		ids, err := sys.IngestBatch(mbs)
+		if err != nil {
+			t.Fatalf("session %d: ingest batch at %d: %v", session, i, err)
+		}
+		var buf bytes.Buffer
+		for _, id := range ids {
+			if id != 0 {
+				fmt.Fprintln(&buf, uint64(id))
+			}
+		}
+		if _, err := ack.Write(buf.Bytes()); err != nil {
+			t.Fatalf("session %d: record acks: %v", session, err)
+		}
+		if err := ack.Sync(); err != nil {
+			t.Fatalf("session %d: sync acks: %v", session, err)
+		}
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("session %d: close: %v", session, err)
+	}
+}
+
+// TestCrashMatrix kills the child workload at every registered crash
+// site — twice, so the second run crashes during recovery from the
+// first — then verifies the store recovers with zero acknowledged-data
+// loss and intact structure.
+func TestCrashMatrix(t *testing.T) {
+	if os.Getenv("CRASHTEST_CHILD") == "1" {
+		t.Skip("child process runs only TestCrashChild")
+	}
+	if testing.Short() {
+		t.Skip("crash matrix re-execs the test binary; skipped in -short")
+	}
+	sites := failpoint.CrashSites()
+	if len(sites) < 20 {
+		t.Fatalf("only %d crash sites registered, want >= 20", len(sites))
+	}
+	for _, site := range sites {
+		site := site
+		t.Run(strings.ReplaceAll(site, "/", "_"), func(t *testing.T) {
+			t.Parallel()
+			base := t.TempDir()
+			dataDir := filepath.Join(base, "data")
+			ackPath := filepath.Join(base, "acked")
+			// Run 1 must actually die at the site: a site the workload
+			// cannot reach would silently drop out of the matrix.
+			code, out := runChild(t, dataDir, ackPath, site)
+			if code != failpoint.CrashExitCode {
+				t.Fatalf("run 1 exited %d, want %d — site not reached or child failed:\n%s",
+					code, failpoint.CrashExitCode, out)
+			}
+			// Run 2 re-arms the same site over the crashed state: either
+			// recovery itself passes the site and dies again (the double
+			// crash), or the site is no longer on the path and the
+			// workload completes.
+			code, out = runChild(t, dataDir, ackPath, site)
+			if code != failpoint.CrashExitCode && code != 0 {
+				t.Fatalf("run 2 exited %d, want %d or 0:\n%s",
+					code, failpoint.CrashExitCode, out)
+			}
+			// Run 3 crashes on the site's 5th hit instead of the first,
+			// so hot sites (appends, segment writes, flush phases) die
+			// mid-workload with acknowledged batches already on the line;
+			// sites hit fewer than 5 times complete cleanly.
+			code, out = runChild(t, dataDir, ackPath, site+"=crash(5)")
+			if code != failpoint.CrashExitCode && code != 0 {
+				t.Fatalf("run 3 exited %d, want %d or 0:\n%s",
+					code, failpoint.CrashExitCode, out)
+			}
+			verifyRecovered(t, dataDir, ackPath)
+		})
+	}
+}
+
+// runChild re-execs this test binary as a crashing child: only
+// TestCrashChild runs, with the failpoint armed through the environment
+// exactly as a production child process would inherit it. spec is
+// either a bare site name (armed as first-hit crash) or a full
+// "site=action" spec.
+func runChild(t *testing.T, dataDir, ackPath, spec string) (int, string) {
+	t.Helper()
+	if !strings.Contains(spec, "=") {
+		spec += "=crash"
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashChild$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		"CRASHTEST_CHILD=1",
+		"CRASHTEST_DIR="+dataDir,
+		"CRASHTEST_ACK="+ackPath,
+		failpoint.EnvVar+"="+spec,
+	)
+	out, err := cmd.CombinedOutput()
+	if cmd.ProcessState == nil {
+		t.Fatalf("child did not start: %v", err)
+	}
+	return cmd.ProcessState.ExitCode(), string(out)
+}
+
+// verifyRecovered reopens the crashed store with failpoints disarmed and
+// checks the zero-data-loss contract, twice, so recovery itself is shown
+// to be idempotent.
+func verifyRecovered(t *testing.T, dataDir, ackPath string) {
+	t.Helper()
+	acked := readAcked(t, ackPath)
+	var prev []uint64
+	for pass := 1; pass <= 2; pass++ {
+		got := openAndCollect(t, dataDir, pass)
+		for id := range acked {
+			if !got[id] {
+				t.Fatalf("pass %d: acknowledged record %d lost (%d acked, %d recovered)",
+					pass, id, len(acked), len(got))
+			}
+		}
+		ids := make([]uint64, 0, len(got))
+		for id := range got {
+			ids = append(ids, id)
+		}
+		slices.Sort(ids)
+		if pass == 2 && !slices.Equal(prev, ids) {
+			t.Fatalf("recovery not idempotent: pass 1 found %d records, pass 2 %d",
+				len(prev), len(ids))
+		}
+		prev = ids
+	}
+	// The segment directory must parse and every record decode cleanly.
+	if segs, recs, err := disk.Verify(dataDir); err != nil {
+		t.Fatalf("segment verification failed after %d segments / %d records: %v",
+			segs, recs, err)
+	}
+}
+
+// openAndCollect recovers the store, fetches every record via the hot
+// key, and walks the index asserting the structural invariant no flush
+// or recovery may break: every posting points at a store-resident record
+// with a positive posting count.
+func openAndCollect(t *testing.T, dataDir string, pass int) map[uint64]bool {
+	t.Helper()
+	sys, err := kflushing.Open(dataDir, childOptions())
+	if err != nil {
+		t.Fatalf("pass %d: reopen: %v", pass, err)
+	}
+	defer func() {
+		if err := sys.Close(); err != nil {
+			t.Fatalf("pass %d: close: %v", pass, err)
+		}
+	}()
+	res, err := sys.Search([]string{"all"}, kflushing.OpSingle, 1<<14)
+	if err != nil {
+		t.Fatalf("pass %d: search: %v", pass, err)
+	}
+	got := make(map[uint64]bool, len(res.Items))
+	for _, it := range res.Items {
+		id := uint64(it.MB.ID)
+		if got[id] {
+			t.Fatalf("pass %d: duplicate record %d in answer", pass, id)
+		}
+		got[id] = true
+	}
+	eng := sys.Engine()
+	eng.Index().Range(func(e *index.Entry[string]) bool {
+		for _, rec := range e.All() {
+			if rec.PCount() <= 0 {
+				t.Fatalf("pass %d: entry %q posting for record %d has pcount %d",
+					pass, e.Key(), rec.MB.ID, rec.PCount())
+			}
+			if eng.Store().Get(rec.MB.ID) == nil {
+				t.Fatalf("pass %d: entry %q posting for record %d missing from store",
+					pass, e.Key(), rec.MB.ID)
+			}
+		}
+		return true
+	})
+	return got
+}
+
+// readAcked parses the child's ack file: one acknowledged ID per line.
+func readAcked(t *testing.T, path string) map[uint64]bool {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Crashed before the first acknowledged batch — nothing was
+			// promised, so nothing can be lost.
+			return nil
+		}
+		t.Fatalf("open ack file: %v", err)
+	}
+	defer f.Close()
+	acked := make(map[uint64]bool)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		id, err := strconv.ParseUint(line, 10, 64)
+		if err != nil {
+			t.Fatalf("bad ack line %q: %v", line, err)
+		}
+		acked[id] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read ack file: %v", err)
+	}
+	return acked
+}

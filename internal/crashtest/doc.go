@@ -1,0 +1,23 @@
+// Package crashtest is the crash-recovery test harness: it re-execs the
+// test binary as a child process, kills the child at every registered
+// crash failpoint (failpoint.CrashSites covers the WAL, segment-write,
+// compaction, flush-cycle, and recovery paths), reopens the store over
+// the wreckage, and asserts the durability invariants:
+//
+//   - no acknowledged ingest is lost — every ID a completed IngestBatch
+//     returned is found by a post-crash search;
+//   - answers carry no duplicates;
+//   - every index posting references a live store record with a positive
+//     posting count (the structural flush invariant);
+//   - the segment directory parses and every record is readable;
+//   - recovery is idempotent: each site is crashed a second time during
+//     its own recovery (a double crash), and two further clean reopens
+//     agree exactly.
+//
+// The package holds no production code; its tests are build-tag-gated
+// because they need the fault-injection registry compiled in:
+//
+//	go test -tags failpoint ./internal/crashtest/
+//
+// A plain `go test ./...` compiles this doc and runs nothing.
+package crashtest

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"kflushing/internal/failpoint"
 )
 
 // Compaction merges old segments into fewer, larger ones. Every flush
@@ -60,7 +62,16 @@ func (t *Tier[K]) CompactOldest(n int) error {
 	// open is safe (the inode survives until the last close); the
 	// newest input's path was already replaced by the rename, so only
 	// the older paths are unlinked. File handles close when the last
-	// in-flight search releases its reference.
+	// in-flight search releases its reference. A crash before the
+	// removals finish leaves duplicate records across the merged file
+	// and the surviving inputs — tolerated, because search deduplicates
+	// by record ID and the next compaction merges them away.
+	if err := failpoint.Eval(failpoint.DiskCompactRemove); err != nil {
+		for _, s := range inputs {
+			s.release()
+		}
+		return err
+	}
 	for i, s := range inputs {
 		if i != len(inputs)-1 {
 			if err := os.Remove(s.path); err != nil {
@@ -175,7 +186,13 @@ func mergeSegments(inputs []*segment) (*segment, error) {
 	if err := merged.close(); err != nil {
 		return nil, err
 	}
+	if err := failpoint.Eval(failpoint.DiskCompactRename); err != nil {
+		return nil, err
+	}
 	if err := os.Rename(tmp, final); err != nil {
+		return nil, err
+	}
+	if err := syncDir(filepath.Dir(final)); err != nil {
 		return nil, err
 	}
 	reopened, err := openSegment(final)

@@ -1,0 +1,147 @@
+//go:build failpoint
+
+package disk
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"kflushing/internal/failpoint"
+	"kflushing/internal/query"
+	"kflushing/internal/types"
+)
+
+func newFaultTier(t *testing.T, retry RetryPolicy) *Tier[string] {
+	t.Helper()
+	failpoint.DisableAll()
+	t.Cleanup(failpoint.DisableAll)
+	tier, err := Open(Config[string]{
+		Dir:        t.TempDir(),
+		KeysOf:     func(m *types.Microblog) []string { return m.Keywords },
+		Encode:     func(s string) string { return s },
+		CacheBytes: -1, // no read cache: every search preads
+		Retry:      retry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tier.Close() })
+	return tier
+}
+
+// TestPreadRetriedOnce arms a single record-read fault: with a
+// one-retry policy the search succeeds transparently; the hit counter
+// proves the failpoint actually fired.
+func TestPreadRetriedOnce(t *testing.T) {
+	tier := newFaultTier(t, RetryPolicy{Attempts: 1})
+	if err := tier.Flush([]FlushRecord{fr(1, 1, "a"), fr(2, 2, "a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Enable(failpoint.DiskPread, "error(1)"); err != nil {
+		t.Fatal(err)
+	}
+	items, err := tier.Search([]string{"a"}, query.OpSingle, 5)
+	if err != nil {
+		t.Fatalf("search with one pread fault and retry: %v", err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("got %d items, want 2", len(items))
+	}
+	if hits := failpoint.Hits(failpoint.DiskPread); hits < 2 {
+		t.Fatalf("pread evaluated %d times, want >= 2 (1 failure + retry)", hits)
+	}
+}
+
+// TestPreadFaultSurfacesWithoutRetry is the control: the same fault with
+// retries disabled must surface as an injected error.
+func TestPreadFaultSurfacesWithoutRetry(t *testing.T) {
+	tier := newFaultTier(t, RetryPolicy{})
+	if err := tier.Flush([]FlushRecord{fr(1, 1, "a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Enable(failpoint.DiskPread, "error(1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tier.Search([]string{"a"}, query.OpSingle, 5); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("search error = %v, want injected", err)
+	}
+}
+
+// TestSegmentWriteLeavesNoPartialFiles verifies the atomic-write
+// protocol: a fault at any stage of the staged segment write leaves the
+// directory with no segment under its final name and only a temp file
+// that the next Open removes as an orphan.
+func TestSegmentWriteLeavesNoPartialFiles(t *testing.T) {
+	for _, site := range []string{
+		failpoint.DiskSegmentCreate,
+		failpoint.DiskSegmentWrite,
+		failpoint.DiskSegmentDirWrite,
+		failpoint.DiskSegmentSync,
+		failpoint.DiskSegmentRename,
+	} {
+		t.Run(filepath.Base(site), func(t *testing.T) {
+			failpoint.DisableAll()
+			t.Cleanup(failpoint.DisableAll)
+			dir := t.TempDir()
+			tier, err := Open(Config[string]{
+				Dir:    dir,
+				KeysOf: func(m *types.Microblog) []string { return m.Keywords },
+				Encode: func(s string) string { return s },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := failpoint.Enable(site, "error"); err != nil {
+				t.Fatal(err)
+			}
+			if err := tier.Flush([]FlushRecord{fr(1, 1, "a")}); err == nil {
+				t.Fatal("flush succeeded despite injected fault")
+			}
+			failpoint.DisableAll()
+			if err := tier.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if segs, err := filepath.Glob(filepath.Join(dir, "seg-*.kfs")); err != nil || len(segs) != 0 {
+				t.Fatalf("failed flush left final-named segments %v (err %v)", segs, err)
+			}
+			// A reopen clears any staged temp file left behind.
+			tier, err = Open(Config[string]{
+				Dir:    dir,
+				KeysOf: func(m *types.Microblog) []string { return m.Keywords },
+				Encode: func(s string) string { return s },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tier.Close()
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if matched, _ := filepath.Match("seg-*.kfs.*", e.Name()); matched {
+					t.Fatalf("orphaned temp file %s survived reopen", e.Name())
+				}
+			}
+		})
+	}
+}
+
+// TestENOSPCSurfacesTyped checks the enospc action wraps the real
+// syscall error so callers can special-case a full disk.
+func TestENOSPCSurfacesTyped(t *testing.T) {
+	tier := newFaultTier(t, RetryPolicy{})
+	if err := failpoint.Enable(failpoint.DiskSegmentWrite, "enospc"); err != nil {
+		t.Fatal(err)
+	}
+	err := tier.Flush([]FlushRecord{fr(1, 1, "a")})
+	if err == nil {
+		t.Fatal("flush succeeded despite ENOSPC")
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("flush error %v does not wrap syscall.ENOSPC", err)
+	}
+}

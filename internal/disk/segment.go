@@ -10,8 +10,24 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"kflushing/internal/failpoint"
 	"kflushing/internal/types"
 )
+
+// syncDir fsyncs a directory so a just-renamed file's entry is durable:
+// without it a crash can forget the rename even though the file data
+// itself was synced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("disk: open directory for sync: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close() // the Sync error is the one to surface
+		return fmt.Errorf("disk: sync directory: %w", err)
+	}
+	return d.Close()
+}
 
 // Segment file layout (all integers little-endian):
 //
@@ -274,10 +290,67 @@ func writeSegmentVersioned(path string, recs []FlushRecord, dir map[string][]uin
 	buf = append(buf, tmp[:8]...)
 	buf = append(buf, segEndMagic...)
 
-	if err := os.WriteFile(path, buf, 0o644); err != nil {
+	// Stage at a temp path, sync, rename into place, then sync the
+	// directory: a crash anywhere before the rename leaves only a .tmp
+	// orphan (removed by Open), never a half-written live segment, and
+	// a segment that HAS its final name is durably complete.
+	tmpPath := path + ".tmp"
+	if err := failpoint.Eval(failpoint.DiskSegmentCreate); err != nil {
+		return nil, buf, fmt.Errorf("disk: create segment: %w", err)
+	}
+	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, buf, fmt.Errorf("disk: create segment: %w", err)
+	}
+	// Until the rename lands any failure removes the staged file; the
+	// original error is the one to surface, not the cleanup's.
+	staged := false
+	defer func() {
+		if !staged {
+			_ = f.Close()
+			_ = os.Remove(tmpPath)
+		}
+	}()
+	// The record block and the metadata block (offsets, directory,
+	// Bloom, footer) are written separately so fault injection can tear
+	// either independently.
+	recBlock, fperr := failpoint.EvalWrite(failpoint.DiskSegmentWrite, buf[:end])
+	if _, err := f.Write(recBlock); err != nil {
 		return nil, buf, fmt.Errorf("disk: write segment: %w", err)
 	}
-	f, err := os.Open(path)
+	if fperr != nil {
+		return nil, buf, fperr
+	}
+	metaBlock, fperr := failpoint.EvalWrite(failpoint.DiskSegmentDirWrite, buf[end:])
+	if _, err := f.Write(metaBlock); err != nil {
+		return nil, buf, fmt.Errorf("disk: write segment directory: %w", err)
+	}
+	if fperr != nil {
+		return nil, buf, fperr
+	}
+	if err := failpoint.Eval(failpoint.DiskSegmentSync); err != nil {
+		return nil, buf, err
+	}
+	if err := f.Sync(); err != nil {
+		return nil, buf, fmt.Errorf("disk: sync segment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, buf, fmt.Errorf("disk: close staged segment: %w", err)
+	}
+	if err := failpoint.Eval(failpoint.DiskSegmentRename); err != nil {
+		return nil, buf, err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		return nil, buf, fmt.Errorf("disk: rename segment: %w", err)
+	}
+	staged = true
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return nil, buf, err
+	}
+	if err := failpoint.Eval(failpoint.DiskSegmentAfterRename); err != nil {
+		return nil, buf, err
+	}
+	f, err = os.Open(path)
 	if err != nil {
 		return nil, buf, err
 	}
@@ -420,6 +493,9 @@ func (s *segment) readRecord(ord uint32) (FlushRecord, error) {
 		limit = s.offsets[ord+1]
 	} else {
 		limit = s.end
+	}
+	if err := failpoint.Eval(failpoint.DiskPread); err != nil {
+		return FlushRecord{}, err
 	}
 	b := make([]byte, limit-start)
 	if _, err := s.f.ReadAt(b, int64(start)); err != nil && err != io.EOF {

@@ -12,6 +12,7 @@ package disk
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -20,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kflushing/internal/failpoint"
 	"kflushing/internal/query"
 	"kflushing/internal/trace"
 	"kflushing/internal/types"
@@ -44,6 +46,34 @@ type Config[K comparable] struct {
 	// candidate segments; 0 selects the default (GOMAXPROCS capped at
 	// 8), 1 forces sequential newest-first search.
 	SearchParallelism int
+	// Retry bounds transient-I/O retries on record reads; the zero
+	// value disables retrying.
+	Retry RetryPolicy
+}
+
+// RetryPolicy bounds a retry loop around transient disk errors.
+type RetryPolicy struct {
+	// Attempts is the number of RETRIES after the first failure; 0
+	// disables retrying.
+	Attempts int
+	// Backoff is the sleep before the first retry, doubling on each
+	// further one. Zero retries immediately.
+	Backoff time.Duration
+}
+
+// Do runs f, retrying per the policy with exponential backoff. It
+// returns nil as soon as an attempt succeeds, else the last error.
+func (p RetryPolicy) Do(f func() error) error {
+	err := f()
+	backoff := p.Backoff
+	for attempt := 0; err != nil && attempt < p.Attempts; attempt++ {
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		err = f()
+	}
+	return err
 }
 
 // DefaultCacheBytes is the record-cache budget when Config.CacheBytes
@@ -126,6 +156,17 @@ func Open[K comparable](cfg Config[K]) (*Tier[K], error) {
 	}
 	if t.parallelism < 1 {
 		t.parallelism = 1
+	}
+	// A crash mid-flush or mid-compaction leaves staged files (*.tmp,
+	// *.compact) that were never renamed live: they hold nothing a
+	// recovered store needs (their records are still in the WAL or in
+	// the compaction inputs), so remove them. Removal failures are
+	// harmless — the names never collide with live segments.
+	if orphans, err := filepath.Glob(filepath.Join(cfg.Dir, "seg-*.kfs.*")); err == nil {
+		for _, p := range orphans {
+			slog.Warn("disk: removing orphaned staged segment file", "path", p)
+			_ = os.Remove(p)
+		}
 	}
 	paths, err := filepath.Glob(filepath.Join(cfg.Dir, "seg-*.kfs"))
 	if err != nil {
@@ -493,7 +534,7 @@ func (t *Tier[K]) searchSegment(s *segment, keys []string, op query.Op, k int, d
 func (t *Tier[K]) readRecordCached(s *segment, ord uint32) (FlushRecord, bool, error) {
 	if t.cache == nil {
 		t.recordReads.Add(1)
-		fr, err := s.readRecord(ord)
+		fr, err := t.readRecordRetry(s, ord)
 		return fr, false, err
 	}
 	key := cacheKey{seg: s.id, ord: ord}
@@ -501,7 +542,7 @@ func (t *Tier[K]) readRecordCached(s *segment, ord uint32) (FlushRecord, bool, e
 		return fr, true, nil
 	}
 	t.recordReads.Add(1)
-	fr, err := s.readRecord(ord)
+	fr, err := t.readRecordRetry(s, ord)
 	if err != nil {
 		return fr, false, err
 	}
@@ -509,20 +550,63 @@ func (t *Tier[K]) readRecordCached(s *segment, ord uint32) (FlushRecord, bool, e
 	return fr, false, nil
 }
 
+// readRecordRetry is readRecord under the tier's transient-error retry
+// policy: preads are idempotent, so a flaky read (EINTR-class faults,
+// overloaded storage) is retried with backoff instead of failing the
+// whole search.
+func (t *Tier[K]) readRecordRetry(s *segment, ord uint32) (FlushRecord, error) {
+	var fr FlushRecord
+	err := t.cfg.Retry.Do(func() error {
+		var err error
+		fr, err = s.readRecord(ord)
+		return err
+	})
+	return fr, err
+}
+
 // CheckWritable verifies the tier directory still accepts new segment
-// files by creating and removing a probe file — the readiness signal a
-// load balancer needs before routing writes here. It deliberately does
-// real I/O: a read-only remount or a deleted directory fails it.
+// files by creating, writing, syncing and removing a probe file — the
+// readiness signal a load balancer needs before routing writes here. It
+// deliberately does real I/O — a read-only remount, a deleted directory
+// or a full disk fails it — and it passes the same failpoint sites as a
+// segment write, so an injected persistent write fault keeps the tier
+// unready until cleared, exactly like the real fault it simulates.
 func (t *Tier[K]) CheckWritable() error {
+	if err := failpoint.Eval(failpoint.DiskSegmentCreate); err != nil {
+		return fmt.Errorf("disk: tier directory not writable: %w", err)
+	}
 	f, err := os.CreateTemp(t.cfg.Dir, ".ready-*")
 	if err != nil {
 		return fmt.Errorf("disk: tier directory not writable: %w", err)
 	}
 	name := f.Name()
+	ok := false
+	defer func() {
+		if !ok {
+			// The probe error is the one to surface, not the cleanup's.
+			_ = f.Close()
+			_ = os.Remove(name)
+		}
+	}()
+	probe, fperr := failpoint.EvalWrite(failpoint.DiskSegmentWrite, []byte("ready"))
+	if _, err := f.Write(probe); err != nil {
+		return fmt.Errorf("disk: write readiness probe: %w", err)
+	}
+	if fperr != nil {
+		return fmt.Errorf("disk: write readiness probe: %w", fperr)
+	}
+	if err := failpoint.Eval(failpoint.DiskSegmentSync); err != nil {
+		return fmt.Errorf("disk: sync readiness probe: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("disk: sync readiness probe: %w", err)
+	}
 	if err := f.Close(); err != nil {
-		os.Remove(name)
+		ok = true // closed; only the file removal remains
+		_ = os.Remove(name)
 		return fmt.Errorf("disk: close readiness probe: %w", err)
 	}
+	ok = true
 	if err := os.Remove(name); err != nil {
 		return fmt.Errorf("disk: remove readiness probe: %w", err)
 	}

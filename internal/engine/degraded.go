@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"errors"
+	"log/slog"
+	"sync"
+	"time"
+
+	"kflushing/internal/disk"
+	"kflushing/internal/failpoint"
+	"kflushing/internal/flushlog"
+	"kflushing/internal/store"
+)
+
+// ErrDegraded reports the engine is in degraded read-only mode: a flush
+// cycle failed to write the disk tier even after retries, so ingestion
+// is rejected until a tier write or readiness probe succeeds. Searches
+// keep answering from memory and the readable segments throughout.
+var ErrDegraded = errors.New("engine: degraded read-only mode, tier writes failing")
+
+// flushSink wraps the disk tier as the policies' flush sink, adding
+// bounded retry with backoff for transient write failures and, on final
+// failure, capturing the evicted batch so the flush cycle can roll the
+// eviction back into memory — evicted records are never dropped unless
+// their segment was durably renamed into place.
+type flushSink[K comparable] struct {
+	tier  *disk.Tier[K]
+	retry disk.RetryPolicy
+
+	mu     sync.Mutex
+	failed []disk.FlushRecord
+	wrote  bool
+}
+
+func (s *flushSink[K]) Flush(recs []disk.FlushRecord) error {
+	if err := failpoint.Eval(failpoint.FlushAfterEvict); err != nil {
+		s.stash(recs)
+		return err
+	}
+	if err := s.retry.Do(func() error { return s.tier.Flush(recs) }); err != nil {
+		s.stash(recs)
+		return err
+	}
+	s.mu.Lock()
+	s.wrote = true
+	s.mu.Unlock()
+	// A failure from here on is NOT stashed: the segment is durably
+	// renamed, so restoring the records to memory would duplicate them.
+	return failpoint.Eval(failpoint.FlushAfterWrite)
+}
+
+func (s *flushSink[K]) stash(recs []disk.FlushRecord) {
+	s.mu.Lock()
+	s.failed = append(s.failed, recs...)
+	s.mu.Unlock()
+}
+
+// takeFailed returns and clears the batches that never reached the tier.
+func (s *flushSink[K]) takeFailed() []disk.FlushRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := s.failed
+	s.failed = nil
+	return recs
+}
+
+// tookWrite reports (and resets) whether a tier write succeeded since
+// the last call — the evidence a flush cycle needs before clearing
+// degraded mode.
+func (s *flushSink[K]) tookWrite() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.wrote
+	s.wrote = false
+	return w
+}
+
+// restoreEvicted rolls a failed eviction back into memory: records the
+// sink could not persist are re-stored and re-indexed (they are still
+// WAL-covered, so a crash loses nothing either way), and records that
+// stayed memory-resident (partial flushes) lose their on-disk mark so a
+// later flush writes them again. Callers must hold flushMu.
+func (e *Engine[K]) restoreEvicted(failed []disk.FlushRecord) {
+	if len(failed) == 0 {
+		return
+	}
+	var recs []*store.Record
+	var recKeys [][]K
+	unmarked := 0
+	for _, fr := range failed {
+		if rec := e.store.Get(fr.MB.ID); rec != nil {
+			rec.UnmarkOnDisk()
+			unmarked++
+			continue
+		}
+		keys := e.cfg.KeysOf(fr.MB)
+		if len(keys) == 0 {
+			continue
+		}
+		rec := store.NewRecord(fr.MB, fr.Score)
+		e.store.Put(rec)
+		e.mem.AddData(rec.Bytes)
+		for _, key := range keys {
+			e.idx.Insert(key, rec)
+		}
+		recs = append(recs, rec)
+		recKeys = append(recKeys, keys)
+	}
+	if len(recs) > 0 {
+		e.pol.OnIngest(recs, recKeys)
+	}
+	slog.Warn("engine: flush failed, eviction rolled back into memory",
+		"restored", len(recs), "unmarked", unmarked)
+}
+
+// enterDegraded flips the engine into degraded read-only mode and
+// journals the transition.
+func (e *Engine[K]) enterDegraded(cause error) {
+	e.degradedReason.Store(cause.Error())
+	if e.degraded.CompareAndSwap(false, true) {
+		slog.Error("engine: entering degraded read-only mode", "cause", cause)
+		now := time.Now()
+		e.journal.Begin(e.pol.Name(), flushlog.TriggerDegraded, 0, e.mem.Used(), now)
+		e.journal.End(0, e.mem.Used(), 0, cause)
+	}
+}
+
+// exitDegraded leaves degraded mode after evidence the tier accepts
+// writes again (a successful flush or readiness probe). Callers must
+// hold flushMu so the journal writes stay serialized.
+func (e *Engine[K]) exitDegraded(via string) {
+	if e.degraded.CompareAndSwap(true, false) {
+		slog.Info("engine: leaving degraded mode", "via", via)
+		now := time.Now()
+		e.journal.Begin(e.pol.Name(), flushlog.TriggerDegradedClear, 0, e.mem.Used(), now)
+		e.journal.End(0, e.mem.Used(), 0, nil)
+	}
+}
+
+// Degraded reports whether the engine is in degraded read-only mode,
+// with the error message that put it there.
+func (e *Engine[K]) Degraded() (bool, string) {
+	if !e.degraded.Load() {
+		return false, ""
+	}
+	reason, _ := e.degradedReason.Load().(string)
+	return true, reason
+}

@@ -1,0 +1,220 @@
+//go:build failpoint
+
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"kflushing/internal/attr"
+	"kflushing/internal/clock"
+	"kflushing/internal/core"
+	"kflushing/internal/disk"
+	"kflushing/internal/failpoint"
+	"kflushing/internal/flushlog"
+	"kflushing/internal/query"
+	"kflushing/internal/types"
+)
+
+// newFaultEngine builds a small keyword engine with the given retry
+// policy, disarming every failpoint before and after the test.
+func newFaultEngine(t *testing.T, retry disk.RetryPolicy) *Engine[string] {
+	t.Helper()
+	failpoint.DisableAll()
+	t.Cleanup(failpoint.DisableAll)
+	eng, err := New(Config[string]{
+		K:             3,
+		MemoryBudget:  1 << 30,
+		FlushFraction: 0.5,
+		KeysOf:        attr.KeywordKeys,
+		KeyHash:       attr.HashString,
+		KeyLen:        attr.KeywordLen,
+		EncodeKey:     attr.KeywordEncode,
+		Clock:         clock.NewLogical(1, 1),
+		DiskDir:       t.TempDir(),
+		DiskRetry:     retry,
+		Policy:        core.New[string](),
+		TrackOverK:    true,
+		SyncFlush:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+func mustEnable(t *testing.T, site, spec string) {
+	t.Helper()
+	if err := failpoint.Enable(site, spec); err != nil {
+		t.Fatalf("enable %s=%s: %v", site, spec, err)
+	}
+}
+
+func searchIDs(t *testing.T, e *Engine[string], key string, k int) map[types.ID]bool {
+	t.Helper()
+	res, err := e.Search(query.Request[string]{Keys: []string{key}, K: k})
+	if err != nil {
+		t.Fatalf("search %q: %v", key, err)
+	}
+	ids := make(map[types.ID]bool, len(res.Items))
+	for _, it := range res.Items {
+		ids[it.MB.ID] = true
+	}
+	return ids
+}
+
+// TestTransientFlushErrorMaskedByRetry arms a segment-create fault that
+// fails twice and then clears; with DiskRetry allowing three retries the
+// flush must succeed with no visible error and no degraded transition.
+func TestTransientFlushErrorMaskedByRetry(t *testing.T) {
+	eng := newFaultEngine(t, disk.RetryPolicy{Attempts: 3, Backoff: time.Millisecond})
+	for i := 0; i < 50; i++ {
+		ingest(t, eng, int64(i+1), "a", "all")
+	}
+	mustEnable(t, failpoint.DiskSegmentCreate, "error(2)")
+	if _, err := eng.FlushNow(); err != nil {
+		t.Fatalf("flush with transient fault and retry: %v", err)
+	}
+	if hits := failpoint.Hits(failpoint.DiskSegmentCreate); hits < 3 {
+		t.Fatalf("segment create evaluated %d times, want >= 3 (2 failures + success)", hits)
+	}
+	if degraded, _ := eng.Degraded(); degraded {
+		t.Fatal("engine degraded after a retried transient fault")
+	}
+	if eng.Stats().Disk.Segments == 0 {
+		t.Fatal("no segment written: flush did not reach the tier")
+	}
+}
+
+// TestPersistentFlushFailureDegrades drives the full degraded-mode
+// lifecycle: a persistent segment-write fault fails the flush even with
+// retries, the eviction is rolled back (every record stays searchable),
+// ingestion is rejected with ErrDegraded, and once the fault clears a
+// readiness probe restores write service.
+func TestPersistentFlushFailureDegrades(t *testing.T) {
+	eng := newFaultEngine(t, disk.RetryPolicy{Attempts: 1})
+	var want []types.ID
+	for i := 0; i < 50; i++ {
+		want = append(want, ingest(t, eng, int64(i+1), "a", "all"))
+	}
+	mustEnable(t, failpoint.DiskSegmentWrite, "error")
+
+	if _, err := eng.FlushNow(); err == nil {
+		t.Fatal("flush succeeded despite persistent segment-write fault")
+	}
+	if degraded, reason := eng.Degraded(); !degraded || reason == "" {
+		t.Fatalf("degraded=%v reason=%q after persistent flush failure", degraded, reason)
+	}
+
+	// Atomic flush semantics: the failed eviction was rolled back, so
+	// every record is still answered from memory.
+	got := searchIDs(t, eng, "all", 100)
+	for _, id := range want {
+		if !got[id] {
+			t.Fatalf("record %d lost after failed flush (rollback broken)", id)
+		}
+	}
+
+	// Ingestion is read-only-rejected with the typed error…
+	if _, err := eng.Ingest(&types.Microblog{Keywords: []string{"b"}, Text: "t"}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded ingest error = %v, want ErrDegraded", err)
+	}
+	// …and surfaced by the readiness probe while the fault persists.
+	if err := eng.CheckReady(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("CheckReady = %v, want ErrDegraded", err)
+	}
+	st := eng.Stats()
+	if !st.Degraded || st.DegradedReason == "" {
+		t.Fatalf("stats degraded=%v reason=%q", st.Degraded, st.DegradedReason)
+	}
+	// The transition is journaled.
+	evs := eng.Journal().Last(0)
+	found := false
+	for _, ev := range evs {
+		if ev.Trigger == flushlog.TriggerDegraded {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no degraded event in the flush journal")
+	}
+
+	// Fault clears: the next readiness probe provides the evidence and
+	// write service resumes.
+	failpoint.Disable(failpoint.DiskSegmentWrite)
+	if err := eng.CheckReady(); err != nil {
+		t.Fatalf("CheckReady after fault cleared: %v", err)
+	}
+	if degraded, _ := eng.Degraded(); degraded {
+		t.Fatal("still degraded after successful readiness probe")
+	}
+	if _, err := eng.Ingest(&types.Microblog{Keywords: []string{"b"}, Text: "t"}); err != nil {
+		t.Fatalf("ingest after recovery: %v", err)
+	}
+	if _, err := eng.FlushNow(); err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+	clearEvent := false
+	for _, ev := range eng.Journal().Last(0) {
+		if ev.Trigger == flushlog.TriggerDegradedClear {
+			clearEvent = true
+		}
+	}
+	if !clearEvent {
+		t.Fatal("no degraded-clear event in the flush journal")
+	}
+}
+
+// TestEvictionRollbackSurvivesRestart checks the stronger durability
+// half of atomic flush semantics: records rolled back after a failed
+// flush are still covered by the WAL, so a close/reopen after the
+// failure loses nothing.
+func TestEvictionRollbackSurvivesRestart(t *testing.T) {
+	failpoint.DisableAll()
+	t.Cleanup(failpoint.DisableAll)
+	dir := t.TempDir()
+	open := func() *Engine[string] {
+		eng, err := New(Config[string]{
+			K:             3,
+			MemoryBudget:  1 << 30,
+			FlushFraction: 0.5,
+			KeysOf:        attr.KeywordKeys,
+			KeyHash:       attr.HashString,
+			KeyLen:        attr.KeywordLen,
+			EncodeKey:     attr.KeywordEncode,
+			Clock:         clock.NewLogical(1, 1),
+			DiskDir:       dir,
+			WALDir:        dir + "/wal",
+			Policy:        core.New[string](),
+			TrackOverK:    true,
+			SyncFlush:     true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	eng := open()
+	var want []types.ID
+	for i := 0; i < 30; i++ {
+		want = append(want, ingest(t, eng, int64(i+1), "all"))
+	}
+	mustEnable(t, failpoint.FlushAfterEvict, "error")
+	if _, err := eng.FlushNow(); err == nil {
+		t.Fatal("flush succeeded despite post-evict fault")
+	}
+	failpoint.Disable(failpoint.FlushAfterEvict)
+	if err := eng.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	eng = open()
+	defer eng.Close()
+	got := searchIDs(t, eng, "all", 100)
+	for _, id := range want {
+		if !got[id] {
+			t.Fatalf("record %d lost across failed-flush restart", id)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"kflushing/internal/clock"
 	"kflushing/internal/disk"
+	"kflushing/internal/failpoint"
 	"kflushing/internal/flushlog"
 	"kflushing/internal/index"
 	"kflushing/internal/memsize"
@@ -76,6 +77,11 @@ type Config[K comparable] struct {
 	// fans candidate segments across; 0 selects the tier default, 1
 	// forces sequential search.
 	DiskSearchParallelism int
+	// DiskRetry bounds transient-disk-error retries: flush-cycle tier
+	// writes and memory-miss record reads are retried with backoff
+	// before failing (and, for writes, before the engine enters
+	// degraded read-only mode). The zero value disables retrying.
+	DiskRetry disk.RetryPolicy
 	// WALDir enables write-ahead logging of ingested records into the
 	// given directory: memory contents survive restarts (replayed on
 	// New) and crashes (torn tails are tolerated). Empty disables
@@ -129,6 +135,14 @@ type Engine[K comparable] struct {
 	flushMu   sync.Mutex
 	lastError atomic.Value // error
 	closed    atomic.Bool
+
+	// fsink wraps the tier as the policies' flush sink: bounded retry
+	// plus failed-batch capture for eviction rollback.
+	fsink *flushSink[K]
+	// degraded is the read-only mode entered when tier writes fail
+	// persistently; degradedReason holds the entering error's message.
+	degraded       atomic.Bool
+	degradedReason atomic.Value // string
 }
 
 // New builds and wires an engine from cfg.
@@ -176,17 +190,19 @@ func New[K comparable](cfg Config[K]) (*Engine[K], error) {
 		MaxSegments:       maxSegs,
 		CacheBytes:        cfg.DiskCacheBytes,
 		SearchParallelism: cfg.DiskSearchParallelism,
+		Retry:             cfg.DiskRetry,
 	})
 	if err != nil {
 		return nil, err
 	}
 	e.tier = tier
+	e.fsink = &flushSink[K]{tier: tier, retry: cfg.DiskRetry}
 	e.pol = cfg.Policy
 	e.pol.Attach(&policy.Resources[K]{
 		Index:   e.idx,
 		Store:   e.store,
 		Mem:     &e.mem,
-		Sink:    tier,
+		Sink:    e.fsink,
 		KeysOf:  cfg.KeysOf,
 		Clock:   cfg.Clock,
 		Metrics: &e.reg,
@@ -220,6 +236,9 @@ func (e *Engine[K]) recoverFromWAL() error {
 	var recs []*store.Record
 	var recKeys [][]K
 	err := e.wal.Replay(func(fr disk.FlushRecord) error {
+		if err := failpoint.Eval(failpoint.RecoverReplayRecord); err != nil {
+			return err
+		}
 		mb := fr.MB
 		if e.store.Get(mb.ID) != nil {
 			return nil // snapshot/log overlap
@@ -242,6 +261,9 @@ func (e *Engine[K]) recoverFromWAL() error {
 		return nil
 	})
 	if err != nil {
+		return err
+	}
+	if err := failpoint.Eval(failpoint.RecoverAfterReplay); err != nil {
 		return err
 	}
 	// Replay preserves arrival order, so the whole recovery is one
@@ -285,6 +307,10 @@ func (e *Engine[K]) Ingest(mb *types.Microblog) (types.ID, error) {
 func (e *Engine[K]) IngestBatch(mbs []*types.Microblog) ([]types.ID, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
+	}
+	if e.degraded.Load() {
+		reason, _ := e.degradedReason.Load().(string)
+		return nil, fmt.Errorf("%w: %s", ErrDegraded, reason)
 	}
 	ids := make([]types.ID, len(mbs))
 	recs := make([]*store.Record, 0, len(mbs))
@@ -376,7 +402,17 @@ func (e *Engine[K]) flushCycle(trigger string) (int64, error) {
 	start := time.Now()
 	target := int64(e.cfg.FlushFraction * float64(e.cfg.MemoryBudget))
 	e.journal.Begin(e.pol.Name(), trigger, target, e.mem.Used(), start)
-	freed, err := e.pol.Flush(target)
+	var freed int64
+	err := failpoint.Eval(failpoint.FlushBegin)
+	if err == nil {
+		freed, err = e.pol.Flush(target)
+	}
+	if err != nil {
+		// Atomic flush semantics: whatever the cycle evicted but could
+		// not durably persist goes back into memory before anyone can
+		// observe the gap, then the engine stops accepting writes.
+		e.restoreEvicted(e.fsink.takeFailed())
+	}
 	d := time.Since(start)
 	e.reg.Flushes.Add(1)
 	e.reg.FlushedBytes.Add(freed)
@@ -384,6 +420,13 @@ func (e *Engine[K]) flushCycle(trigger string) (int64, error) {
 	used := e.mem.Used()
 	e.lastFlushUsed.Store(used)
 	e.journal.End(freed, used, d, err)
+	if err != nil {
+		_ = e.fsink.tookWrite() // reset the evidence bit; this cycle failed
+		e.enterDegraded(err)
+	} else if e.fsink.tookWrite() {
+		// Only a real, durable tier write is evidence the fault cleared.
+		e.exitDegraded("flush")
+	}
 	slog.Debug("engine: flush cycle",
 		"policy", e.pol.Name(), "trigger", trigger,
 		"target", target, "freed", freed, "duration", d)
@@ -615,15 +658,25 @@ func (e *Engine[K]) CheckReady() error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	if err := e.tier.CheckWritable(); err != nil {
-		return err
+	probeErr := e.tier.CheckWritable()
+	if probeErr == nil && e.wal != nil {
+		probeErr = e.wal.CheckAppendable()
 	}
-	if e.wal != nil {
-		if err := e.wal.CheckAppendable(); err != nil {
-			return err
+	if ok, reason := e.Degraded(); ok {
+		if probeErr != nil {
+			return fmt.Errorf("%w: %s (probe: %v)", ErrDegraded, reason, probeErr)
 		}
+		// The write probes pass again: leave degraded mode so ingestion
+		// resumes. Serialize with flush cycles for the journal write; if
+		// a cycle is in flight it will decide the state itself.
+		if e.flushMu.TryLock() {
+			e.exitDegraded("readiness probe")
+			e.flushMu.Unlock()
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrDegraded, reason)
 	}
-	return nil
+	return probeErr
 }
 
 // Policy exposes the attached flushing policy.
@@ -650,12 +703,19 @@ type Stats struct {
 	Census         index.Census
 	Metrics        metrics.Snapshot
 	Disk           disk.Stats
+	// Degraded reports read-only mode (tier writes failing); the reason
+	// is the error that entered it.
+	Degraded       bool
+	DegradedReason string
 }
 
 // Stats gathers a snapshot. Taking a census scans the index; avoid
 // calling it on latency-critical paths.
 func (e *Engine[K]) Stats() Stats {
+	degraded, reason := e.Degraded()
 	return Stats{
+		Degraded:       degraded,
+		DegradedReason: reason,
 		Policy:         e.pol.Name(),
 		K:              e.idx.K(),
 		MemoryBudget:   e.cfg.MemoryBudget,

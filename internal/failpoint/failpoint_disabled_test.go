@@ -1,0 +1,84 @@
+//go:build !failpoint
+
+package failpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+// The default build must be inert: every evaluation passes, arming is
+// refused, and the whole thing costs nothing (see BenchmarkEval).
+func TestDisabledBuildIsInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled = true in a build without the failpoint tag")
+	}
+	if err := Eval(WALAppend); err != nil {
+		t.Fatalf("Eval in disabled build: %v", err)
+	}
+	buf := []byte("payload")
+	out, err := EvalWrite(DiskSegmentWrite, buf)
+	if err != nil {
+		t.Fatalf("EvalWrite in disabled build: %v", err)
+	}
+	if &out[0] != &buf[0] || len(out) != len(buf) {
+		t.Fatal("EvalWrite must pass the buffer through untouched")
+	}
+	if err := Enable(WALAppend, "error"); err == nil {
+		t.Fatal("Enable must fail loudly in a disabled build")
+	}
+	if err := EnableFromSpec(WALAppend + "=error"); err == nil {
+		t.Fatal("EnableFromSpec must fail loudly in a disabled build")
+	}
+	if n := Hits(WALAppend); n != 0 {
+		t.Fatalf("Hits = %d in disabled build", n)
+	}
+	Disable(WALAppend)
+	DisableAll()
+	if errors.Is(nil, ErrInjected) {
+		t.Fatal("nil must not match ErrInjected")
+	}
+}
+
+func TestCrashSitesCatalog(t *testing.T) {
+	sites := CrashSites()
+	if len(sites) < 20 {
+		t.Fatalf("crash matrix needs >= 20 sites, catalog has %d", len(sites))
+	}
+	seen := make(map[string]bool, len(sites))
+	for _, s := range sites {
+		if s == "" {
+			t.Fatal("empty site name in catalog")
+		}
+		if seen[s] {
+			t.Fatalf("duplicate site %q in catalog", s)
+		}
+		seen[s] = true
+	}
+	if seen[DiskPread] {
+		t.Fatal("DiskPread is read-only and must not be a crash site")
+	}
+}
+
+// BenchmarkEval measures the disabled stub. It must report ~0 ns/op and
+// 0 allocs/op — the compiler inlines the no-op away. Compare with the
+// registry-consulting cost under -tags failpoint.
+func BenchmarkEval(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Eval(WALAppend); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalWrite(b *testing.B) {
+	buf := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := EvalWrite(DiskSegmentWrite, buf)
+		if err != nil || len(out) != len(buf) {
+			b.Fatal("stub misbehaved")
+		}
+	}
+}

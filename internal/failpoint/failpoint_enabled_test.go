@@ -1,0 +1,205 @@
+//go:build failpoint
+
+package failpoint
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func reset(t *testing.T) {
+	t.Helper()
+	DisableAll()
+	t.Cleanup(DisableAll)
+}
+
+func TestErrorActions(t *testing.T) {
+	reset(t)
+	const site = "test/error"
+
+	// error: every evaluation fails.
+	if err := Enable(site, "error"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := Eval(site); !errors.Is(err, ErrInjected) {
+			t.Fatalf("eval %d: got %v, want ErrInjected", i, err)
+		}
+	}
+	if got := Hits(site); got != 3 {
+		t.Fatalf("Hits = %d, want 3", got)
+	}
+
+	// error(2): first two fail, then pass.
+	if err := Enable(site, "error(2)"); err != nil {
+		t.Fatal(err)
+	}
+	var errs int
+	for i := 0; i < 5; i++ {
+		if Eval(site) != nil {
+			errs++
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("error(2) produced %d errors, want 2", errs)
+	}
+
+	// errevery(3): every third evaluation fails.
+	if err := Enable(site, "errevery(3)"); err != nil {
+		t.Fatal(err)
+	}
+	var pattern []bool
+	for i := 0; i < 6; i++ {
+		pattern = append(pattern, Eval(site) != nil)
+	}
+	want := []bool{false, false, true, false, false, true}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("errevery(3) pattern %v, want %v", pattern, want)
+		}
+	}
+
+	// Disarm.
+	Disable(site)
+	if err := Eval(site); err != nil {
+		t.Fatalf("disarmed site errored: %v", err)
+	}
+}
+
+func TestENOSPC(t *testing.T) {
+	reset(t)
+	if err := Enable("test/enospc", "enospc"); err != nil {
+		t.Fatal(err)
+	}
+	err := Eval("test/enospc")
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("got %v, want ENOSPC", err)
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	reset(t)
+	if err := Enable("test/torn", "torn(5)"); err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte("hello, world")
+	out, err := EvalWrite("test/torn", buf)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write must also error, got %v", err)
+	}
+	if string(out) != "hello" {
+		t.Fatalf("torn buffer = %q, want %q", out, "hello")
+	}
+
+	// torn(n) with n >= len(buf) keeps the whole buffer.
+	if err := Enable("test/torn", "torn(100)"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = EvalWrite("test/torn", buf)
+	if string(out) != string(buf) {
+		t.Fatalf("over-long torn kept %q", out)
+	}
+
+	// A plain error action through EvalWrite passes the buffer intact.
+	if err := Enable("test/torn", "error"); err != nil {
+		t.Fatal(err)
+	}
+	out, err = EvalWrite("test/torn", buf)
+	if err == nil || len(out) != len(buf) {
+		t.Fatalf("error via EvalWrite: out=%q err=%v", out, err)
+	}
+}
+
+func TestSleep(t *testing.T) {
+	reset(t)
+	if err := Enable("test/sleep", "sleep(30)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Eval("test/sleep"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("sleep(30) returned after %v", d)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	reset(t)
+	if err := Enable("test/panic", "panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic action did not panic")
+		}
+	}()
+	_ = Eval("test/panic")
+}
+
+func TestCrashActions(t *testing.T) {
+	reset(t)
+	var exits []int
+	old := exitFn
+	exitFn = func(code int) { exits = append(exits, code) }
+	defer func() { exitFn = old }()
+
+	if err := Enable("test/crash", "crash"); err != nil {
+		t.Fatal(err)
+	}
+	_ = Eval("test/crash")
+	if len(exits) != 1 || exits[0] != CrashExitCode {
+		t.Fatalf("crash exits = %v, want [%d]", exits, CrashExitCode)
+	}
+
+	// crash(3): only the third evaluation crashes.
+	exits = nil
+	if err := Enable("test/crash", "crash(3)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		_ = Eval("test/crash")
+	}
+	if len(exits) != 1 {
+		t.Fatalf("crash(3) exited %d times, want 1", len(exits))
+	}
+}
+
+func TestEnableFromSpec(t *testing.T) {
+	reset(t)
+	spec := "a/one=error; b/two=errevery(2) ;; c/three=off"
+	if err := EnableFromSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+	if Eval("a/one") == nil {
+		t.Fatal("a/one not armed")
+	}
+	_ = Eval("b/two")
+	if Eval("b/two") == nil {
+		t.Fatal("b/two period wrong")
+	}
+	if Eval("c/three") != nil {
+		t.Fatal("off must disarm")
+	}
+
+	for _, bad := range []string{"noequals", "x=unknown", "x=error(", "x=error(-1)", "x=errevery(0)", "x=sleep(x)"} {
+		DisableAll()
+		if err := EnableFromSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+// BenchmarkEval under the tag measures the armed-but-disarmed registry
+// lookup — the cost tests pay, never production.
+func BenchmarkEval(b *testing.B) {
+	DisableAll()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Eval(WALAppend); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

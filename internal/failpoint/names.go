@@ -1,0 +1,99 @@
+// Package failpoint is a deterministic, build-tag-gated fault-injection
+// framework for the durability-bearing paths of the engine.
+//
+// A failpoint is a named site in the code — "wal/append/write",
+// "disk/segment/rename" — where a test can inject a failure. In the
+// default build (no tags) every site compiles to an inlinable no-op: the
+// production binary carries zero overhead, which the benchmark in
+// results/pr5_failpoint_overhead.txt verifies. Under `-tags failpoint`
+// each site consults a process-global registry of armed actions:
+//
+//	off          disarmed (same as never enabled)
+//	error        fail every evaluation with ErrInjected
+//	error(N)     fail the first N evaluations, then pass
+//	errevery(N)  fail every Nth evaluation
+//	enospc       fail with a syscall.ENOSPC-wrapped error
+//	torn(N)      (write sites) truncate the buffer to N bytes and fail —
+//	             the torn-write crash artifact
+//	sleep(MS)    inject MS milliseconds of latency, then pass
+//	panic        panic at the site
+//	crash        exit the process immediately with CrashExitCode,
+//	             simulating a crash at exactly this point (deferred
+//	             cleanup does not run; OS-buffered writes survive, as
+//	             they do when a real process dies)
+//	crash(N)     crash on the Nth evaluation
+//
+// Actions are armed programmatically (Enable) or through the
+// KFLUSH_FAILPOINTS environment variable ("site=action;site=action"),
+// which child processes inherit — the mechanism internal/crashtest uses
+// to kill a re-executed test binary at every registered crash site.
+package failpoint
+
+// Failpoint site names. Constants keep call sites typo-proof and give
+// the crash-test harness an authoritative catalog to iterate.
+const (
+	// WAL sites (internal/wal).
+	WALAppend           = "wal/append"             // batch encoded, before the file write
+	WALAppendWrite      = "wal/append/write"       // the frame write itself (torn-write capable)
+	WALAppendAfterWrite = "wal/append/after-write" // frames written, before sync/rotate bookkeeping
+	WALSync             = "wal/sync"               // any active-file fsync
+	WALRotateSeal       = "wal/rotate/seal"        // previous file synced+closed, next not yet created
+	WALRotateCreate     = "wal/rotate/create"      // creating the next log file
+	WALRotateHeader     = "wal/rotate/header"      // writing the next file's header (torn-write capable)
+	WALSnapshotWrite    = "wal/snapshot/write"     // writing the snapshot temp file (torn-write capable)
+	WALSnapshotSync     = "wal/snapshot/sync"      // syncing the snapshot temp file
+	WALSnapshotRename   = "wal/snapshot/rename"    // temp file durable, rename not yet done
+	WALSnapshotCleanup  = "wal/snapshot/cleanup"   // snapshot renamed, old log files not yet deleted
+
+	// Disk-tier sites (internal/disk).
+	DiskSegmentCreate      = "disk/segment/create"       // creating the segment temp file
+	DiskSegmentWrite       = "disk/segment/write"        // writing the record block (torn-write capable)
+	DiskSegmentDirWrite    = "disk/segment/dir"          // writing offsets+directory+bloom+footer (torn-write capable)
+	DiskSegmentSync        = "disk/segment/sync"         // syncing the segment temp file
+	DiskSegmentRename      = "disk/segment/rename"       // temp file durable, rename not yet done
+	DiskSegmentAfterRename = "disk/segment/after-rename" // renamed, tier not yet updated
+	DiskPread              = "disk/pread"                // record read from a segment file
+	DiskCompactRename      = "disk/compact/rename"       // merged file written, rename not yet done
+	DiskCompactRemove      = "disk/compact/remove"       // merged file live, inputs not yet deleted
+
+	// Flush-cycle sites (internal/engine, internal/core, internal/policy).
+	FlushBegin       = "flush/begin"        // flush cycle entered, nothing evicted yet
+	FlushAfterPhase1 = "flush/after-phase1" // kFlushing Phase 1 done, Phase 2 not started
+	FlushAfterPhase2 = "flush/after-phase2" // kFlushing Phase 2 done, Phase 3 not started
+	FlushAfterEvict  = "flush/after-evict"  // victims evicted from memory, tier write not started
+	FlushAfterWrite  = "flush/after-write"  // tier write done, cycle not yet accounted
+
+	// Recovery sites (internal/engine).
+	RecoverReplayRecord = "engine/recover/record" // evaluated per replayed WAL record
+	RecoverAfterReplay  = "engine/recover/done"   // replay complete, recovery flush not yet run
+)
+
+// CrashSites returns every site at which a crash must be recoverable:
+// the contract of the internal/crashtest matrix is that killing the
+// process at ANY of these points loses no acknowledged ingest and
+// leaves a consistent, reopenable store. DiskPread is excluded (reads
+// cannot lose data).
+func CrashSites() []string {
+	return []string{
+		WALAppend, WALAppendWrite, WALAppendAfterWrite,
+		WALSync,
+		WALRotateSeal, WALRotateCreate, WALRotateHeader,
+		WALSnapshotWrite, WALSnapshotSync, WALSnapshotRename, WALSnapshotCleanup,
+		DiskSegmentCreate, DiskSegmentWrite, DiskSegmentDirWrite,
+		DiskSegmentSync, DiskSegmentRename, DiskSegmentAfterRename,
+		DiskCompactRename, DiskCompactRemove,
+		FlushBegin, FlushAfterPhase1, FlushAfterPhase2,
+		FlushAfterEvict, FlushAfterWrite,
+		RecoverReplayRecord, RecoverAfterReplay,
+	}
+}
+
+// CrashExitCode is the process exit status of the `crash` action,
+// distinguishing an injected crash from a test failure (1) or success
+// (0) when a harness inspects a child's exit state.
+const CrashExitCode = 125
+
+// EnvVar is the environment variable Enable-from-environment reads:
+// "site=action;site=action". Child processes inherit it, so a harness
+// can arm failpoints in a re-executed test binary.
+const EnvVar = "KFLUSH_FAILPOINTS"

@@ -39,6 +39,14 @@ const (
 	TriggerManual = "manual"
 	// TriggerRecovery is a flush after WAL replay overfilled the budget.
 	TriggerRecovery = "recovery"
+	// TriggerDegraded marks the engine entering degraded read-only mode
+	// after a flush cycle failed persistently; the event's Err is the
+	// cause. Not a flush cycle, but journaled so the audit trail shows
+	// when and why ingestion stopped.
+	TriggerDegraded = "degraded"
+	// TriggerDegradedClear marks the engine leaving degraded mode after
+	// a successful tier write or readiness probe.
+	TriggerDegradedClear = "degraded-clear"
 )
 
 // PhaseEvent describes one phase of a flush cycle. kFlushing records

@@ -1,0 +1,137 @@
+//go:build failpoint
+
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"kflushing"
+	"kflushing/internal/failpoint"
+)
+
+// TestDegradedModeEndToEnd drives the whole degraded-mode story over the
+// HTTP API: a persistent segment-write fault makes a budget flush fail,
+// after which ingestion answers a typed 503 while searches keep
+// answering, /readyz turns 503 with the keyword attribute's reason, and
+// /metrics exposes the degraded gauge. Clearing the fault lets the next
+// /readyz probe restore write service with no restart.
+func TestDegradedModeEndToEnd(t *testing.T) {
+	failpoint.DisableAll()
+	t.Cleanup(failpoint.DisableAll)
+	st, err := OpenStore(t.TempDir(), kflushing.Options{
+		MemoryBudget: 24 << 10,
+		K:            2,
+		SyncFlush:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		failpoint.DisableAll() // Close flushes; let it succeed
+		if err := st.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	h := st.Handler()
+
+	post := func(i int) *int {
+		body := fmt.Sprintf(`{"keywords":["all","w%d"],"text":%q}`,
+			i%8, strings.Repeat("x", 150))
+		rw := do(t, h, http.MethodPost, "/microblogs", body)
+		return &rw.Code
+	}
+
+	// Seed healthy traffic, then arm a persistent segment-write fault:
+	// the next budget flush fails, the eviction is rolled back, and the
+	// keyword system enters degraded read-only mode.
+	for i := 0; i < 20; i++ {
+		if code := *post(i); code != http.StatusOK {
+			t.Fatalf("healthy ingest %d answered %d", i, code)
+		}
+	}
+	if err := failpoint.Enable(failpoint.DiskSegmentWrite, "error"); err != nil {
+		t.Fatal(err)
+	}
+	degradedAt := -1
+	for i := 20; i < 2000; i++ {
+		code := *post(i)
+		if code == http.StatusServiceUnavailable {
+			degradedAt = i
+			break
+		}
+		if code != http.StatusOK {
+			t.Fatalf("ingest %d answered %d, want 200 or 503", i, code)
+		}
+	}
+	if degradedAt < 0 {
+		t.Fatal("no ingest was rejected: flush never failed into degraded mode")
+	}
+
+	// The 503 carries the typed degraded body.
+	rw := do(t, h, http.MethodPost, "/microblogs", `{"keywords":["all"],"text":"x"}`)
+	if rw.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded ingest answered %d, want 503", rw.Code)
+	}
+	var rej struct {
+		Error    string `json:"error"`
+		Degraded bool   `json:"degraded"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &rej); err != nil || !rej.Degraded || rej.Error == "" {
+		t.Fatalf("degraded 503 body %q (err %v), want degraded=true with a reason", rw.Body.String(), err)
+	}
+
+	// Searches keep answering — including the records whose eviction was
+	// rolled back when the flush failed.
+	rw = do(t, h, http.MethodGet, "/search/keywords?q=all&k=500", "")
+	if rw.Code != http.StatusOK {
+		t.Fatalf("search during degraded mode answered %d", rw.Code)
+	}
+	var sr struct {
+		Items []json.RawMessage `json:"items"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &sr); err != nil || len(sr.Items) == 0 {
+		t.Fatalf("search during degraded mode returned %d items (err %v)", len(sr.Items), err)
+	}
+
+	// /readyz is 503 and names the keyword attribute with the degraded
+	// reason.
+	rw = do(t, h, http.MethodGet, "/readyz", "")
+	if rw.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz answered %d during degraded mode, want 503", rw.Code)
+	}
+	var ready struct {
+		Ready   bool              `json:"ready"`
+		Reasons map[string]string `json:"reasons"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Ready || !strings.Contains(ready.Reasons["keyword"], "degraded") {
+		t.Fatalf("/readyz body %+v, want keyword degraded reason", ready)
+	}
+
+	// /metrics exposes the gauge.
+	rw = do(t, h, http.MethodGet, "/metrics", "")
+	if !strings.Contains(rw.Body.String(), `kflushing_degraded{attr="keyword",policy="kflushing"} 1`) {
+		t.Fatal("degraded gauge not 1 for the keyword attribute in /metrics")
+	}
+
+	// Fault clears: the next readiness probe is the recovery evidence —
+	// /readyz flips healthy and ingestion resumes, no restart needed.
+	failpoint.Disable(failpoint.DiskSegmentWrite)
+	rw = do(t, h, http.MethodGet, "/readyz", "")
+	if rw.Code != http.StatusOK {
+		t.Fatalf("/readyz answered %d after fault cleared, want 200: %s", rw.Code, rw.Body.String())
+	}
+	if code := *post(9999); code != http.StatusOK {
+		t.Fatalf("ingest after recovery answered %d", code)
+	}
+	rw = do(t, h, http.MethodGet, "/metrics", "")
+	if !strings.Contains(rw.Body.String(), `kflushing_degraded{attr="keyword",policy="kflushing"} 0`) {
+		t.Fatal("degraded gauge did not return to 0 after recovery")
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -145,6 +146,17 @@ func (s *Store) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	results, err := s.IngestBatch(mbs)
 	if err != nil {
+		// Degraded read-only mode is an operational condition, not a bad
+		// request: answer 503 so clients and load balancers back off and
+		// retry elsewhere, with the cause in a JSON body.
+		if errors.Is(err, kflushing.ErrDegraded) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			if eerr := json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "degraded": true}); eerr != nil {
+				slog.Error("server: encode degraded ingest response", "err", eerr)
+			}
+			return
+		}
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
@@ -391,6 +403,13 @@ func (s *Store) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(st kflushing.Stats) float64 { return float64(st.Disk.CacheEvictions) })
 	emit("disk_cache_bytes", "gauge", "bytes resident in the disk read cache",
 		func(st kflushing.Stats) float64 { return float64(st.Disk.CacheBytes) })
+	emit("degraded", "gauge", "1 while the attribute system is in degraded read-only mode (tier writes failing)",
+		func(st kflushing.Stats) float64 {
+			if st.Degraded {
+				return 1
+			}
+			return 0
+		})
 
 	// Latency distributions as real cumulative histograms. The engine's
 	// power-of-two buckets become `le` edges of 2^(i+1) ns in seconds.

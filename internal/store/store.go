@@ -57,6 +57,11 @@ func (r *Record) MarkOnDisk() bool { return r.onDisk.CompareAndSwap(false, true)
 // OnDisk reports whether the record has been written to a disk segment.
 func (r *Record) OnDisk() bool { return r.onDisk.Load() }
 
+// UnmarkOnDisk withdraws a MarkOnDisk claim after the serialization it
+// licensed failed: the record never reached a durable segment, so a
+// later flush must be allowed to write it again.
+func (r *Record) UnmarkOnDisk() { r.onDisk.Store(false) }
+
 // NewRecord builds a record for m with the given pre-computed score,
 // charging its modeled size.
 func NewRecord(m *types.Microblog, score float64) *Record {

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"kflushing/internal/disk"
+	"kflushing/internal/failpoint"
 )
 
 const (
@@ -82,6 +83,10 @@ func Open(dir string, opt Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	// A crash during WriteSnapshot can leave a half-written temp file;
+	// it was never renamed into place, so it holds nothing durable.
+	// Removal failure is harmless — the next snapshot recreates it.
+	_ = os.Remove(filepath.Join(dir, snapshotName+".tmp"))
 	l := &Log{dir: dir, opt: opt}
 	// Continue after the newest existing file.
 	files, err := l.logFiles()
@@ -117,21 +122,35 @@ func (l *Log) rotateLocked() error {
 		if err := l.f.Close(); err != nil {
 			return err
 		}
+		l.f = nil
+	}
+	if err := failpoint.Eval(failpoint.WALRotateSeal); err != nil {
+		return err
 	}
 	l.seq++
 	path := filepath.Join(l.dir, fmt.Sprintf("wal-%08d.kfw", l.seq))
+	if err := failpoint.Eval(failpoint.WALRotateCreate); err != nil {
+		l.seq--
+		return err
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
 	if err != nil {
+		l.seq--
 		return err
 	}
 	var hdr [headerSize]byte
 	copy(hdr[:4], fileMagic)
 	binary.LittleEndian.PutUint16(hdr[4:], fileVersion)
-	if _, err := f.Write(hdr[:]); err != nil {
+	whdr, fperr := failpoint.EvalWrite(failpoint.WALRotateHeader, hdr[:])
+	if _, err := f.Write(whdr); err != nil {
 		// The header write already failed; the Write error is the one
 		// to surface, not the cleanup's.
 		_ = f.Close()
 		return err
+	}
+	if fperr != nil {
+		_ = f.Close()
+		return fperr
 	}
 	l.f = f
 	l.bytes = headerSize
@@ -162,19 +181,46 @@ func (l *Log) AppendBatch(frs []disk.FlushRecord) error {
 		binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
 		binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
 	}
+	if err := failpoint.Eval(failpoint.WALAppend); err != nil {
+		return err
+	}
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return errors.New("wal: closed")
 	}
-	if _, err := l.f.Write(buf); err != nil {
+	// A torn-write failpoint shortens wbuf: the partial frame really
+	// lands in the file — the exact artifact a crash mid-write leaves.
+	// Any failed or partial append is rolled back to the pre-write
+	// offset; otherwise the next successful append would bury a torn
+	// frame mid-file, which replay correctly refuses to tolerate.
+	wbuf, fperr := failpoint.EvalWrite(failpoint.WALAppendWrite, buf)
+	if n, err := l.f.Write(wbuf); err != nil {
+		if n > 0 {
+			l.rollbackTailLocked()
+		}
+		return err
+	}
+	if fperr != nil {
+		l.rollbackTailLocked()
+		return fperr
+	}
+	if err := failpoint.Eval(failpoint.WALAppendAfterWrite); err != nil {
+		// The frames are fully written and valid: leave them. Replay
+		// may resurrect the unacknowledged batch (at-least-once), which
+		// recovery deduplicates; truncating valid frames would risk the
+		// opposite — dropping data a concurrent reader saw acked.
+		l.bytes += int64(len(buf))
 		return err
 	}
 	l.bytes += int64(len(buf))
 	l.appended.Add(int64(len(frs)))
 	l.sinceSync += len(frs)
 	if l.opt.SyncEvery > 0 && l.sinceSync >= l.opt.SyncEvery {
+		if err := failpoint.Eval(failpoint.WALSync); err != nil {
+			return err
+		}
 		if err := l.f.Sync(); err != nil {
 			return err
 		}
@@ -184,6 +230,23 @@ func (l *Log) AppendBatch(frs []disk.FlushRecord) error {
 		return l.rotateLocked()
 	}
 	return nil
+}
+
+// rollbackTailLocked truncates the active file back to the last
+// committed offset after a failed or partial append, so the garbage
+// tail is never buried under later appends. If even the truncate fails
+// the file is sealed: appends then fail fast ("wal: closed") instead of
+// silently corrupting the log.
+func (l *Log) rollbackTailLocked() {
+	if l.f == nil {
+		return
+	}
+	if err := l.f.Truncate(l.bytes); err != nil {
+		slog.Error("wal: cannot roll back partial append; sealing active file",
+			"offset", l.bytes, "err", err)
+		_ = l.f.Close() // the Truncate error is the one that matters
+		l.f = nil
+	}
 }
 
 // Appended returns the number of records appended by this process.
@@ -211,6 +274,9 @@ func (l *Log) Sync() error {
 	if l.f == nil {
 		return nil
 	}
+	if err := failpoint.Eval(failpoint.WALSync); err != nil {
+		return err
+	}
 	return l.f.Sync()
 }
 
@@ -218,41 +284,99 @@ func (l *Log) Sync() error {
 // then the log files in order — to fn.
 //
 // Tolerance matches what crashes actually produce: a truncated frame at
-// the END of any file is accepted silently (a crash tears the tail of
-// whichever file was active; reopening rotates to a new file, so the
-// torn one need not be the newest). A failed checksum inside a complete
-// frame is tolerated only in the newest file (a partially overwritten
-// final frame); anywhere else it is real corruption and returns
-// ErrCorrupt.
+// the END of any file is accepted (a crash tears the tail of whichever
+// file was active; reopening rotates to a new file, so the torn one
+// need not be the newest). A failed checksum inside a complete frame is
+// tolerated only in the newest file (a partially overwritten final
+// frame); anywhere else it is real corruption and returns ErrCorrupt.
+//
+// Tolerated torn tails are physically truncated away (with a logged
+// warning). That is load-bearing, not cosmetic: a torn tail left in
+// place stops being "the end of the file" once the log grows or
+// rotates, and the next recovery would refuse it as mid-log corruption.
 func (l *Log) Replay(fn func(disk.FlushRecord) error) error {
-	if err := replayFile(filepath.Join(l.dir, snapshotName), false, fn); err != nil && !os.IsNotExist(err) {
+	if _, err := replayFile(filepath.Join(l.dir, snapshotName), false, fn); err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	files, err := l.logFiles()
 	if err != nil {
 		return err
 	}
+	// The file that may carry an unsynced crash tail is the newest one
+	// holding any payload — NOT necessarily the last file: Open rotates
+	// to a fresh (header-only) file before Replay runs, and that empty
+	// file sits after the one that was active when the process died.
+	tail := crashTailIndex(files)
 	for i, path := range files {
-		last := i == len(files)-1
-		if err := replayFile(path, last, fn); err != nil && !os.IsNotExist(err) {
+		valid, err := replayFile(path, i == tail, fn)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return err
+		}
+		if err := truncateTornTail(path, valid, l.activePath()); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// replayFile reads one framed file. Truncation at EOF is always
-// tolerated; complete-but-invalid frames only when lastFile is set.
-func replayFile(path string, lastFile bool, fn func(disk.FlushRecord) error) error {
+// crashTailIndex returns the index of the newest file with payload
+// beyond the header — the file that was active at crash time — or the
+// last index when every file is empty.
+func crashTailIndex(files []string) int {
+	for i := len(files) - 1; i >= 0; i-- {
+		if st, err := os.Stat(files[i]); err == nil && st.Size() > headerSize {
+			return i
+		}
+	}
+	return len(files) - 1
+}
+
+// activePath returns the path of the open log file, or "" when sealed.
+func (l *Log) activePath() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return ""
+	}
+	return l.f.Name()
+}
+
+// truncateTornTail cuts path down to valid bytes when replay found a
+// tolerated torn tail beyond that point. The active file is skipped:
+// the Log's own write offset tracks it, and appends land after the
+// header anyway (Open always rotates to a fresh file before Replay
+// runs, so in practice torn files are never the active one).
+func truncateTornTail(path string, valid int64, activePath string) error {
+	if path == activePath {
+		return nil
+	}
+	st, err := os.Stat(path)
+	if err != nil || st.Size() <= valid {
+		return err
+	}
+	slog.Warn("wal: truncating torn tail",
+		"file", filepath.Base(path), "valid_bytes", valid, "torn_bytes", st.Size()-valid)
+	return os.Truncate(path, valid)
+}
+
+// replayFile reads one framed file and reports the byte length of the
+// valid prefix it replayed. Truncation at EOF is always tolerated;
+// complete-but-invalid frames only when lastFile is set. A tolerated
+// torn tail yields (valid-prefix, nil) with the tail NOT replayed; the
+// caller is expected to truncate the file to that length.
+func replayFile(path string, lastFile bool, fn func(disk.FlushRecord) error) (int64, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if len(b) < headerSize || string(b[:4]) != fileMagic {
 		if len(b) < headerSize {
-			return nil // torn before the header was complete
+			return 0, nil // torn before the header was complete
 		}
-		return fmt.Errorf("%w: bad header in %s", ErrCorrupt, filepath.Base(path))
+		return 0, fmt.Errorf("%w: bad header in %s", ErrCorrupt, filepath.Base(path))
 	}
 	pos := headerSize
 	for pos < len(b) {
@@ -260,40 +384,39 @@ func replayFile(path string, lastFile bool, fn func(disk.FlushRecord) error) err
 			// Truncated frame header at EOF: the expected crash artifact.
 			slog.Warn("wal: tolerating torn frame header at end of file",
 				"file", filepath.Base(path), "offset", pos)
-			return nil
+			return int64(pos), nil
 		}
 		n := int(binary.LittleEndian.Uint32(b[pos:]))
 		crc := binary.LittleEndian.Uint32(b[pos+4:])
-		pos += 8
-		if pos+n > len(b) || n < 0 {
+		if n < 0 || pos+8+n > len(b) {
 			slog.Warn("wal: tolerating torn payload at end of file",
-				"file", filepath.Base(path), "offset", pos-8)
-			return nil
+				"file", filepath.Base(path), "offset", pos)
+			return int64(pos), nil
 		}
-		payload := b[pos : pos+n]
+		payload := b[pos+8 : pos+8+n]
 		if crc32.Checksum(payload, crcTable) != crc {
 			if lastFile {
 				slog.Warn("wal: tolerating bad checksum in final frame",
-					"file", filepath.Base(path), "offset", pos-8)
-				return nil
+					"file", filepath.Base(path), "offset", pos)
+				return int64(pos), nil
 			}
-			return fmt.Errorf("%w: bad checksum in %s", ErrCorrupt, filepath.Base(path))
+			return int64(pos), fmt.Errorf("%w: bad checksum in %s", ErrCorrupt, filepath.Base(path))
 		}
 		fr, used, err := disk.DecodeRecord(payload)
 		if err != nil || used != n {
 			if lastFile {
 				slog.Warn("wal: tolerating undecodable final frame",
-					"file", filepath.Base(path), "offset", pos-8)
-				return nil
+					"file", filepath.Base(path), "offset", pos)
+				return int64(pos), nil
 			}
-			return fmt.Errorf("%w: undecodable record in %s", ErrCorrupt, filepath.Base(path))
+			return int64(pos), fmt.Errorf("%w: undecodable record in %s", ErrCorrupt, filepath.Base(path))
 		}
 		if err := fn(fr); err != nil {
-			return err
+			return int64(pos), err
 		}
-		pos += n
+		pos += 8 + n
 	}
-	return nil
+	return int64(pos), nil
 }
 
 // WriteSnapshot atomically replaces the snapshot with the given records
@@ -313,23 +436,26 @@ func (l *Log) WriteSnapshot(recs []disk.FlushRecord) error {
 			_ = f.Close()
 		}
 	}()
-	var hdr [headerSize]byte
-	copy(hdr[:4], fileMagic)
-	binary.LittleEndian.PutUint16(hdr[4:], fileVersion)
-	if _, err := f.Write(hdr[:]); err != nil {
+	buf := make([]byte, 0, headerSize+96*len(recs))
+	buf = append(buf, fileMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, fileVersion)
+	for _, fr := range recs {
+		start := len(buf)
+		buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+		buf = disk.EncodeRecord(buf, fr)
+		payload := buf[start+8:]
+		binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
+	}
+	wbuf, fperr := failpoint.EvalWrite(failpoint.WALSnapshotWrite, buf)
+	if _, err := f.Write(wbuf); err != nil {
 		return err
 	}
-	var frame [8]byte
-	for _, fr := range recs {
-		payload := disk.EncodeRecord(nil, fr)
-		binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
-		if _, err := f.Write(frame[:]); err != nil {
-			return err
-		}
-		if _, err := f.Write(payload); err != nil {
-			return err
-		}
+	if fperr != nil {
+		return fperr
+	}
+	if err := failpoint.Eval(failpoint.WALSnapshotSync); err != nil {
+		return err
 	}
 	if err := f.Sync(); err != nil {
 		return err
@@ -338,12 +464,20 @@ func (l *Log) WriteSnapshot(recs []disk.FlushRecord) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
+	// The temp file is durable; until the rename lands the old snapshot
+	// plus the sealed logs still describe the same state, so a crash on
+	// either side of this point recovers identically.
+	if err := failpoint.Eval(failpoint.WALSnapshotRename); err != nil {
+		return err
+	}
 	if err := os.Rename(tmp, filepath.Join(l.dir, snapshotName)); err != nil {
 		return err
 	}
 
 	// The snapshot now covers everything; retire the old log and start
-	// a fresh file.
+	// a fresh file. A crash before the removals finish merely leaves
+	// log files whose records the snapshot already holds — replay
+	// deduplicates them.
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f != nil {
@@ -352,6 +486,9 @@ func (l *Log) WriteSnapshot(recs []disk.FlushRecord) error {
 			return err
 		}
 		l.f = nil
+	}
+	if err := failpoint.Eval(failpoint.WALSnapshotCleanup); err != nil {
+		return err
 	}
 	files, err := l.logFiles()
 	if err != nil {

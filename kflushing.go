@@ -34,6 +34,7 @@ import (
 	"kflushing/internal/attr"
 	"kflushing/internal/clock"
 	"kflushing/internal/core"
+	"kflushing/internal/disk"
 	"kflushing/internal/engine"
 	"kflushing/internal/flushlog"
 	"kflushing/internal/policy"
@@ -71,7 +72,18 @@ type (
 	Trace = trace.Trace
 	// FlushEvent is one audited flush cycle from the flush journal.
 	FlushEvent = flushlog.Event
+	// RetryPolicy bounds retries around transient disk errors; see
+	// Options.DiskRetry.
+	RetryPolicy = disk.RetryPolicy
 )
+
+// ErrDegraded reports the system is in degraded read-only mode: a flush
+// cycle failed to persist evicted records even after retries, so ingest
+// calls are rejected (the eviction itself was rolled back — no acked
+// record is lost). Searches keep answering throughout. The system
+// leaves degraded mode on its own once a tier write or readiness probe
+// (Ready) succeeds. Test with errors.Is.
+var ErrDegraded = engine.ErrDegraded
 
 // Query operators.
 const (
@@ -151,6 +163,12 @@ type Options struct {
 	// fans candidate disk segments across (0 selects the default of
 	// GOMAXPROCS capped at 8; 1 forces sequential search).
 	DiskSearchParallelism int
+	// DiskRetry bounds transient-disk-error retries with exponential
+	// backoff: flush-cycle segment writes and memory-miss record reads
+	// retry before failing (and, for writes, before the system enters
+	// degraded read-only mode — see ErrDegraded). The zero value
+	// disables retrying.
+	DiskRetry RetryPolicy
 	// Durable enables a write-ahead log under the system directory:
 	// memory contents survive restarts and crashes. Off by default,
 	// matching the paper's model where only flushed data is on disk.
@@ -247,6 +265,7 @@ func Open(dir string, opt Options) (*System, error) {
 		DiskMaxSegments:       opt.DiskMaxSegments,
 		DiskCacheBytes:        opt.DiskCacheBytes,
 		DiskSearchParallelism: opt.DiskSearchParallelism,
+		DiskRetry:             opt.DiskRetry,
 		WALDir:                walDir(dir, opt),
 		WALOptions:            walOptions(opt),
 		Policy:                pc.pol,

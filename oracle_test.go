@@ -151,6 +151,89 @@ func TestEngineMatchesOracle(t *testing.T) {
 	}
 }
 
+// TestRandomizedModelBased is a randomized model-based test: ~10k
+// seeded operations — batched ingests of random sizes, searches of every
+// shape, and forced flushes — interleaved in random order against the
+// flat in-memory model, for each flushing policy. The operation stream
+// is fully determined by the seed, which is logged first so any failure
+// (every check also embeds it) replays exactly.
+func TestRandomizedModelBased(t *testing.T) {
+	for pi, pol := range []kflushing.PolicyKind{
+		kflushing.PolicyFIFO, kflushing.PolicyLRU, kflushing.PolicyKFlushing,
+	} {
+		pol := pol
+		seed := int64(pi+1) * 7919
+		t.Run(string(pol), func(t *testing.T) {
+			t.Logf("replay with rand.NewSource(%d)", seed)
+			rng := rand.New(rand.NewSource(seed))
+			sys, err := kflushing.Open(t.TempDir(), kflushing.Options{
+				Policy:       pol,
+				K:            4,
+				MemoryBudget: 48 << 10,
+				SyncFlush:    true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Close()
+
+			orc := &oracle{}
+			const vocabSize = 25
+			kw := func(i int) string { return fmt.Sprintf("w%d", i) }
+			ts := 0
+			const ops = 10_000
+			for op := 0; op < ops; op++ {
+				switch r := rng.Float64(); {
+				case r < 0.55: // batched ingest, 1..8 records
+					n := rng.Intn(8) + 1
+					batch := make([]*kflushing.Microblog, 0, n)
+					for j := 0; j < n; j++ {
+						ts++
+						nk := rng.Intn(3) + 1
+						seen := map[string]bool{}
+						var kws []string
+						for len(kws) < nk {
+							w := kw(rng.Intn(vocabSize))
+							if !seen[w] {
+								seen[w] = true
+								kws = append(kws, w)
+							}
+						}
+						batch = append(batch, &kflushing.Microblog{
+							Timestamp: kflushing.Timestamp(ts),
+							Keywords:  kws,
+							Text:      "t",
+						})
+					}
+					ids, err := sys.IngestBatch(batch)
+					if err != nil {
+						t.Fatalf("seed %d op %d: IngestBatch: %v", seed, op, err)
+					}
+					for j, id := range ids {
+						if id == 0 {
+							t.Fatalf("seed %d op %d: keyword-bearing record %d skipped", seed, op, j)
+						}
+						orc.add(batch[j])
+					}
+				case r < 0.95: // search, checked against the model
+					checkQuery(t, sys, orc, rng, kw, vocabSize, pol, 4)
+				default: // forced flush at a random point in the stream
+					if _, err := sys.FlushNow(); err != nil {
+						t.Fatalf("seed %d op %d: FlushNow: %v", seed, op, err)
+					}
+				}
+			}
+			if sys.Stats().Disk.Segments == 0 {
+				t.Fatalf("seed %d: nothing flushed, model test vacuous", seed)
+			}
+			checkFlushInvariants(t, sys)
+			for q := 0; q < 200; q++ {
+				checkQuery(t, sys, orc, rng, kw, vocabSize, pol, 4)
+			}
+		})
+	}
+}
+
 // checkFlushInvariants forces one flush cycle and verifies the
 // structural invariants every policy's flush must preserve:
 //

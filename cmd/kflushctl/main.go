@@ -3,6 +3,9 @@
 // files without starting a system.
 //
 //	kflushctl segments <dir>       list segments (version, records, bloom, size)
+//	kflushctl levels <dir>         decode the leveled-tier manifest and
+//	                               print per-level occupancy, retired
+//	                               inputs, and unreferenced files
 //	kflushctl dump <segment-file>  print a segment's records as JSON lines
 //	kflushctl verify <dir>         read every record; fail on corruption
 //	kflushctl compact <dir> [n]    merge the n oldest segments (default all)
@@ -54,6 +57,8 @@ func main() {
 	switch args[0] {
 	case "segments":
 		err = cmdSegments(args[1])
+	case "levels":
+		err = cmdLevels(args[1])
 	case "dump":
 		err = cmdDump(args[1])
 	case "verify":
@@ -137,6 +142,80 @@ func cmdSegments(dir string) error {
 	return nil
 }
 
+// cmdLevels decodes a leveled tier's manifest and joins it against the
+// segment files actually present: per-level occupancy (segments,
+// records, bytes), retired compaction inputs awaiting unlink, and files
+// the manifest does not reference (they would be adopted at the next
+// open). A missing manifest reports the directory as flat; a corrupt
+// one is surfaced but survivable — open falls back to adoption.
+func cmdLevels(dir string) error {
+	infos, err := disk.Inspect(dir)
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]disk.SegmentInfo, len(infos))
+	for _, info := range infos {
+		byName[info.Path] = info
+	}
+	m, err := disk.ReadManifest(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("no manifest: flat layout, %d segment(s)\n", len(infos))
+			return nil
+		}
+		return fmt.Errorf("%w (a leveled open would fall back to adopting all %d segment file(s))", err, len(infos))
+	}
+	type levelSum struct {
+		segments, records int
+		bytes             int64
+	}
+	levels := map[int]*levelSum{}
+	maxLevel := 0
+	referenced := make(map[string]bool, len(m.Live)+len(m.Retired))
+	missing := 0
+	for _, e := range m.Live {
+		referenced[e.Name] = true
+		ls := levels[e.Level]
+		if ls == nil {
+			ls = &levelSum{}
+			levels[e.Level] = ls
+		}
+		if e.Level > maxLevel {
+			maxLevel = e.Level
+		}
+		info, ok := byName[e.Name]
+		if !ok {
+			missing++
+			continue
+		}
+		ls.segments++
+		ls.records += info.Records
+		ls.bytes += info.Bytes
+	}
+	fmt.Printf("manifest: next_seq=%d live=%d retired=%d\n", m.NextSeq, len(m.Live), len(m.Retired))
+	fmt.Printf("%-6s %10s %10s %12s\n", "level", "segments", "records", "bytes")
+	for lvl := 0; lvl <= maxLevel; lvl++ {
+		ls := levels[lvl]
+		if ls == nil {
+			ls = &levelSum{}
+		}
+		fmt.Printf("L%-5d %10d %10d %12d\n", lvl, ls.segments, ls.records, ls.bytes)
+	}
+	for _, name := range m.Retired {
+		referenced[name] = true
+		fmt.Printf("retired %s (awaiting unlink)\n", name)
+	}
+	for _, info := range infos {
+		if !referenced[info.Path] {
+			fmt.Printf("unreferenced %s (%d records; adopted at next open)\n", info.Path, info.Records)
+		}
+	}
+	if missing > 0 {
+		return fmt.Errorf("%d live manifest entr(ies) have no segment file — data loss or wrong directory", missing)
+	}
+	return nil
+}
+
 // cmdProbe opens the directory as an attribute-agnostic tier, runs one
 // top-k search for the (already encoded) key, and prints the miss
 // fast-path counters the search generated: Bloom probes and skipped
@@ -186,8 +265,9 @@ func cmdProbeServer(base string) error {
 	}
 	defer resp.Body.Close()
 	var ready struct {
-		Ready   bool              `json:"ready"`
-		Reasons map[string]string `json:"reasons"`
+		Ready   bool                            `json:"ready"`
+		Reasons map[string]string               `json:"reasons"`
+		Disk    map[string]kflushing.DiskHealth `json:"disk"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
 		return fmt.Errorf("GET /readyz: %s: %w", resp.Status, err)
@@ -200,6 +280,35 @@ func cmdProbeServer(base string) error {
 	sort.Strings(attrs)
 	for _, a := range attrs {
 		fmt.Printf("  %-8s %s\n", a, ready.Reasons[a])
+	}
+
+	// Disk health per attribute: level occupancy, compaction backlog,
+	// and flush pipeline queue depth — a wedged compactor shows up here
+	// as a persistently positive backlog.
+	attrs = attrs[:0]
+	for a := range ready.Disk {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		h := ready.Disk[a]
+		segs := 0
+		var parts []string
+		for _, lv := range h.Levels {
+			segs += lv.Segments
+			parts = append(parts, fmt.Sprintf("L%d=%d", lv.Level, lv.Segments))
+		}
+		line := fmt.Sprintf("%-8s %-8s %d segment(s)", a, h.Layout, segs)
+		if len(parts) > 0 {
+			line += " [" + strings.Join(parts, " ") + "]"
+		}
+		if h.CompactionBacklog > 0 {
+			line += fmt.Sprintf(" backlog=%d", h.CompactionBacklog)
+		}
+		if h.PipelineDepth > 0 {
+			line += fmt.Sprintf(" pipeline_depth=%d", h.PipelineDepth)
+		}
+		fmt.Println(line)
 	}
 
 	var stats map[string]struct {
@@ -389,6 +498,7 @@ func usage() {
 
 usage:
   kflushctl segments <dir>
+  kflushctl levels <dir>
   kflushctl dump <segment-file>
   kflushctl verify <dir>
   kflushctl compact <dir> [n]

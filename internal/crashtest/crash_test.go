@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"kflushing"
+	"kflushing/internal/attr"
 	"kflushing/internal/disk"
 	"kflushing/internal/failpoint"
 	"kflushing/internal/index"
@@ -216,6 +217,88 @@ func verifyRecovered(t *testing.T, dataDir, ackPath string) {
 	if segs, recs, err := disk.Verify(dataDir); err != nil {
 		t.Fatalf("segment verification failed after %d segments / %d records: %v",
 			segs, recs, err)
+	}
+	verifyManifest(t, dataDir)
+	verifyCompactionPreservesDiskSet(t, dataDir)
+}
+
+// verifyManifest checks the leveled tier's manifest after recovery: the
+// clean reopens above heal-committed a fresh manifest, so at this point
+// it must decode, reference only files that exist, and never list a
+// file as both live and retired or on two levels at once. (A crash MID
+// manifest write may leave a torn manifest on disk; adoption repairs it
+// on the next open, which has already happened here.)
+func verifyManifest(t *testing.T, dataDir string) {
+	t.Helper()
+	m, err := disk.ReadManifest(dataDir)
+	if err != nil {
+		t.Fatalf("manifest unreadable after recovery (heal-commit missing?): %v", err)
+	}
+	live := make(map[string]int, len(m.Live))
+	for _, e := range m.Live {
+		if lvl, dup := live[e.Name]; dup {
+			t.Fatalf("manifest lists %s on levels %d and %d", e.Name, lvl, e.Level)
+		}
+		live[e.Name] = e.Level
+		if _, err := os.Stat(filepath.Join(dataDir, e.Name)); err != nil {
+			t.Fatalf("manifest live entry %s (L%d) missing on disk: %v", e.Name, e.Level, err)
+		}
+	}
+	for _, name := range m.Retired {
+		if lvl, ok := live[name]; ok {
+			t.Fatalf("manifest lists %s as retired AND live at L%d", name, lvl)
+		}
+	}
+}
+
+// verifyCompactionPreservesDiskSet opens the crashed-and-recovered disk
+// tier directly and compacts everything into one segment: the answer
+// set must survive byte-for-byte by ID — compaction over a post-crash
+// layout (including duplicates a WAL replay legitimately re-flushed
+// into a younger segment) deduplicates instead of dropping or doubling.
+func verifyCompactionPreservesDiskSet(t *testing.T, dataDir string) {
+	t.Helper()
+	tier, err := disk.Open(disk.Config[string]{
+		Dir:    dataDir,
+		KeysOf: attr.KeywordKeys,
+		Encode: attr.KeywordEncode,
+		Layout: disk.LayoutLeveled,
+	})
+	if err != nil {
+		t.Fatalf("direct tier open after recovery: %v", err)
+	}
+	defer func() {
+		if err := tier.Close(); err != nil {
+			t.Fatalf("tier close: %v", err)
+		}
+	}()
+	collect := func(label string) map[uint64]bool {
+		items, err := tier.Search([]string{"all"}, kflushing.OpSingle, 1<<20)
+		if err != nil {
+			t.Fatalf("%s: disk search: %v", label, err)
+		}
+		ids := make(map[uint64]bool, len(items))
+		for _, it := range items {
+			id := uint64(it.MB.ID)
+			if ids[id] {
+				t.Fatalf("%s: record %d answered twice across levels", label, id)
+			}
+			ids[id] = true
+		}
+		return ids
+	}
+	before := collect("pre-compact")
+	if err := tier.CompactAll(); err != nil {
+		t.Fatalf("CompactAll on recovered tier: %v", err)
+	}
+	after := collect("post-compact")
+	if len(after) != len(before) {
+		t.Fatalf("compaction changed the disk ID set: %d -> %d records", len(before), len(after))
+	}
+	for id := range before {
+		if !after[id] {
+			t.Fatalf("record %d lost by post-recovery compaction", id)
+		}
 	}
 }
 

@@ -10,6 +10,12 @@
 //   - every index posting references a live store record with a positive
 //     posting count (the structural flush invariant);
 //   - the segment directory parses and every record is readable;
+//   - the leveled manifest healed by recovery decodes, references only
+//     files that exist, and never lists a file twice (live+retired, or
+//     on two levels);
+//   - compacting the recovered tier preserves the disk ID set exactly —
+//     duplicates a WAL replay legitimately re-flushed are deduplicated,
+//     never dropped or doubled;
 //   - recovery is idempotent: each site is crashed a second time during
 //     its own recovery (a double crash), and two further clean reopens
 //     agree exactly.

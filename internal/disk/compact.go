@@ -18,31 +18,35 @@ import (
 // VictimBuffer.AddPartial), and its keys may appear across several
 // segments' directories.
 //
-// A merge rewrites the N oldest segments into one, ranked best score
-// first, with a rebuilt directory. The merged file takes the newest
-// input's sequence number, so recovery ordering (lexicographic file
-// names) is preserved; the write is atomic (temp file + rename) and the
-// inputs are deleted only after the rename succeeds.
+// The flat layout merges the N oldest segments in place (the merged
+// file takes the newest input's name, so lexicographic recovery
+// ordering is preserved). The leveled layout merges a whole overflowing
+// level into one lvl-* segment at the next level and commits the swap
+// through the manifest: output renamed live → manifest commit (output
+// live, inputs retired) → inputs unlinked. A crash between any two of
+// those steps recovers cleanly (see openLeveled's rules).
 
-// CompactOldest merges the n oldest segments into one. It is a no-op
-// when fewer than two segments exist. Concurrent searches keep working
-// on the old segments until the swap, then see the merged one.
+// CompactOldest merges the n oldest flat-layout segments into one. It
+// is a no-op when fewer than two segments exist. Concurrent searches
+// keep working on the old segments until the swap, then see the merged
+// one.
 func (t *Tier[K]) CompactOldest(n int) error {
 	if n < 2 {
 		return nil
 	}
 	t.mu.Lock()
-	if len(t.segs) < 2 {
+	t.ensureLevels(1)
+	if len(t.levels[0]) < 2 {
 		t.mu.Unlock()
 		return nil
 	}
-	if n > len(t.segs) {
-		n = len(t.segs)
+	if n > len(t.levels[0]) {
+		n = len(t.levels[0])
 	}
-	inputs := append([]*segment(nil), t.segs[:n]...)
+	inputs := append([]*segment(nil), t.levels[0][:n]...)
 	t.mu.Unlock()
 
-	merged, err := mergeSegments(inputs)
+	merged, err := mergeSegmentsTo(inputs, inputs[len(inputs)-1].path)
 	if err != nil {
 		return err
 	}
@@ -55,7 +59,7 @@ func (t *Tier[K]) CompactOldest(n int) error {
 	// The inputs are still the oldest prefix (only Flush appends and
 	// only compaction removes, and compactions are serialized by the
 	// caller); swap them for the merged segment.
-	t.segs = append([]*segment{merged}, t.segs[n:]...)
+	t.levels[0] = append([]*segment{merged}, t.levels[0][n:]...)
 	t.mu.Unlock()
 
 	// Retire the inputs. Unlinking while readers still hold the file
@@ -75,6 +79,7 @@ func (t *Tier[K]) CompactOldest(n int) error {
 	for i, s := range inputs {
 		if i != len(inputs)-1 {
 			if err := os.Remove(s.path); err != nil {
+				s.release()
 				return fmt.Errorf("disk: remove compacted input: %w", err)
 			}
 		}
@@ -83,14 +88,18 @@ func (t *Tier[K]) CompactOldest(n int) error {
 	return nil
 }
 
-// AutoCompact merges the oldest half of the segments whenever more than
-// maxSegments exist. Call after Flush; maxSegments <= 1 disables.
+// AutoCompact merges the oldest half of the flat-layout segments
+// whenever more than maxSegments exist. Call after Flush; maxSegments
+// <= 1 disables.
 func (t *Tier[K]) AutoCompact(maxSegments int) error {
 	if maxSegments <= 1 {
 		return nil
 	}
 	t.mu.RLock()
-	n := len(t.segs)
+	n := 0
+	if len(t.levels) > 0 {
+		n = len(t.levels[0])
+	}
 	t.mu.RUnlock()
 	if n <= maxSegments {
 		return nil
@@ -98,12 +107,271 @@ func (t *Tier[K]) AutoCompact(maxSegments int) error {
 	return t.CompactOldest(n/2 + 1)
 }
 
-// mergeSegments reads every record of the inputs, deduplicates by
-// record ID (copies are identical), and writes one merged segment. The
-// merged directory is the union of the input directories with ordinals
-// remapped — directories are carried over, not recomputed, so the merge
-// is attribute-agnostic and preserves whatever keys the writer indexed.
-func mergeSegments(inputs []*segment) (*segment, error) {
+// compactor is the background compaction loop of a leveled tier: it
+// waits for a kick (sent after each flush install) and runs passes
+// until no level is over its fanout. One goroutine, one kick buffered —
+// repeated kicks during a pass coalesce.
+func (t *Tier[K]) compactor() {
+	defer t.compactWG.Done()
+	for {
+		select {
+		case <-t.compactStop:
+			return
+		case <-t.compactKick:
+			if err := t.CompactNow(); err != nil {
+				t.compactionFailures.Add(1)
+				slog.Error("disk: background compaction failed",
+					"dir", t.cfg.Dir, "error", err)
+			}
+		}
+	}
+}
+
+// kickCompactor nudges the background compactor; a kick already pending
+// is enough.
+func (t *Tier[K]) kickCompactor() {
+	select {
+	case t.compactKick <- struct{}{}:
+	default:
+	}
+}
+
+// overflowLevel returns the shallowest level holding more than fanout
+// segments, or -1 when every level is within bounds.
+func (t *Tier[K]) overflowLevel() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i, lv := range t.levels {
+		if len(lv) > t.fanout {
+			return i
+		}
+	}
+	return -1
+}
+
+// CompactNow runs compaction passes until the tier is within bounds:
+// leveled, every overflowing level merges into the next (shallowest
+// first, so a cascade L0→L1→L2 resolves in one call); flat, the
+// MaxSegments auto-compaction rule applies. Passes serialize on an
+// internal gate, so concurrent callers (background compactor, sync
+// flush, tooling) cannot double-merge.
+func (t *Tier[K]) CompactNow() error {
+	t.compactMu.Lock()
+	defer t.compactMu.Unlock()
+	if t.cfg.Layout != LayoutLeveled {
+		return t.AutoCompact(t.cfg.MaxSegments)
+	}
+	if !t.compactionEnabled() {
+		return nil
+	}
+	for {
+		// Shutting down: leave remaining overflow for the next open.
+		if t.compactStop != nil {
+			select {
+			case <-t.compactStop:
+				return nil
+			default:
+			}
+		}
+		lvl := t.overflowLevel()
+		if lvl < 0 {
+			return nil
+		}
+		if err := t.compactLevel(lvl, false); err != nil {
+			return err
+		}
+	}
+}
+
+// CompactAll merges every live segment into a single one — the leveled
+// analogue of full compaction, used by tooling and by tests asserting
+// global ID uniqueness. Flat tiers merge the whole list in place.
+func (t *Tier[K]) CompactAll() error {
+	t.compactMu.Lock()
+	defer t.compactMu.Unlock()
+	if t.cfg.Layout != LayoutLeveled {
+		t.mu.RLock()
+		n := 0
+		if len(t.levels) > 0 {
+			n = len(t.levels[0])
+		}
+		t.mu.RUnlock()
+		return t.CompactOldest(n)
+	}
+	// Fold the shallowest populated level into the next until one
+	// segment remains. Forced merges accept a single input (a plain
+	// rewrite one level down), so stragglers cascade into the bottom.
+	for {
+		t.mu.RLock()
+		total, shallowest := 0, -1
+		for i, lv := range t.levels {
+			if len(lv) > 0 {
+				total += len(lv)
+				if shallowest < 0 {
+					shallowest = i
+				}
+			}
+		}
+		t.mu.RUnlock()
+		if total < 2 {
+			return nil
+		}
+		if err := t.compactLevel(shallowest, true); err != nil {
+			return err
+		}
+	}
+}
+
+// compactLevel merges every segment of level lvl into one segment at
+// lvl+1 and commits the swap through the manifest. Caller must hold
+// compactMu. The commit protocol, in order, with its crash windows:
+//
+//	merge to lvl-<seq>.kfs.compact, fsync     (crash: staged orphan)
+//	rename to lvl-<seq>.kfs                   (crash: unreferenced lvl
+//	                                           file, deleted at open)
+//	manifest commit: output live at lvl+1,    (the commit point)
+//	                 inputs retired
+//	unlink inputs                             (crash: retired files
+//	                                           remain, deleted at open)
+func (t *Tier[K]) compactLevel(lvl int, force bool) error {
+	t.mu.RLock()
+	if lvl >= len(t.levels) {
+		t.mu.RUnlock()
+		return nil
+	}
+	inputs := append([]*segment(nil), t.levels[lvl]...)
+	t.mu.RUnlock()
+	if len(inputs) == 0 || (len(inputs) < 2 && !force) {
+		return nil
+	}
+	seq := t.seq.Add(1)
+	final := filepath.Join(t.cfg.Dir, fmt.Sprintf("lvl-%08d.kfs", seq))
+	merged, err := mergeSegmentsTo(inputs, final)
+	if err != nil {
+		return err
+	}
+	// The crash window this site names: merged output live on disk, not
+	// yet in a committed manifest. Recovery deletes it (its content is a
+	// subset of the still-live inputs).
+	if err := failpoint.Eval(failpoint.DiskCompactInstall); err != nil {
+		merged.release()
+		_ = os.Remove(final)
+		return err
+	}
+
+	names := make([]string, len(inputs))
+	for i, s := range inputs {
+		names[i] = s.name()
+	}
+	t.manifestMu.Lock()
+	t.mu.Lock()
+	t.levels[lvl] = removeSegments(t.levels[lvl], inputs)
+	t.ensureLevels(lvl + 2)
+	t.levels[lvl+1] = append(t.levels[lvl+1], merged)
+	t.retired = append(t.retired, names...)
+	t.mu.Unlock()
+	if err := t.commitManifest(); err != nil {
+		// Roll back the swap: the inputs were the level's oldest prefix
+		// (only flush appends, only serialized compaction removes), so
+		// restoring them at the front preserves order.
+		t.mu.Lock()
+		t.levels[lvl] = append(append([]*segment(nil), inputs...), t.levels[lvl]...)
+		t.levels[lvl+1] = removeSegments(t.levels[lvl+1], []*segment{merged})
+		t.retired = t.retired[:len(t.retired)-len(names)]
+		t.mu.Unlock()
+		t.manifestMu.Unlock()
+		merged.release()
+		_ = os.Remove(final)
+		return err
+	}
+	t.manifestMu.Unlock()
+	t.compactions.Add(1)
+	slog.Debug("disk: compacted level",
+		"dir", t.cfg.Dir, "level", lvl, "inputs", len(inputs),
+		"merged", merged.name(), "records", merged.count)
+
+	// Unlink the inputs. The committed manifest already lists them
+	// retired, so a crash anywhere below just leaves files the next
+	// open deletes. Unlinking while readers still hold the files open
+	// is safe (the inode survives until the last close).
+	if err := failpoint.Eval(failpoint.DiskCompactRemove); err != nil {
+		for _, s := range inputs {
+			s.release()
+		}
+		return err
+	}
+	var firstErr error
+	for _, s := range inputs {
+		if err := os.Remove(s.path); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("disk: remove compacted input: %w", err)
+		}
+		s.release()
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	// All inputs gone; drop them from the retired set so the next
+	// manifest commit stops carrying them.
+	t.mu.Lock()
+	t.retired = removeNames(t.retired, names)
+	t.mu.Unlock()
+	return nil
+}
+
+// removeSegments returns segs minus the members of gone (pointer
+// identity), preserving order.
+func removeSegments(segs []*segment, gone []*segment) []*segment {
+	out := segs[:0]
+	for _, s := range segs {
+		drop := false
+		for _, g := range gone {
+			if s == g {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out = append(out, s)
+		}
+	}
+	// Clear the tail so dropped pointers are not pinned by the backing
+	// array.
+	for i := len(out); i < len(segs); i++ {
+		segs[i] = nil
+	}
+	return out
+}
+
+// removeSegment is removeSegments for a single member.
+func removeSegment(segs []*segment, gone *segment) []*segment {
+	return removeSegments(segs, []*segment{gone})
+}
+
+// removeNames returns names minus the members of gone, preserving order.
+func removeNames(names []string, gone []string) []string {
+	goneSet := make(map[string]struct{}, len(gone))
+	for _, g := range gone {
+		goneSet[g] = struct{}{}
+	}
+	out := names[:0]
+	for _, n := range names {
+		if _, drop := goneSet[n]; !drop {
+			out = append(out, n)
+		}
+	}
+	for i := len(out); i < len(names); i++ {
+		names[i] = ""
+	}
+	return out
+}
+
+// mergeSegmentsTo reads every record of the inputs, deduplicates by
+// record ID (copies are identical), and writes one merged segment at
+// final. The merged directory is the union of the input directories
+// with ordinals remapped — directories are carried over, not
+// recomputed, so the merge is attribute-agnostic and preserves whatever
+// keys the writer indexed.
+func mergeSegmentsTo(inputs []*segment, final string) (*segment, error) {
 	// Pass 1: collect unique records newest-input-first, remembering
 	// each input ordinal's record ID for the directory remap.
 	ids := make([][]uint64, len(inputs)) // per input: ordinal → record ID
@@ -170,23 +438,24 @@ func mergeSegments(inputs []*segment) (*segment, error) {
 		sort.Slice(ords, func(a, b int) bool { return ords[a] < ords[b] })
 	}
 
-	// The merged file inherits the newest input's name so recovery
-	// ordering holds; write to a temp path first for atomicity. The
-	// output is always current-version: compaction upgrades pre-Bloom
-	// inputs to Bloom-bearing segments.
-	final := inputs[len(inputs)-1].path
+	// Write to a temp path first for atomicity (flat merges rename over
+	// the newest input's name; leveled merges use a fresh lvl-* name).
+	// The output is always current-version: compaction upgrades
+	// pre-Bloom inputs to Bloom-bearing segments.
 	tmp := final + ".compact"
 	merged, _, err := writeSegment(tmp, ranked, dir, nil)
 	if err != nil {
 		return nil, err
 	}
 	// Close the temp handle, rename over, and reopen under the final
-	// name. The rename is atomic on POSIX filesystems; the newest
-	// input's old inode lives on until its last reference closes.
+	// name. The rename is atomic on POSIX filesystems; when the target
+	// name is an existing input, its old inode lives on until the last
+	// reference closes.
 	if err := merged.close(); err != nil {
 		return nil, err
 	}
 	if err := failpoint.Eval(failpoint.DiskCompactRename); err != nil {
+		_ = os.Remove(tmp)
 		return nil, err
 	}
 	if err := os.Rename(tmp, final); err != nil {
@@ -202,14 +471,16 @@ func mergeSegments(inputs []*segment) (*segment, error) {
 	return reopened, nil
 }
 
-// Segments returns the live segment paths oldest-first, for tests and
-// tooling.
+// Segments returns the live segment names in priority order (L0
+// oldest-first, then each deeper level), for tests and tooling.
 func (t *Tier[K]) Segments() []string {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := make([]string, len(t.segs))
-	for i, s := range t.segs {
-		out[i] = filepath.Base(s.path)
+	var out []string
+	for _, lv := range t.levels {
+		for _, s := range lv {
+			out = append(out, filepath.Base(s.path))
+		}
 	}
 	return out
 }

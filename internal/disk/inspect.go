@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 )
 
 // SegmentInfo describes one on-disk segment for tooling.
@@ -31,11 +30,12 @@ type SegmentInfo struct {
 // Tier — the admin tool's view. Attribute-agnostic: it reads the
 // directory as opaque keys.
 func Inspect(dir string) ([]SegmentInfo, error) {
-	paths, err := filepath.Glob(filepath.Join(dir, "seg-*.kfs"))
+	segPaths, lvlPaths, err := segmentGlobs(dir)
 	if err != nil {
 		return nil, err
 	}
-	sort.Strings(paths)
+	paths := append(segPaths, lvlPaths...)
+	sortBySeqOrder(paths)
 	infos := make([]SegmentInfo, 0, len(paths))
 	for _, p := range paths {
 		s, err := openSegment(p)
@@ -109,13 +109,17 @@ func Verify(dir string) (segments, records int, err error) {
 
 // CompactDir merges the n oldest segments under dir into one, outside
 // any running Tier. Attribute-agnostic (directories are carried over).
-// The directory must not be in use by a live system.
+// The directory must not be in use by a live system. Any leveled
+// manifest is removed afterwards: the offline merge invalidates it, and
+// the next leveled open adopts the surviving files instead (seg-* at
+// L0, lvl-* at L1) — the adoption rules never lose data.
 func CompactDir(dir string, n int) error {
-	paths, err := filepath.Glob(filepath.Join(dir, "seg-*.kfs"))
+	segPaths, lvlPaths, err := segmentGlobs(dir)
 	if err != nil {
 		return err
 	}
-	sort.Strings(paths)
+	paths := append(segPaths, lvlPaths...)
+	sortBySeqOrder(paths)
 	if len(paths) < 2 {
 		return nil
 	}
@@ -133,7 +137,7 @@ func CompactDir(dir string, n int) error {
 		}
 		inputs = append(inputs, s)
 	}
-	merged, err := mergeSegments(inputs)
+	merged, err := mergeSegmentsTo(inputs, inputs[len(inputs)-1].path)
 	if err != nil {
 		return err
 	}
@@ -145,6 +149,11 @@ func CompactDir(dir string, n int) error {
 			}
 		}
 		s.release()
+	}
+	if mPath := filepath.Join(dir, manifestName); fileExists(mPath) {
+		if err := os.Remove(mPath); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,530 @@
+package disk
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"kflushing/internal/query"
+	"kflushing/internal/types"
+)
+
+// leveledTier opens a leveled tier with inline (foreground) compaction
+// so tests are deterministic.
+func leveledTier(t *testing.T, dir string, fanout int) *Tier[string] {
+	t.Helper()
+	tier, err := Open(Config[string]{
+		Dir:         dir,
+		KeysOf:      func(m *types.Microblog) []string { return m.Keywords },
+		Encode:      func(s string) string { return s },
+		Layout:      LayoutLeveled,
+		LevelFanout: fanout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tier.Close() })
+	return tier
+}
+
+// checkLevelInvariants asserts the structural invariants of a leveled
+// tier: every level at or below its fanout (compaction caught up), and
+// the manifest on disk naming exactly the live segments at their levels.
+func checkLevelInvariants(t *testing.T, tier *Tier[string], fanout int) {
+	t.Helper()
+	levels := tier.Levels()
+	for _, lv := range levels {
+		if lv.Segments > fanout {
+			t.Fatalf("level %d holds %d segments, fanout %d", lv.Level, lv.Segments, fanout)
+		}
+	}
+	m, err := ReadManifest(tier.cfg.Dir)
+	if err != nil {
+		t.Fatalf("read manifest: %v", err)
+	}
+	manifestPerLevel := map[int]int{}
+	for _, e := range m.Live {
+		manifestPerLevel[e.Level]++
+		if !fileExists(filepath.Join(tier.cfg.Dir, e.Name)) {
+			t.Fatalf("manifest names %s at level %d but the file is gone", e.Name, e.Level)
+		}
+	}
+	for _, lv := range levels {
+		if manifestPerLevel[lv.Level] != lv.Segments {
+			t.Fatalf("level %d: tier reports %d segments, manifest %d",
+				lv.Level, lv.Segments, manifestPerLevel[lv.Level])
+		}
+	}
+}
+
+func TestLeveledStructureUnderFlushes(t *testing.T) {
+	const fanout = 2
+	tier := leveledTier(t, t.TempDir(), fanout)
+	id := uint64(0)
+	for batch := 0; batch < 12; batch++ {
+		var recs []FlushRecord
+		for i := 0; i < 5; i++ {
+			id++
+			recs = append(recs, fr(id, float64(id), "k", fmt.Sprintf("b%d", batch)))
+		}
+		if err := tier.Flush(recs); err != nil {
+			t.Fatal(err)
+		}
+		// Flush compacts inline here (no background compactor), so the
+		// invariants must hold after every single flush.
+		checkLevelInvariants(t, tier, fanout)
+	}
+	st := tier.Stats()
+	if st.Layout != "leveled" {
+		t.Fatalf("layout = %q", st.Layout)
+	}
+	if st.Compactions == 0 {
+		t.Fatal("12 flushes at fanout 2 ran no compactions")
+	}
+	var records int64
+	for _, lv := range st.Levels {
+		records += lv.Records
+	}
+	if records != int64(id) {
+		t.Fatalf("levels hold %d records, flushed %d", records, id)
+	}
+	items, err := tier.Search([]string{"k"}, query.OpSingle, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 10 {
+		t.Fatalf("top-10 returned %d items", len(items))
+	}
+	for i, it := range items {
+		if want := id - uint64(i); uint64(it.MB.ID) != want {
+			t.Fatalf("item %d = ID %d, want %d", i, it.MB.ID, want)
+		}
+	}
+}
+
+// TestLeveledFlatEquivalence drives the identical seeded workload into a
+// flat tier and a leveled tier (inline compaction) and requires every
+// query answer to match item-for-item — leveling must be invisible to
+// readers. The leveled tier is additionally searched sequentially and in
+// parallel, which must also agree.
+func TestLeveledFlatEquivalence(t *testing.T) {
+	flat, err := Open(Config[string]{
+		Dir:    t.TempDir(),
+		KeysOf: func(m *types.Microblog) []string { return m.Keywords },
+		Encode: func(s string) string { return s },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flat.Close()
+	leveled := leveledTier(t, t.TempDir(), 2)
+	seq, err := Open(Config[string]{
+		Dir:               t.TempDir(),
+		KeysOf:            func(m *types.Microblog) []string { return m.Keywords },
+		Encode:            func(s string) string { return s },
+		Layout:            LayoutLeveled,
+		LevelFanout:       2,
+		SearchParallelism: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+
+	rng := rand.New(rand.NewSource(61))
+	keys := []string{"a", "b", "c", "d", "e"}
+	id := uint64(0)
+	for batch := 0; batch < 20; batch++ {
+		var recs []FlushRecord
+		for i := 0; i < 4+rng.Intn(8); i++ {
+			id++
+			kws := []string{keys[rng.Intn(len(keys))]}
+			if rng.Intn(3) == 0 {
+				kws = append(kws, keys[rng.Intn(len(keys))])
+			}
+			recs = append(recs, fr(id, float64(rng.Intn(1000)), kws...))
+		}
+		for _, tier := range []*Tier[string]{flat, leveled, seq} {
+			if err := tier.Flush(recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	queries := []struct {
+		keys []string
+		op   query.Op
+	}{
+		{[]string{"a"}, query.OpSingle},
+		{[]string{"b"}, query.OpSingle},
+		{[]string{"a", "c"}, query.OpOr},
+		{[]string{"a", "b"}, query.OpAnd},
+		{[]string{"a", "b", "c", "d", "e"}, query.OpOr},
+		{[]string{"nope"}, query.OpSingle},
+	}
+	for _, q := range queries {
+		for _, k := range []int{1, 5, 20, 1000} {
+			want, err := flat.Search(q.keys, q.op, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, tier := range map[string]*Tier[string]{"leveled": leveled, "leveled-sequential": seq} {
+				got, err := tier.Search(q.keys, q.op, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s %v/%v k=%d: %d items, flat %d", name, q.keys, q.op, k, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].MB.ID != want[i].MB.ID || got[i].Score != want[i].Score {
+						t.Fatalf("%s %v/%v k=%d item %d: got (ID %d, %g), flat (ID %d, %g)",
+							name, q.keys, q.op, k, i,
+							got[i].MB.ID, got[i].Score, want[i].MB.ID, want[i].Score)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLeveledReopenIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	tier := leveledTier(t, dir, 2)
+	id := uint64(0)
+	for batch := 0; batch < 7; batch++ {
+		var recs []FlushRecord
+		for i := 0; i < 3; i++ {
+			id++
+			recs = append(recs, fr(id, float64(id), "k"))
+		}
+		if err := tier.Flush(recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantSegs := tier.Segments()
+	wantItems, err := tier.Search([]string{"k"}, query.OpSingle, int(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two consecutive reopens: both must see the identical layout and
+	// answers, and the second must not be confused by whatever the first
+	// rewrote (manifest heal-commit is idempotent).
+	for round := 1; round <= 2; round++ {
+		reopened := leveledTier(t, dir, 2)
+		gotSegs := reopened.Segments()
+		sort.Strings(gotSegs)
+		sorted := append([]string(nil), wantSegs...)
+		sort.Strings(sorted)
+		if len(gotSegs) != len(sorted) {
+			t.Fatalf("reopen %d: %d segments, want %d", round, len(gotSegs), len(sorted))
+		}
+		for i := range sorted {
+			if gotSegs[i] != sorted[i] {
+				t.Fatalf("reopen %d: segment %d = %s, want %s", round, i, gotSegs[i], sorted[i])
+			}
+		}
+		got, err := reopened.Search([]string{"k"}, query.OpSingle, int(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(wantItems) {
+			t.Fatalf("reopen %d: %d items, want %d", round, len(got), len(wantItems))
+		}
+		for i := range wantItems {
+			if got[i].MB.ID != wantItems[i].MB.ID {
+				t.Fatalf("reopen %d item %d: ID %d, want %d", round, i, got[i].MB.ID, wantItems[i].MB.ID)
+			}
+		}
+		if err := reopened.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLeveledAdoptionRules exercises the openLeveled recovery rules
+// directly on crafted directories.
+func TestLeveledAdoptionRules(t *testing.T) {
+	t.Run("missing manifest adopts everything", func(t *testing.T) {
+		dir := t.TempDir()
+		tier := leveledTier(t, dir, 2)
+		id := uint64(0)
+		for batch := 0; batch < 5; batch++ {
+			id++
+			if err := tier.Flush([]FlushRecord{fr(id, float64(id), "k")}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tier.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Remove(filepath.Join(dir, "manifest.kfm")); err != nil {
+			t.Fatal(err)
+		}
+		reopened := leveledTier(t, dir, 2)
+		items, err := reopened.Search([]string{"k"}, query.OpSingle, int(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(items) != int(id) {
+			t.Fatalf("adopted tier answers %d of %d records", len(items), id)
+		}
+		// The heal-commit must leave a fresh valid manifest behind.
+		if _, err := ReadManifest(dir); err != nil {
+			t.Fatalf("no healed manifest after adoption open: %v", err)
+		}
+	})
+
+	t.Run("corrupt manifest adopts everything", func(t *testing.T) {
+		dir := t.TempDir()
+		tier := leveledTier(t, dir, 2)
+		for id := uint64(1); id <= 4; id++ {
+			if err := tier.Flush([]FlushRecord{fr(id, float64(id), "k")}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tier.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "manifest.kfm"), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reopened := leveledTier(t, dir, 2)
+		items, err := reopened.Search([]string{"k"}, query.OpSingle, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(items) != 4 {
+			t.Fatalf("adopted tier answers %d of 4 records", len(items))
+		}
+	})
+
+	t.Run("unreferenced seg file adopted at L0", func(t *testing.T) {
+		dir := t.TempDir()
+		tier := leveledTier(t, dir, 4)
+		if err := tier.Flush([]FlushRecord{fr(1, 1, "k")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tier.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// A segment that exists on disk but missed its manifest commit —
+		// the DiskLevelInstall crash window. Simulate by cloning the live
+		// segment under a higher unreferenced sequence number.
+		segs, err := filepath.Glob(filepath.Join(dir, "seg-*.kfs"))
+		if err != nil || len(segs) != 1 {
+			t.Fatalf("glob: %v %v", segs, err)
+		}
+		b, err := os.ReadFile(segs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		orphan := filepath.Join(dir, "seg-00009999.kfs")
+		if err := os.WriteFile(orphan, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reopened := leveledTier(t, dir, 4)
+		if got := len(reopened.Segments()); got != 2 {
+			t.Fatalf("orphan seg not adopted: %d live segments, want 2", got)
+		}
+		// Duplicate IDs across segments (replay double-write) must not
+		// produce duplicate answers.
+		items, err := reopened.Search([]string{"k"}, query.OpSingle, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(items) != 1 {
+			t.Fatalf("duplicate adopted record answered %d times", len(items))
+		}
+	})
+
+	t.Run("unreferenced lvl file deleted", func(t *testing.T) {
+		dir := t.TempDir()
+		tier := leveledTier(t, dir, 4)
+		if err := tier.Flush([]FlushRecord{fr(1, 1, "k")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tier.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// An lvl-* file a valid manifest does not reference is a dead
+		// compaction output superseded before commit; its contents are a
+		// subset of still-live inputs, so open must delete, never adopt.
+		stray := filepath.Join(dir, "lvl-00009999.kfs")
+		if err := os.WriteFile(stray, []byte("half-written merge"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reopened := leveledTier(t, dir, 4)
+		if fileExists(stray) {
+			t.Fatal("unreferenced lvl file survived open")
+		}
+		if got := len(reopened.Segments()); got != 1 {
+			t.Fatalf("%d live segments, want 1", got)
+		}
+	})
+}
+
+// TestLeveledCompactAll folds an arbitrary level tree down to one
+// segment and verifies the disk ID set is preserved with global
+// uniqueness — the machine-checkable "no duplicate postings across
+// levels" invariant.
+func TestLeveledCompactAll(t *testing.T) {
+	tier := leveledTier(t, t.TempDir(), 2)
+	want := map[uint64]bool{}
+	id := uint64(0)
+	for batch := 0; batch < 9; batch++ {
+		var recs []FlushRecord
+		for i := 0; i < 4; i++ {
+			id++
+			want[id] = true
+			recs = append(recs, fr(id, float64(id%13), "k"))
+		}
+		if err := tier.Flush(recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tier.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tier.Segments()); got != 1 {
+		t.Fatalf("CompactAll left %d segments", got)
+	}
+	items, err := tier.Search([]string{"k"}, query.OpSingle, len(want)*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, it := range items {
+		if seen[uint64(it.MB.ID)] {
+			t.Fatalf("ID %d appears twice after CompactAll", it.MB.ID)
+		}
+		seen[uint64(it.MB.ID)] = true
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("CompactAll preserved %d of %d IDs", len(seen), len(want))
+	}
+	for wid := range want {
+		if !seen[wid] {
+			t.Fatalf("ID %d lost by CompactAll", wid)
+		}
+	}
+}
+
+// TestLeveledPropertyVsModel is a model-based property test: random
+// flush batches interleaved with compactions at random points, checked
+// after every step against an in-memory model of what each key's top-k
+// must be.
+func TestLeveledPropertyVsModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	tier := leveledTier(t, t.TempDir(), 2)
+	keys := []string{"p", "q", "r"}
+	model := map[string][]FlushRecord{}
+	id := uint64(0)
+
+	check := func(step int) {
+		for _, key := range keys {
+			recs := append([]FlushRecord(nil), model[key]...)
+			sort.Slice(recs, func(i, j int) bool {
+				if recs[i].Score != recs[j].Score {
+					return recs[i].Score > recs[j].Score
+				}
+				return recs[i].MB.ID > recs[j].MB.ID
+			})
+			k := 7
+			if k > len(recs) {
+				k = len(recs)
+			}
+			items, err := tier.Search([]string{key}, query.OpSingle, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(items) != k {
+				t.Fatalf("step %d key %s: %d items, model %d", step, key, len(items), k)
+			}
+			for i := 0; i < k; i++ {
+				if items[i].MB.ID != recs[i].MB.ID || items[i].Score != recs[i].Score {
+					t.Fatalf("step %d key %s item %d: got (ID %d, %g), model (ID %d, %g)",
+						step, key, i, items[i].MB.ID, items[i].Score, recs[i].MB.ID, recs[i].Score)
+				}
+			}
+		}
+	}
+
+	for step := 0; step < 60; step++ {
+		switch rng.Intn(10) {
+		case 0:
+			if err := tier.CompactAll(); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if err := tier.CompactNow(); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			var recs []FlushRecord
+			for i := 0; i < 1+rng.Intn(5); i++ {
+				id++
+				key := keys[rng.Intn(len(keys))]
+				rec := fr(id, float64(rng.Intn(50)), key)
+				recs = append(recs, rec)
+				model[key] = append(model[key], rec)
+			}
+			if err := tier.Flush(recs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check(step)
+	}
+}
+
+// TestLeveledBackgroundCompactionConverges verifies the dedicated
+// compactor goroutine (the production configuration) brings every level
+// within fanout without losing answers.
+func TestLeveledBackgroundCompactionConverges(t *testing.T) {
+	tier, err := Open(Config[string]{
+		Dir:                  t.TempDir(),
+		KeysOf:               func(m *types.Microblog) []string { return m.Keywords },
+		Encode:               func(s string) string { return s },
+		Layout:               LayoutLeveled,
+		LevelFanout:          2,
+		BackgroundCompaction: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	id := uint64(0)
+	for batch := 0; batch < 10; batch++ {
+		var recs []FlushRecord
+		for i := 0; i < 3; i++ {
+			id++
+			recs = append(recs, fr(id, float64(id), "k"))
+		}
+		if err := tier.Flush(recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain the compactor deterministically: CompactNow shares the
+	// compaction mutex with the background pass, so when it returns with
+	// no overflowing level, the tier is converged.
+	if err := tier.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	if backlog := tier.CompactionBacklog(); backlog != 0 {
+		t.Fatalf("backlog %d after explicit CompactNow", backlog)
+	}
+	items, err := tier.Search([]string{"k"}, query.OpSingle, int(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != int(id) {
+		t.Fatalf("%d of %d records answered after background compaction", len(items), id)
+	}
+}

@@ -89,6 +89,7 @@ type segment struct {
 	bloom    *bloomFilter // nil for v1 segments
 	maxScore float64
 	end      uint64 // file offset just past the last record
+	size     int64  // whole-file byte length
 
 	refs atomic.Int32
 }
@@ -218,10 +219,41 @@ func writeSegment(path string, recs []FlushRecord, dir map[string][]uint32, scra
 	return writeSegmentVersioned(path, recs, dir, segVersion, scratch)
 }
 
-// writeSegmentVersioned writes a segment at an explicit format version.
-// Version 1 (no Bloom block) is retained so compatibility tests can
-// fabricate genuine pre-Bloom files.
+// writeSegmentVersioned writes a segment at an explicit format version:
+// the build stage (encode + staged write + fsync) followed immediately
+// by the install stage (rename + directory fsync + reopen). The flush
+// pipeline calls the two stages separately so the build can run off the
+// tier's read lock; this wrapper serves compaction and tests.
 func writeSegmentVersioned(path string, recs []FlushRecord, dir map[string][]uint32, version uint16, scratch []byte) (*segment, []byte, error) {
+	st, scratch, err := stageSegment(path, recs, dir, version, scratch)
+	if err != nil {
+		return nil, scratch, err
+	}
+	s, err := st.install()
+	return s, scratch, err
+}
+
+// stagedSegment is a fully built, fsynced segment file still at its
+// temporary path — durable content, not yet visible to recovery. It
+// becomes live via install (the atomic rename) or is discarded via
+// abort.
+type stagedSegment struct {
+	tmpPath  string
+	path     string
+	version  uint16
+	count    uint32
+	offsets  []uint64
+	dir      map[string][]uint32
+	bloom    *bloomFilter
+	maxScore float64
+	end      uint64
+	size     int64
+}
+
+// stageSegment runs the build stage: encode recs and their directory,
+// write everything to path+".tmp", and fsync it. A crash or error here
+// leaves only a .tmp orphan (removed by Open), never a live segment.
+func stageSegment(path string, recs []FlushRecord, dir map[string][]uint32, version uint16, scratch []byte) (*stagedSegment, []byte, error) {
 	buf := scratch[:0]
 	if cap(buf) == 0 {
 		buf = make([]byte, 0, 64*len(recs)+64)
@@ -290,10 +322,11 @@ func writeSegmentVersioned(path string, recs []FlushRecord, dir map[string][]uin
 	buf = append(buf, tmp[:8]...)
 	buf = append(buf, segEndMagic...)
 
-	// Stage at a temp path, sync, rename into place, then sync the
-	// directory: a crash anywhere before the rename leaves only a .tmp
-	// orphan (removed by Open), never a half-written live segment, and
-	// a segment that HAS its final name is durably complete.
+	// Stage at a temp path and sync. The install stage later renames
+	// into place and syncs the directory: a crash anywhere before the
+	// rename leaves only a .tmp orphan (removed by Open), never a
+	// half-written live segment, and a segment that HAS its final name
+	// is durably complete.
 	tmpPath := path + ".tmp"
 	if err := failpoint.Eval(failpoint.DiskSegmentCreate); err != nil {
 		return nil, buf, fmt.Errorf("disk: create segment: %w", err)
@@ -302,7 +335,7 @@ func writeSegmentVersioned(path string, recs []FlushRecord, dir map[string][]uin
 	if err != nil {
 		return nil, buf, fmt.Errorf("disk: create segment: %w", err)
 	}
-	// Until the rename lands any failure removes the staged file; the
+	// Until staging succeeds any failure removes the staged file; the
 	// original error is the one to surface, not the cleanup's.
 	staged := false
 	defer func() {
@@ -337,31 +370,53 @@ func writeSegmentVersioned(path string, recs []FlushRecord, dir map[string][]uin
 	if err := f.Close(); err != nil {
 		return nil, buf, fmt.Errorf("disk: close staged segment: %w", err)
 	}
-	if err := failpoint.Eval(failpoint.DiskSegmentRename); err != nil {
-		return nil, buf, err
-	}
-	if err := os.Rename(tmpPath, path); err != nil {
-		return nil, buf, fmt.Errorf("disk: rename segment: %w", err)
-	}
 	staged = true
-	if err := syncDir(filepath.Dir(path)); err != nil {
-		return nil, buf, err
+	return &stagedSegment{
+		tmpPath: tmpPath, path: path, version: version,
+		count: uint32(len(recs)), offsets: offsets, dir: dir,
+		bloom: bloom, maxScore: maxScore, end: end, size: int64(len(buf)),
+	}, buf, nil
+}
+
+// install runs the install stage: atomically rename the staged file to
+// its final name, fsync the directory, and open the live segment. An
+// error before the rename leaves the staged file for abort to clean up;
+// an error after it leaves a complete live segment that recovery adopts.
+func (st *stagedSegment) install() (*segment, error) {
+	if err := failpoint.Eval(failpoint.DiskSegmentRename); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(st.tmpPath, st.path); err != nil {
+		return nil, fmt.Errorf("disk: rename segment: %w", err)
+	}
+	st.tmpPath = "" // renamed; abort must not unlink the live file
+	if err := syncDir(filepath.Dir(st.path)); err != nil {
+		return nil, err
 	}
 	if err := failpoint.Eval(failpoint.DiskSegmentAfterRename); err != nil {
-		return nil, buf, err
+		return nil, err
 	}
-	f, err = os.Open(path)
+	f, err := os.Open(st.path)
 	if err != nil {
-		return nil, buf, err
+		return nil, err
 	}
 	s := &segment{
-		id: nextSegmentID.Add(1), version: version,
-		path: path, f: f, count: uint32(len(recs)),
-		offsets: offsets, dir: dir, bloom: bloom,
-		maxScore: maxScore, end: end,
+		id: nextSegmentID.Add(1), version: st.version,
+		path: st.path, f: f, count: st.count,
+		offsets: st.offsets, dir: st.dir, bloom: st.bloom,
+		maxScore: st.maxScore, end: st.end, size: st.size,
 	}
 	s.refs.Store(1) // the tier's reference
-	return s, buf, nil
+	return s, nil
+}
+
+// abort discards a staged segment that will not be installed. Safe to
+// call after a failed install: once the rename landed the file is live
+// and abort leaves it alone.
+func (st *stagedSegment) abort() {
+	if st.tmpPath != "" {
+		_ = os.Remove(st.tmpPath)
+	}
 }
 
 // openSegment reads back a segment's offsets table and directory,
@@ -466,7 +521,7 @@ func openSegment(path string) (*segment, error) {
 		id: nextSegmentID.Add(1), version: version,
 		path: path, f: f, count: count,
 		offsets: offsets, dir: dir, bloom: bloom,
-		maxScore: maxScore, end: offsetsPos,
+		maxScore: maxScore, end: offsetsPos, size: st.Size(),
 	}
 	s.refs.Store(1) // the tier's reference
 	ok = true

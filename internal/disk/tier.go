@@ -5,9 +5,17 @@
 // the evicted records, ranked best-score-first, with a per-key directory
 // so disk search touches only the matching records. A memory miss
 // searches segments newest-first with a max-score bound for early
-// termination. The tier is deliberately simple — the paper only
-// characterizes disk access as "expensive" — but it is real I/O: misses
-// pay file reads, which is what the memory-hit-ratio metric prices.
+// termination.
+//
+// Two layouts are supported. The flat layout (the original) keeps one
+// ever-growing list of segments with optional oldest-half compaction.
+// The leveled layout organizes segments into size-tiered levels — L0
+// holds fresh flushes, each deeper level holds geometrically larger
+// merged segments — with level membership committed in a small fsync'd
+// manifest (see manifest.go) and background compaction keeping every
+// level at or below its fanout. Leveling bounds memory-miss cost: the
+// segment count grows logarithmically in data size instead of linearly
+// in flush count.
 package disk
 
 import (
@@ -17,6 +25,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +37,41 @@ import (
 	"kflushing/internal/types"
 )
 
+// Layout selects the tier's on-disk organization.
+type Layout int
+
+const (
+	// LayoutFlat is a single list of segments with optional oldest-half
+	// compaction — the zero value, preserving the original format.
+	LayoutFlat Layout = iota
+	// LayoutLeveled organizes segments into size-tiered levels under a
+	// manifest, with per-level fanout compaction.
+	LayoutLeveled
+)
+
+// String names the layout for stats and tooling.
+func (l Layout) String() string {
+	if l == LayoutLeveled {
+		return "leveled"
+	}
+	return "flat"
+}
+
+// ParseLayout maps a layout name to its constant.
+func ParseLayout(s string) (Layout, error) {
+	switch s {
+	case "flat":
+		return LayoutFlat, nil
+	case "leveled":
+		return LayoutLeveled, nil
+	}
+	return LayoutFlat, fmt.Errorf("disk: unknown layout %q (want flat or leveled)", s)
+}
+
+// DefaultLevelFanout is the per-level segment bound when
+// Config.LevelFanout is zero: a level exceeding it merges into the next.
+const DefaultLevelFanout = 4
+
 // Config parameterizes a Tier for one search attribute.
 type Config[K comparable] struct {
 	// Dir is the directory segment files are written to. Required.
@@ -36,9 +81,21 @@ type Config[K comparable] struct {
 	KeysOf func(*types.Microblog) []K
 	// Encode renders a key for the on-disk directory. Required.
 	Encode func(K) string
-	// MaxSegments triggers automatic compaction after a flush leaves
-	// more than this many segments; <= 1 disables auto-compaction.
+	// Layout selects flat (zero value) or leveled organization.
+	Layout Layout
+	// MaxSegments (flat layout) triggers automatic compaction after a
+	// flush leaves more than this many segments; <= 1 disables. Under
+	// the leveled layout only the sign matters: negative disables
+	// compaction entirely (everything piles into L0).
 	MaxSegments int
+	// LevelFanout (leveled layout) bounds a level's segment count; a
+	// level exceeding it merges into one segment at the next level.
+	// 0 selects DefaultLevelFanout; values below 2 are raised to 2.
+	LevelFanout int
+	// BackgroundCompaction (leveled layout) runs compaction on a
+	// dedicated goroutine kicked after each flush instead of inline on
+	// the flushing goroutine.
+	BackgroundCompaction bool
 	// CacheBytes bounds the decoded-record read cache; 0 selects the
 	// default (8 MiB), negative disables caching.
 	CacheBytes int64
@@ -80,14 +137,41 @@ func (p RetryPolicy) Do(f func() error) error {
 // is zero.
 const DefaultCacheBytes = 8 << 20
 
+// LevelStats summarizes one level of a leveled tier (flat tiers report
+// a single level 0).
+type LevelStats struct {
+	Level    int   `json:"level"`
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	Records  int64 `json:"records"`
+}
+
 // Stats summarizes tier activity.
 type Stats struct {
+	Layout         string
 	Segments       int
+	Levels         []LevelStats
 	RecordsWritten int64
 	BytesWritten   int64
 	Searches       int64
 	RecordReads    int64 // real preads (cache misses included, hits not)
 	Compactions    int64
+
+	// CompactionBacklog counts levels currently over their fanout —
+	// work the compactor owes; a persistently positive value means it
+	// is wedged or cannot keep up.
+	CompactionBacklog int
+	// CompactionFailures counts background compaction errors.
+	CompactionFailures int64
+	// PendingRetired counts compaction inputs superseded by a live
+	// merged segment but not yet unlinked.
+	PendingRetired int
+
+	// Cumulative flush stage nanos: build (encode + staged write +
+	// fsync, off the segment-list lock) and install (rename + manifest
+	// commit + level append).
+	BuildNanos   int64
+	InstallNanos int64
 
 	// Bloom fast-path counters: probes is filter consultations,
 	// skips is directory lookups avoided by a negative filter answer,
@@ -103,16 +187,33 @@ type Stats struct {
 	CacheBytes     int64
 }
 
+// FlushStats reports one flush's stage timings and output size.
+type FlushStats struct {
+	BuildNanos   int64
+	InstallNanos int64
+	Records      int
+	Bytes        int64
+}
+
 // Tier is the disk storage for one attribute. Safe for concurrent use;
 // flushes serialize internally while searches proceed under a read lock.
 type Tier[K comparable] struct {
 	cfg         Config[K]
 	cache       *recordCache // nil when disabled
 	parallelism int
+	fanout      int
 
-	mu   sync.RWMutex
-	segs []*segment // oldest first
-	seq  int
+	// mu guards the level lists and the retired set. It is held only
+	// for snapshots and list swaps — never across file I/O — so
+	// searches are not blocked while a segment is built or merged.
+	mu      sync.RWMutex
+	levels  [][]*segment // levels[i] oldest-first; flat uses levels[0]
+	retired []string     // manifest-retired inputs not yet unlinked
+
+	// seq is the last assigned segment sequence number; never reused,
+	// even across restarts (persisted via the manifest and re-derived
+	// from file names).
+	seq atomic.Uint64
 
 	// flushMu serializes flushes so the sort/encode scratch buffers can
 	// be reused across cycles instead of reallocated per flush.
@@ -120,18 +221,78 @@ type Tier[K comparable] struct {
 	sortBuf    []FlushRecord
 	encScratch []byte
 
-	recordsWritten atomic.Int64
-	bytesWritten   atomic.Int64
-	searches       atomic.Int64
-	recordReads    atomic.Int64
-	compactions    atomic.Int64
-	bloomProbes    atomic.Int64
-	bloomSkips     atomic.Int64
-	dirProbes      atomic.Int64
+	// manifestMu serializes manifest commits with the level mutations
+	// they publish (flush installs and compaction installs).
+	manifestMu sync.Mutex
+	// compactMu serializes compaction passes.
+	compactMu sync.Mutex
+
+	// Background compactor plumbing (leveled layout only).
+	compactKick chan struct{}
+	compactStop chan struct{}
+	compactWG   sync.WaitGroup
+	stopOnce    sync.Once
+
+	recordsWritten     atomic.Int64
+	bytesWritten       atomic.Int64
+	searches           atomic.Int64
+	recordReads        atomic.Int64
+	compactions        atomic.Int64
+	compactionFailures atomic.Int64
+	buildNanos         atomic.Int64
+	installNanos       atomic.Int64
+	bloomProbes        atomic.Int64
+	bloomSkips         atomic.Int64
+	dirProbes          atomic.Int64
+}
+
+// parseSeq extracts the numeric sequence from a segment file name like
+// "seg-00000007.kfs" or "lvl-00000012.kfs".
+func parseSeq(name string) (uint64, bool) {
+	name = filepath.Base(name)
+	i := strings.IndexByte(name, '-')
+	j := strings.Index(name, ".kfs")
+	if i < 0 || j <= i+1 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[i+1:j], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// segmentGlobs returns dir's live segment file paths: flush outputs
+// (seg-*) and leveled compaction outputs (lvl-*).
+func segmentGlobs(dir string) (segPaths, lvlPaths []string, err error) {
+	segPaths, err = filepath.Glob(filepath.Join(dir, "seg-*.kfs"))
+	if err != nil {
+		return nil, nil, err
+	}
+	lvlPaths, err = filepath.Glob(filepath.Join(dir, "lvl-*.kfs"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return segPaths, lvlPaths, nil
+}
+
+// sortBySeqOrder sorts paths by their numeric sequence (file-name order
+// is not enough once seg- and lvl- prefixes mix).
+func sortBySeqOrder(paths []string) {
+	sort.Slice(paths, func(i, j int) bool {
+		a, _ := parseSeq(paths[i])
+		b, _ := parseSeq(paths[j])
+		if a != b {
+			return a < b
+		}
+		return paths[i] < paths[j]
+	})
 }
 
 // Open creates a tier over cfg.Dir, recovering any segment files a
-// previous process left there.
+// previous process left there. Leveled tiers recover level membership
+// from the manifest when one is present and valid, and fall back to
+// adopting the segment files found on disk otherwise (see openLeveled).
 func Open[K comparable](cfg Config[K]) (*Tier[K], error) {
 	if cfg.Dir == "" || cfg.KeysOf == nil || cfg.Encode == nil {
 		return nil, fmt.Errorf("disk: Dir, KeysOf and Encode are required")
@@ -157,43 +318,259 @@ func Open[K comparable](cfg Config[K]) (*Tier[K], error) {
 	if t.parallelism < 1 {
 		t.parallelism = 1
 	}
+	t.fanout = cfg.LevelFanout
+	if t.fanout == 0 {
+		t.fanout = DefaultLevelFanout
+	}
+	if t.fanout < 2 {
+		t.fanout = 2
+	}
 	// A crash mid-flush or mid-compaction leaves staged files (*.tmp,
-	// *.compact) that were never renamed live: they hold nothing a
-	// recovered store needs (their records are still in the WAL or in
-	// the compaction inputs), so remove them. Removal failures are
-	// harmless — the names never collide with live segments.
-	if orphans, err := filepath.Glob(filepath.Join(cfg.Dir, "seg-*.kfs.*")); err == nil {
-		for _, p := range orphans {
-			slog.Warn("disk: removing orphaned staged segment file", "path", p)
-			_ = os.Remove(p)
+	// *.compact, manifest temp) that were never renamed live: they hold
+	// nothing a recovered store needs (their records are still in the
+	// WAL or in the compaction inputs), so remove them. Removal
+	// failures are harmless — the names never collide with live files.
+	for _, pattern := range []string{"seg-*.kfs.*", "lvl-*.kfs.*", manifestName + ".tmp"} {
+		if orphans, err := filepath.Glob(filepath.Join(cfg.Dir, pattern)); err == nil {
+			for _, p := range orphans {
+				slog.Warn("disk: removing orphaned staged file", "path", p)
+				_ = os.Remove(p)
+			}
 		}
 	}
-	paths, err := filepath.Glob(filepath.Join(cfg.Dir, "seg-*.kfs"))
+	var err error
+	if cfg.Layout == LayoutLeveled {
+		err = t.openLeveled()
+	} else {
+		err = t.openFlat()
+	}
 	if err != nil {
 		return nil, err
 	}
-	sort.Strings(paths)
-	for _, p := range paths {
-		s, err := openSegment(p)
-		if err != nil {
-			return nil, fmt.Errorf("disk: recover %s: %w", p, err)
-		}
-		t.segs = append(t.segs, s)
-		t.seq++
+	if cfg.Layout == LayoutLeveled && cfg.BackgroundCompaction && t.compactionEnabled() {
+		t.compactKick = make(chan struct{}, 1)
+		t.compactStop = make(chan struct{})
+		t.compactWG.Add(1)
+		go t.compactor()
 	}
 	return t, nil
 }
 
-// Flush durably writes the evicted records as one new segment. The input
-// order is irrelevant; the tier ranks records by score before writing.
-// Flushes serialize on an internal gate so the sort and encode scratch
-// buffers are reused across cycles — the directory map and offsets table
-// are the only per-flush allocations that escape into the segment.
+// openFlat recovers the flat layout: every seg-* (and, if a previously
+// leveled directory is opened flat, every lvl-*) file joins the single
+// list in sequence order. A stale manifest from a leveled past is
+// removed — it no longer tracks truth once flat flushes resume.
+func (t *Tier[K]) openFlat() error {
+	segPaths, lvlPaths, err := segmentGlobs(t.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	paths := append(segPaths, lvlPaths...)
+	sortBySeqOrder(paths)
+	var maxSeq uint64
+	segs := make([]*segment, 0, len(paths))
+	for _, p := range paths {
+		s, err := openSegment(p)
+		if err != nil {
+			return fmt.Errorf("disk: recover %s: %w", p, err)
+		}
+		segs = append(segs, s)
+		if n, ok := parseSeq(p); ok && n > maxSeq {
+			maxSeq = n
+		}
+	}
+	t.levels = [][]*segment{segs}
+	t.seq.Store(maxSeq)
+	if mPath := filepath.Join(t.cfg.Dir, manifestName); fileExists(mPath) {
+		slog.Warn("disk: flat open of a leveled directory, removing stale manifest", "dir", t.cfg.Dir)
+		_ = os.Remove(mPath)
+	}
+	return nil
+}
+
+// openLeveled recovers the leveled layout. The recovery rules, in
+// order, are the crash-safety contract the crash matrix enforces:
+//
+//  1. A valid manifest is truth: files it lists retired are deleted,
+//     files it lists live open at their recorded level.
+//  2. A seg-* file the manifest does not reference is an uncommitted
+//     flush (crash between segment rename and manifest commit): adopt
+//     it at L0. Its records are also still in the WAL, and search
+//     deduplicates by record ID, so adoption can only add, never lose.
+//  3. A lvl-* file the manifest does not reference is an uncommitted
+//     compaction output (crash before its commit): delete it. Its
+//     content is a subset of its inputs, which the manifest still
+//     lists live — deleting cannot lose data, keeping it would
+//     duplicate whole segments.
+//  4. No manifest, or a corrupt one (torn by bit rot — the atomic
+//     rewrite never tears it itself): adopt everything, seg-* at L0
+//     and lvl-* at L1. Retired-but-undeleted inputs resurface as
+//     duplicates; tolerated, because search deduplicates by ID and
+//     the next compaction merges them away. Nothing is ever lost.
+//
+// Afterwards a fresh manifest is committed so the next crash window
+// starts from a clean baseline, and the sequence counter resumes past
+// every name seen (sequence numbers are never reused).
+func (t *Tier[K]) openLeveled() error {
+	segPaths, lvlPaths, err := segmentGlobs(t.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	var maxSeq uint64
+	for _, p := range append(append([]string(nil), segPaths...), lvlPaths...) {
+		if n, ok := parseSeq(p); ok && n > maxSeq {
+			maxSeq = n
+		}
+	}
+	m, merr := ReadManifest(t.cfg.Dir)
+	valid := merr == nil
+	if merr != nil && !os.IsNotExist(merr) {
+		slog.Warn("disk: manifest unreadable, adopting segment files",
+			"dir", t.cfg.Dir, "error", merr)
+	}
+	if m.NextSeq > 0 && m.NextSeq-1 > maxSeq {
+		maxSeq = m.NextSeq - 1
+	}
+	t.seq.Store(maxSeq)
+
+	byLevel := make(map[int][]string)
+	if valid {
+		live := make(map[string]int, len(m.Live))
+		for _, e := range m.Live {
+			live[e.Name] = e.Level
+		}
+		retired := make(map[string]struct{}, len(m.Retired))
+		for _, name := range m.Retired {
+			retired[name] = struct{}{}
+			if err := os.Remove(filepath.Join(t.cfg.Dir, name)); err == nil {
+				slog.Warn("disk: deleted retired compaction input", "name", name)
+			}
+		}
+		for _, e := range m.Live {
+			p := filepath.Join(t.cfg.Dir, e.Name)
+			if !fileExists(p) {
+				return fmt.Errorf("disk: manifest references missing segment %s", e.Name)
+			}
+			byLevel[e.Level] = append(byLevel[e.Level], p)
+		}
+		for _, p := range segPaths {
+			name := filepath.Base(p)
+			if _, isLive := live[name]; isLive {
+				continue
+			}
+			if _, isRetired := retired[name]; isRetired {
+				continue
+			}
+			slog.Warn("disk: adopting uncommitted flushed segment at L0", "name", name)
+			byLevel[0] = append(byLevel[0], p)
+		}
+		for _, p := range lvlPaths {
+			name := filepath.Base(p)
+			if _, isLive := live[name]; isLive {
+				continue
+			}
+			if _, isRetired := retired[name]; isRetired {
+				continue
+			}
+			slog.Warn("disk: deleting uncommitted compaction output", "name", name)
+			_ = os.Remove(p)
+		}
+	} else {
+		byLevel[0] = append(byLevel[0], segPaths...)
+		if len(lvlPaths) > 0 {
+			byLevel[1] = append(byLevel[1], lvlPaths...)
+		}
+	}
+
+	maxLevel := -1
+	for lvl := range byLevel {
+		if lvl > maxLevel {
+			maxLevel = lvl
+		}
+	}
+	t.levels = make([][]*segment, maxLevel+1)
+	if len(t.levels) == 0 {
+		t.levels = [][]*segment{nil}
+	}
+	for lvl, paths := range byLevel {
+		sortBySeqOrder(paths)
+		for _, p := range paths {
+			s, err := openSegment(p)
+			if err != nil {
+				return fmt.Errorf("disk: recover %s: %w", p, err)
+			}
+			t.levels[lvl] = append(t.levels[lvl], s)
+		}
+	}
+	// Commit the recovered state so unreferenced adoptions and retired
+	// deletions are durable before any new flush builds on them.
+	t.manifestMu.Lock()
+	err = t.commitManifest()
+	t.manifestMu.Unlock()
+	return err
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// compactionEnabled reports whether this tier ever compacts: under the
+// leveled layout a negative MaxSegments disables it (everything piles
+// into L0); the flat layout keeps its MaxSegments > 1 contract.
+func (t *Tier[K]) compactionEnabled() bool {
+	if t.cfg.Layout == LayoutLeveled {
+		return t.cfg.MaxSegments >= 0
+	}
+	return t.cfg.MaxSegments > 1
+}
+
+// ensureLevels grows the level list to at least n entries. Caller must
+// hold mu.
+func (t *Tier[K]) ensureLevels(n int) {
+	for len(t.levels) < n {
+		t.levels = append(t.levels, nil)
+	}
+}
+
+// commitManifest atomically rewrites the manifest from the current
+// level lists and retired set. Caller must hold manifestMu (it takes mu
+// itself, read-side).
+func (t *Tier[K]) commitManifest() error {
+	m := Manifest{NextSeq: t.seq.Load() + 1}
+	t.mu.RLock()
+	for lvl, segs := range t.levels {
+		for _, s := range segs {
+			m.Live = append(m.Live, ManifestEntry{Name: s.name(), Level: lvl})
+		}
+	}
+	m.Retired = append(m.Retired, t.retired...)
+	t.mu.RUnlock()
+	return writeManifest(t.cfg.Dir, m)
+}
+
+// Flush durably writes the evicted records as one new segment. The
+// input order is irrelevant; the tier ranks records by score before
+// writing. See FlushStaged for the stage structure.
 func (t *Tier[K]) Flush(recs []FlushRecord) error {
+	_, err := t.FlushStaged(recs)
+	return err
+}
+
+// FlushStaged is Flush reporting per-stage timings. The flush runs in
+// two stages: build (sort, encode, staged write, fsync) touches no
+// shared segment state, so searches and installs proceed concurrently;
+// install (atomic rename, level append, manifest commit under the
+// leveled layout) holds the segment-list lock only for the append.
+// Flushes serialize on an internal gate so the sort and encode scratch
+// buffers are reused across cycles.
+func (t *Tier[K]) FlushStaged(recs []FlushRecord) (FlushStats, error) {
+	var fs FlushStats
 	if len(recs) == 0 {
-		return nil
+		return fs, nil
 	}
 	t.flushMu.Lock()
+	buildStart := time.Now()
 	sorted := append(t.sortBuf[:0], recs...)
 	t.sortBuf = sorted
 	sort.Slice(sorted, func(i, j int) bool {
@@ -206,36 +583,127 @@ func (t *Tier[K]) Flush(recs []FlushRecord) error {
 	for ord, fr := range sorted {
 		for _, key := range t.cfg.KeysOf(fr.MB) {
 			ek := t.cfg.Encode(key)
+			// A record naming the same key twice must post once, like
+			// compaction's merged directories — AND intersections count
+			// postings per key.
+			if l := dir[ek]; len(l) > 0 && l[len(l)-1] == uint32(ord) {
+				continue
+			}
 			dir[ek] = append(dir[ek], uint32(ord))
 		}
 	}
+	seq := t.seq.Add(1)
+	path := filepath.Join(t.cfg.Dir, fmt.Sprintf("seg-%08d.kfs", seq))
 
-	t.mu.Lock()
-	t.seq++
-	path := filepath.Join(t.cfg.Dir, fmt.Sprintf("seg-%08d.kfs", t.seq))
-	s, scratch, err := writeSegment(path, sorted, dir, t.encScratch)
+	// Build stage: everything up to a durable staged file, off mu.
+	st, scratch, err := stageSegment(path, sorted, dir, segVersion, t.encScratch)
 	t.encScratch = scratch
+	clearSorted := func() {
+		// Drop the record pointers so the reusable buffer does not pin
+		// evicted microblogs in memory between flushes.
+		for i := range sorted {
+			sorted[i] = FlushRecord{}
+		}
+	}
 	if err != nil {
-		t.mu.Unlock()
+		clearSorted()
 		t.flushMu.Unlock()
-		return err
+		return fs, err
 	}
-	t.segs = append(t.segs, s)
-	t.mu.Unlock()
+	fs.BuildNanos = time.Since(buildStart).Nanoseconds()
 
-	n := len(sorted)
-	// Drop the record pointers so the reusable buffer does not pin
-	// evicted microblogs in memory between flushes.
-	for i := range sorted {
-		sorted[i] = FlushRecord{}
+	// Install stage: rename live, publish to L0, commit the manifest.
+	installStart := time.Now()
+	s, err := t.installFlushed(st)
+	if err != nil {
+		st.abort()
+		clearSorted()
+		t.flushMu.Unlock()
+		return fs, err
 	}
+	fs.InstallNanos = time.Since(installStart).Nanoseconds()
+	n := len(sorted)
+	clearSorted()
 	t.flushMu.Unlock()
 
+	fs.Records = n
+	fs.Bytes = s.size
 	t.recordsWritten.Add(int64(n))
-	if st, err := os.Stat(path); err == nil {
-		t.bytesWritten.Add(st.Size())
+	t.bytesWritten.Add(s.size)
+	t.buildNanos.Add(fs.BuildNanos)
+	t.installNanos.Add(fs.InstallNanos)
+
+	if t.cfg.Layout == LayoutLeveled {
+		if !t.compactionEnabled() {
+			return fs, nil
+		}
+		if t.compactKick != nil {
+			t.kickCompactor()
+			return fs, nil
+		}
+		return fs, t.CompactNow()
 	}
-	return t.AutoCompact(t.cfg.MaxSegments)
+	return fs, t.AutoCompact(t.cfg.MaxSegments)
+}
+
+// installFlushed makes a staged flush segment live: atomic rename, L0
+// append, and (leveled) manifest commit. On any failure the segment is
+// fully undone — file removed, level untouched — so the caller can roll
+// the eviction back; the commit point is the manifest rename.
+func (t *Tier[K]) installFlushed(st *stagedSegment) (*segment, error) {
+	t.manifestMu.Lock()
+	defer t.manifestMu.Unlock()
+	s, err := st.install()
+	if err != nil {
+		return nil, err
+	}
+	if t.cfg.Layout == LayoutLeveled {
+		// The crash window this site names: segment live on disk, not
+		// yet in a committed manifest. Recovery adopts it at L0.
+		if err := failpoint.Eval(failpoint.DiskLevelInstall); err != nil {
+			s.release()
+			_ = os.Remove(s.path)
+			return nil, err
+		}
+	}
+	t.mu.Lock()
+	t.ensureLevels(1)
+	t.levels[0] = append(t.levels[0], s)
+	t.mu.Unlock()
+	if t.cfg.Layout == LayoutLeveled {
+		if err := t.commitManifest(); err != nil {
+			t.mu.Lock()
+			t.levels[0] = removeSegment(t.levels[0], s)
+			t.mu.Unlock()
+			s.release()
+			_ = os.Remove(s.path)
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// snapshotSegments acquires a search-ordered snapshot of every live
+// segment: L0 newest-first, then each deeper level newest-first —
+// deeper levels hold strictly older data, so this is global
+// newest-first priority order. Every returned segment holds a reader
+// reference the caller must release.
+func (t *Tier[K]) snapshotSegments() []*segment {
+	t.mu.RLock()
+	total := 0
+	for _, lv := range t.levels {
+		total += len(lv)
+	}
+	segs := make([]*segment, 0, total)
+	for _, lv := range t.levels {
+		for i := len(lv) - 1; i >= 0; i-- {
+			s := lv[i]
+			s.acquire()
+			segs = append(segs, s)
+		}
+	}
+	t.mu.RUnlock()
+	return segs
 }
 
 // Search returns the top-k records matching keys under op across all
@@ -259,15 +727,7 @@ func (t *Tier[K]) SearchTraced(keys []K, op query.Op, k int, dp *trace.DiskProbe
 		enc[i] = t.cfg.Encode(key)
 	}
 
-	t.mu.RLock()
-	// Snapshot newest-first: index 0 is the newest segment, the search
-	// priority order.
-	segs := make([]*segment, len(t.segs))
-	for i, s := range t.segs {
-		segs[len(t.segs)-1-i] = s
-		s.acquire()
-	}
-	t.mu.RUnlock()
+	segs := t.snapshotSegments()
 	defer func() {
 		for _, s := range segs {
 			s.release()
@@ -485,11 +945,19 @@ func (t *Tier[K]) searchSegment(s *segment, keys []string, op query.Op, k int, d
 		}
 	case query.OpAnd:
 		// Intersect the ordinal lists; they are short (per-key,
-		// per-segment) so a counting pass suffices.
+		// per-segment) so a counting pass suffices. Ordinal lists are
+		// ascending, so a duplicate posting (a record naming one key
+		// twice, possible in segments written before flush dedup) is
+		// adjacent — count it once or the intersection false-positives.
 		counts := make(map[uint32]int)
 		for _, key := range keys {
 			dirProbe()
+			prev := int64(-1)
 			for _, o := range s.dir[key] {
+				if int64(o) == prev {
+					continue
+				}
+				prev = int64(o)
 				counts[o]++
 			}
 		}
@@ -613,21 +1081,74 @@ func (t *Tier[K]) CheckWritable() error {
 	return nil
 }
 
+// Layout reports the tier's on-disk layout.
+func (t *Tier[K]) Layout() Layout { return t.cfg.Layout }
+
+// Levels returns a per-level summary of the live segments. Flat tiers
+// report one level.
+func (t *Tier[K]) Levels() []LevelStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.levelStatsLocked()
+}
+
+func (t *Tier[K]) levelStatsLocked() []LevelStats {
+	out := make([]LevelStats, len(t.levels))
+	for i, lv := range t.levels {
+		ls := LevelStats{Level: i, Segments: len(lv)}
+		for _, s := range lv {
+			ls.Bytes += s.size
+			ls.Records += int64(s.count)
+		}
+		out[i] = ls
+	}
+	return out
+}
+
+// CompactionBacklog counts levels currently over their fanout; 0 for
+// flat tiers and whenever the compactor is caught up.
+func (t *Tier[K]) CompactionBacklog() int {
+	if t.cfg.Layout != LayoutLeveled || !t.compactionEnabled() {
+		return 0
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	backlog := 0
+	for _, lv := range t.levels {
+		if len(lv) > t.fanout {
+			backlog++
+		}
+	}
+	return backlog
+}
+
 // Stats returns a snapshot of tier activity.
 func (t *Tier[K]) Stats() Stats {
 	t.mu.RLock()
-	n := len(t.segs)
+	levels := t.levelStatsLocked()
+	pendingRetired := len(t.retired)
 	t.mu.RUnlock()
+	n := 0
+	for _, ls := range levels {
+		n += ls.Segments
+	}
 	st := Stats{
-		Segments:       n,
-		RecordsWritten: t.recordsWritten.Load(),
-		BytesWritten:   t.bytesWritten.Load(),
-		Searches:       t.searches.Load(),
-		RecordReads:    t.recordReads.Load(),
-		Compactions:    t.compactions.Load(),
-		BloomProbes:    t.bloomProbes.Load(),
-		BloomSkips:     t.bloomSkips.Load(),
-		DirProbes:      t.dirProbes.Load(),
+		Layout:             t.cfg.Layout.String(),
+		Segments:           n,
+		Levels:             levels,
+		RecordsWritten:     t.recordsWritten.Load(),
+		BytesWritten:       t.bytesWritten.Load(),
+		Searches:           t.searches.Load(),
+		RecordReads:        t.recordReads.Load(),
+		Compactions:        t.compactions.Load(),
+		CompactionBacklog:  t.CompactionBacklog(),
+		CompactionFailures: t.compactionFailures.Load(),
+		PendingRetired:     pendingRetired,
+		BuildNanos:         t.buildNanos.Load(),
+		InstallNanos:       t.installNanos.Load(),
+		BloomProbes:        t.bloomProbes.Load(),
+		BloomSkips:         t.bloomSkips.Load(),
+		DirProbes:          t.dirProbes.Load(),
 	}
 	if t.cache != nil {
 		st.CacheHits = t.cache.hits.Load()
@@ -638,14 +1159,21 @@ func (t *Tier[K]) Stats() Stats {
 	return st
 }
 
-// Close releases the tier's references to all segments; handles close
-// once in-flight searches drain.
+// Close stops the background compactor and releases the tier's
+// references to all segments; handles close once in-flight searches
+// drain.
 func (t *Tier[K]) Close() error {
+	if t.compactStop != nil {
+		t.stopOnce.Do(func() { close(t.compactStop) })
+		t.compactWG.Wait()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for _, s := range t.segs {
-		s.release()
+	for _, lv := range t.levels {
+		for _, s := range lv {
+			s.release()
+		}
 	}
-	t.segs = nil
+	t.levels = nil
 	return nil
 }

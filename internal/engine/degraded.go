@@ -23,13 +23,46 @@ var ErrDegraded = errors.New("engine: degraded read-only mode, tier writes faili
 // failure, capturing the evicted batch so the flush cycle can roll the
 // eviction back into memory — evicted records are never dropped unless
 // their segment was durably renamed into place.
+//
+// With a pipeline attached and async allowed for the current cycle, the
+// sink hands the batch to the background builder instead of writing
+// inline: the prepare stage (eviction) stays under the flush gate while
+// build and install run off it. When the queue is full the sink falls
+// back to the synchronous path, so semantics degrade gracefully under
+// sustained pressure.
 type flushSink[K comparable] struct {
 	tier  *disk.Tier[K]
 	retry disk.RetryPolicy
+	pipe  *flushPipeline[K] // nil = always synchronous
 
 	mu     sync.Mutex
 	failed []disk.FlushRecord
 	wrote  bool
+	async  bool // current cycle may enqueue (set by beginCycle)
+	// Per-cycle stage accounting for the synchronous path, read by
+	// flushCycle after the policy returns: build/install nanos from the
+	// tier, plus total wall time spent inside sink writes (so the cycle
+	// can subtract it to get the pure prepare time).
+	cycleBuild   int64
+	cycleInstall int64
+	cycleWrite   int64
+}
+
+// beginCycle resets the per-cycle stage accounting and records whether
+// this cycle may enqueue to the pipeline. Callers hold flushMu.
+func (s *flushSink[K]) beginCycle(async bool) {
+	s.mu.Lock()
+	s.async = async && s.pipe != nil
+	s.cycleBuild, s.cycleInstall, s.cycleWrite = 0, 0, 0
+	s.mu.Unlock()
+}
+
+// cycleStats returns the synchronous-path stage nanos accumulated since
+// beginCycle.
+func (s *flushSink[K]) cycleStats() (build, install, write int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cycleBuild, s.cycleInstall, s.cycleWrite
 }
 
 func (s *flushSink[K]) Flush(recs []disk.FlushRecord) error {
@@ -37,16 +70,57 @@ func (s *flushSink[K]) Flush(recs []disk.FlushRecord) error {
 		s.stash(recs)
 		return err
 	}
-	if err := s.retry.Do(func() error { return s.tier.Flush(recs) }); err != nil {
+	s.mu.Lock()
+	async := s.async
+	s.mu.Unlock()
+	if async && s.pipe.tryEnqueue(recs) {
+		// The batch is WAL-covered and queued; build/install/release run
+		// on the pipeline worker (see completeAsync).
+		return nil
+	}
+	wstart := time.Now()
+	var fs disk.FlushStats
+	err := s.retry.Do(func() error {
+		var werr error
+		fs, werr = s.tier.FlushStaged(recs)
+		return werr
+	})
+	if err != nil {
 		s.stash(recs)
+		s.mu.Lock()
+		s.cycleWrite += time.Since(wstart).Nanoseconds()
+		s.mu.Unlock()
 		return err
 	}
 	s.mu.Lock()
 	s.wrote = true
+	s.cycleBuild += fs.BuildNanos
+	s.cycleInstall += fs.InstallNanos
+	s.cycleWrite += time.Since(wstart).Nanoseconds()
 	s.mu.Unlock()
 	// A failure from here on is NOT stashed: the segment is durably
 	// renamed, so restoring the records to memory would duplicate them.
 	return failpoint.Eval(failpoint.FlushAfterWrite)
+}
+
+// writeStaged is the pipeline worker's write path: the same retry and
+// evidence bookkeeping as the synchronous path, but no stash — the
+// worker rolls failures back itself. wrote reports whether the segment
+// became durable (a post-write failpoint can fail the batch without
+// un-writing it).
+func (s *flushSink[K]) writeStaged(recs []disk.FlushRecord) (fs disk.FlushStats, wrote bool, err error) {
+	err = s.retry.Do(func() error {
+		var werr error
+		fs, werr = s.tier.FlushStaged(recs)
+		return werr
+	})
+	if err != nil {
+		return fs, false, err
+	}
+	s.mu.Lock()
+	s.wrote = true
+	s.mu.Unlock()
+	return fs, true, failpoint.Eval(failpoint.FlushAfterWrite)
 }
 
 func (s *flushSink[K]) stash(recs []disk.FlushRecord) {

@@ -67,9 +67,23 @@ type Config[K comparable] struct {
 	Clock clock.Clock
 	// DiskDir is the disk tier directory.
 	DiskDir string
+	// DiskLayout selects the disk tier organization: "leveled" (the
+	// default, also selected by "") or "flat" (the original single
+	// segment list).
+	DiskLayout string
+	// DiskLevelFanout bounds a leveled tier's per-level segment count;
+	// 0 selects the disk package default.
+	DiskLevelFanout int
 	// DiskMaxSegments bounds the number of disk segments via automatic
 	// compaction after flushes; 0 selects a default, negative disables.
+	// Under the leveled layout only the sign matters (fanout governs).
 	DiskMaxSegments int
+	// FlushPipelineDepth bounds the flush pipeline queue: evicted
+	// batches whose segment build runs on a background worker instead
+	// of under the flush gate. 0 selects a default, negative disables
+	// the pipeline (every flush writes synchronously). SyncFlush also
+	// disables it.
+	FlushPipelineDepth int
 	// DiskCacheBytes bounds the disk tier's decoded-record read cache;
 	// 0 selects the tier default, negative disables caching.
 	DiskCacheBytes int64
@@ -139,6 +153,10 @@ type Engine[K comparable] struct {
 	// fsink wraps the tier as the policies' flush sink: bounded retry
 	// plus failed-batch capture for eviction rollback.
 	fsink *flushSink[K]
+	// pipe is the staged flush pipeline (nil when disabled): evicted
+	// batches build their segments on a background worker so ingestion
+	// overlaps segment I/O.
+	pipe *flushPipeline[K]
 	// degraded is the read-only mode entered when tier writes fail
 	// persistently; degradedReason holds the entering error's message.
 	degraded       atomic.Bool
@@ -183,20 +201,41 @@ func New[K comparable](cfg Config[K]) (*Engine[K], error) {
 	if maxSegs == 0 {
 		maxSegs = 48
 	}
+	layoutName := cfg.DiskLayout
+	if layoutName == "" {
+		layoutName = "leveled"
+	}
+	layout, err := disk.ParseLayout(layoutName)
+	if err != nil {
+		return nil, err
+	}
 	tier, err := disk.Open(disk.Config[K]{
-		Dir:               cfg.DiskDir,
-		KeysOf:            cfg.KeysOf,
-		Encode:            cfg.EncodeKey,
-		MaxSegments:       maxSegs,
-		CacheBytes:        cfg.DiskCacheBytes,
-		SearchParallelism: cfg.DiskSearchParallelism,
-		Retry:             cfg.DiskRetry,
+		Dir:    cfg.DiskDir,
+		KeysOf: cfg.KeysOf,
+		Encode: cfg.EncodeKey,
+		Layout: layout,
+		// Deterministic modes (SyncFlush) compact inline on the flushing
+		// goroutine; otherwise a leveled tier compacts in the background.
+		BackgroundCompaction: layout == disk.LayoutLeveled && !cfg.SyncFlush,
+		LevelFanout:          cfg.DiskLevelFanout,
+		MaxSegments:          maxSegs,
+		CacheBytes:           cfg.DiskCacheBytes,
+		SearchParallelism:    cfg.DiskSearchParallelism,
+		Retry:                cfg.DiskRetry,
 	})
 	if err != nil {
 		return nil, err
 	}
 	e.tier = tier
 	e.fsink = &flushSink[K]{tier: tier, retry: cfg.DiskRetry}
+	if !cfg.SyncFlush && cfg.FlushPipelineDepth >= 0 {
+		depth := cfg.FlushPipelineDepth
+		if depth == 0 {
+			depth = defaultPipelineDepth
+		}
+		e.pipe = newFlushPipeline(e, depth)
+		e.fsink.pipe = e.pipe
+	}
 	e.pol = cfg.Policy
 	e.pol.Attach(&policy.Resources[K]{
 		Index:   e.idx,
@@ -402,16 +441,39 @@ func (e *Engine[K]) flushCycle(trigger string) (int64, error) {
 	start := time.Now()
 	target := int64(e.cfg.FlushFraction * float64(e.cfg.MemoryBudget))
 	e.journal.Begin(e.pol.Name(), trigger, target, e.mem.Used(), start)
+	// Only budget-triggered background cycles may enqueue their batch to
+	// the pipeline: manual, recovery and degraded-probe cycles stay
+	// fully synchronous so their outcome is determined when they return.
+	e.fsink.beginCycle(trigger == flushlog.TriggerBudget)
 	var freed int64
 	err := failpoint.Eval(failpoint.FlushBegin)
 	if err == nil {
 		freed, err = e.pol.Flush(target)
 	}
+	prepare := time.Since(start)
 	if err != nil {
 		// Atomic flush semantics: whatever the cycle evicted but could
 		// not durably persist goes back into memory before anyone can
 		// observe the gap, then the engine stops accepting writes.
+		releaseStart := time.Now()
 		e.restoreEvicted(e.fsink.takeFailed())
+		release := time.Since(releaseStart)
+		e.reg.ObserveStage(metrics.StageRelease, release)
+		e.journal.Stage("release", release.Nanoseconds())
+	}
+	// Stage accounting: the prepare stage is the gate-held policy run
+	// minus the time the sink spent writing synchronously (enqueued
+	// batches report their build/install on the pipeline event instead).
+	build, install, write := e.fsink.cycleStats()
+	if p := prepare.Nanoseconds() - write; p > 0 {
+		e.reg.ObserveStage(metrics.StagePrepare, time.Duration(p))
+		e.journal.Stage("prepare", p)
+	}
+	if build > 0 {
+		e.reg.ObserveStage(metrics.StageBuild, time.Duration(build))
+		e.reg.ObserveStage(metrics.StageInstall, time.Duration(install))
+		e.journal.Stage("build", build)
+		e.journal.Stage("install", install)
 	}
 	d := time.Since(start)
 	e.reg.Flushes.Add(1)
@@ -682,6 +744,48 @@ func (e *Engine[K]) CheckReady() error {
 // Policy exposes the attached flushing policy.
 func (e *Engine[K]) Policy() policy.Policy[K] { return e.pol }
 
+// DiskHealth is a cheap point-in-time view of the disk tier's leveled
+// layout and the flush pipeline: enough for a readiness endpoint to
+// show a wedged compactor (persistent backlog) or a saturated pipeline
+// without paying for a full Stats census.
+type DiskHealth struct {
+	Layout            string            `json:"layout"`
+	Levels            []disk.LevelStats `json:"levels"`
+	CompactionBacklog int               `json:"compaction_backlog"`
+	PipelineDepth     int               `json:"pipeline_depth"`
+}
+
+// DiskHealth summarizes the disk tier's levels and the flush pipeline
+// queue. Unlike Stats it takes no index census, so it is safe on probe
+// paths.
+func (e *Engine[K]) DiskHealth() DiskHealth {
+	return DiskHealth{
+		Layout:            e.tier.Layout().String(),
+		Levels:            e.tier.Levels(),
+		CompactionBacklog: e.tier.CompactionBacklog(),
+		PipelineDepth:     e.pipe.depth(),
+	}
+}
+
+// CompactNow runs leveled compaction passes until no level exceeds its
+// fanout (one bounded merge pass under the flat layout). Searches stay
+// answerable throughout; answers are unchanged.
+func (e *Engine[K]) CompactNow() error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	return e.tier.CompactNow()
+}
+
+// CompactAll merges every disk segment into a single one, regardless of
+// layout. Intended for maintenance windows and tests.
+func (e *Engine[K]) CompactAll() error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	return e.tier.CompactAll()
+}
+
 // Err returns the most recent background flush error, if any.
 func (e *Engine[K]) Err() error {
 	if v := e.lastError.Load(); v != nil {
@@ -730,16 +834,27 @@ func (e *Engine[K]) Stats() Stats {
 	}
 }
 
-// Close drains in-flight flushing, snapshots memory contents to the
-// write-ahead log (when enabled) so the next open recovers instantly,
-// and releases the disk tier.
+// Close drains in-flight flushing and the flush pipeline, snapshots
+// memory contents to the write-ahead log (when enabled) so the next
+// open recovers instantly, and releases the disk tier.
 func (e *Engine[K]) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	// Drain any in-flight background flush: the gate is held for the
-	// rest of shutdown, so a straggling flush can neither start after
-	// the snapshot is cut nor write to the closing disk tier.
+	// Drain any in-flight background flush first (closed is set, so no
+	// new cycle can start once the gate is observed free), then drain
+	// the pipeline WITHOUT holding the gate — completions take it for
+	// rollback and journal writes. Queued batches are out of memory, so
+	// they must reach the tier (or be restored) before the snapshot
+	// below is cut; otherwise the snapshot would be their only grave.
+	e.flushMu.Lock()
+	e.flushMu.Unlock() //nolint:staticcheck // empty critical section = drain
+	if e.pipe != nil {
+		e.pipe.close()
+	}
+	// The gate is held for the rest of shutdown, so a straggling flush
+	// can neither start after the snapshot is cut nor write to the
+	// closing disk tier.
 	e.flushMu.Lock()
 	defer e.flushMu.Unlock()
 	var firstErr error

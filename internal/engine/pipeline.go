@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kflushing/internal/disk"
+	"kflushing/internal/flushlog"
+	"kflushing/internal/metrics"
+)
+
+// flushPipeline decouples a flush cycle's prepare stage (victim
+// selection and eviction, which must run under the flush gate) from its
+// build and install stages (segment encode, staged write, rename,
+// manifest commit — all pure I/O): a budget-triggered cycle enqueues
+// its evicted batch here and returns, releasing the gate, so ingestion
+// and the NEXT cycle's prepare overlap the previous cycle's segment
+// build instead of serializing behind it.
+//
+// Safety model: an enqueued batch is out of memory but not yet on disk.
+// It is still fully covered by the write-ahead log (the log is trimmed
+// only by the clean-shutdown snapshot), so a crash with batches queued
+// loses nothing — recovery replays them back into memory. A build or
+// install FAILURE rolls the eviction back via restoreEvicted and puts
+// the engine in degraded read-only mode, exactly like a synchronous
+// flush failure. Close drains the queue before the shutdown snapshot is
+// cut, so queued batches always reach the tier or memory, never the
+// void.
+//
+// The queue is bounded; when it is full the flush sink falls back to
+// the synchronous write path (counted in PipelineFallbacks), so eviction
+// can never outrun the disk by more than depth batches.
+type flushPipeline[K comparable] struct {
+	e      *Engine[K]
+	ch     chan []disk.FlushRecord
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// defaultPipelineDepth bounds the queue when Config.FlushPipelineDepth
+// is zero: deep enough to absorb a flush burst, shallow enough that at
+// most a few batches sit outside both memory and disk.
+const defaultPipelineDepth = 4
+
+func newFlushPipeline[K comparable](e *Engine[K], depth int) *flushPipeline[K] {
+	p := &flushPipeline[K]{e: e, ch: make(chan []disk.FlushRecord, depth)}
+	p.wg.Add(1)
+	go p.worker()
+	return p
+}
+
+// tryEnqueue hands an evicted batch to the background builder without
+// blocking. False means the caller must write synchronously (queue
+// full, or the pipeline shut down). The batch slice is copied — the
+// policy may reuse its buffer the moment Flush returns.
+func (p *flushPipeline[K]) tryEnqueue(recs []disk.FlushRecord) bool {
+	if p.closed.Load() {
+		return false
+	}
+	batch := append([]disk.FlushRecord(nil), recs...)
+	select {
+	case p.ch <- batch:
+		p.e.reg.PipelineEnqueued.Add(1)
+		p.e.reg.PipelineDepth.Add(1)
+		return true
+	default:
+		p.e.reg.PipelineFallbacks.Add(1)
+		return false
+	}
+}
+
+// worker is the single build/install goroutine: batches complete in
+// enqueue order.
+func (p *flushPipeline[K]) worker() {
+	defer p.wg.Done()
+	for batch := range p.ch {
+		p.e.completeAsync(batch)
+		p.e.reg.PipelineDepth.Add(-1)
+	}
+}
+
+// close stops intake and drains every queued batch through the worker.
+// The caller must NOT hold flushMu: completions take it for rollback
+// and journal writes.
+func (p *flushPipeline[K]) close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.ch)
+	}
+	p.wg.Wait()
+}
+
+// depth reports the number of batches queued or building.
+func (p *flushPipeline[K]) depth() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.e.reg.PipelineDepth.Load())
+}
+
+// completeAsync runs the build, install, and release stages for one
+// pipelined batch. Success publishes the segment and journals a
+// "pipeline" event; failure rolls the eviction back into memory and
+// enters degraded mode — the same contract as a synchronous flush
+// failure, just later.
+func (e *Engine[K]) completeAsync(recs []disk.FlushRecord) {
+	start := time.Now()
+	fs, wrote, err := e.fsink.writeStaged(recs)
+	if fs.BuildNanos > 0 {
+		e.reg.ObserveStage(metrics.StageBuild, time.Duration(fs.BuildNanos))
+		e.reg.ObserveStage(metrics.StageInstall, time.Duration(fs.InstallNanos))
+	}
+
+	releaseStart := time.Now()
+	e.flushMu.Lock()
+	defer e.flushMu.Unlock()
+	e.journal.Begin(e.pol.Name(), flushlog.TriggerPipeline, 0, e.mem.Used(), start)
+	e.journal.Stage("build", fs.BuildNanos)
+	e.journal.Stage("install", fs.InstallNanos)
+	if err != nil && !wrote {
+		// The segment never became durable: the eviction must come back.
+		e.restoreEvicted(recs)
+	}
+	release := time.Since(releaseStart)
+	e.reg.ObserveStage(metrics.StageRelease, release)
+	e.journal.Stage("release", release.Nanoseconds())
+	e.journal.End(int64(fs.Bytes), e.mem.Used(), time.Since(start), err)
+	if err != nil {
+		_ = e.fsink.tookWrite() // reset the evidence bit; this batch failed
+		e.enterDegraded(err)
+		slog.Error("engine: pipelined flush install failed",
+			"records", len(recs), "restored", !wrote, "error", err)
+		return
+	}
+	if e.fsink.tookWrite() {
+		e.exitDegraded("pipeline install")
+	}
+}

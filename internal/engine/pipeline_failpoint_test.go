@@ -1,0 +1,148 @@
+//go:build failpoint
+
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"kflushing/internal/attr"
+	"kflushing/internal/clock"
+	"kflushing/internal/core"
+	"kflushing/internal/disk"
+	"kflushing/internal/failpoint"
+	"kflushing/internal/types"
+)
+
+// newPipelineFaultEngine builds a pipeline-enabled keyword engine with
+// the given retry policy, disarming every failpoint around the test.
+func newPipelineFaultEngine(t *testing.T, retry disk.RetryPolicy) *Engine[string] {
+	t.Helper()
+	failpoint.DisableAll()
+	t.Cleanup(failpoint.DisableAll)
+	eng, err := New(Config[string]{
+		K:                  5,
+		MemoryBudget:       1 << 30,
+		FlushFraction:      0.2,
+		KeysOf:             attr.KeywordKeys,
+		KeyHash:            attr.HashString,
+		KeyLen:             attr.KeywordLen,
+		EncodeKey:          attr.KeywordEncode,
+		Clock:              clock.NewLogical(1, 1),
+		DiskDir:            t.TempDir(),
+		DiskRetry:          retry,
+		Policy:             core.New[string](),
+		TrackOverK:         true,
+		FlushPipelineDepth: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = eng.Close() })
+	return eng
+}
+
+func waitDegraded(t *testing.T, e *Engine[string]) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if degraded, reason := e.Degraded(); degraded {
+			return reason
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("engine never entered degraded mode")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPipelineInstallFailureRestoresAndDegrades: when an enqueued
+// batch's build/install fails on the worker, the eviction must roll
+// back into memory (no record loss) and the engine must enter degraded
+// read-only mode — the synchronous failure contract, delivered late.
+func TestPipelineInstallFailureRestoresAndDegrades(t *testing.T) {
+	eng := newPipelineFaultEngine(t, disk.RetryPolicy{Attempts: 1})
+	mustEnable(t, failpoint.DiskSegmentWrite, "error")
+
+	eng.fsink.beginCycle(true)
+	batch := pipelineBatch(5000, 20)
+	if err := eng.fsink.Flush(batch); err != nil {
+		t.Fatalf("enqueue must succeed (the failure surfaces async): %v", err)
+	}
+	if reason := waitDegraded(t, eng); reason == "" {
+		t.Fatal("degraded with empty reason")
+	}
+	waitPipelineIdle(t, eng)
+
+	// Rollback: every record of the failed batch is back in memory and
+	// searchable; none reached the tier.
+	for _, fr := range batch {
+		if eng.store.Get(fr.MB.ID) == nil {
+			t.Fatalf("record %d not restored after async install failure", fr.MB.ID)
+		}
+	}
+	got := searchIDs(t, eng, "p", 100)
+	for _, fr := range batch {
+		if !got[fr.MB.ID] {
+			t.Fatalf("record %d unsearchable after rollback", fr.MB.ID)
+		}
+	}
+	if eng.Stats().Disk.Segments != 0 {
+		t.Fatal("failed install left a visible segment")
+	}
+	if _, err := eng.Ingest(&types.Microblog{Keywords: []string{"b"}, Text: "t"}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded ingest error = %v, want ErrDegraded", err)
+	}
+
+	// Fault clears: a readiness probe restores write service and a
+	// manual flush persists the restored records.
+	failpoint.Disable(failpoint.DiskSegmentWrite)
+	if err := eng.CheckReady(); err != nil {
+		t.Fatalf("CheckReady after fault cleared: %v", err)
+	}
+	if degraded, _ := eng.Degraded(); degraded {
+		t.Fatal("still degraded after successful readiness probe")
+	}
+	if _, err := eng.FlushNow(); err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+}
+
+// TestPipelineFailureAfterDurableWrite: a post-write fault fails the
+// batch AFTER its segment was durably renamed. The engine must degrade
+// but must NOT roll the eviction back — restoring records whose segment
+// is live would answer them twice.
+func TestPipelineFailureAfterDurableWrite(t *testing.T) {
+	eng := newPipelineFaultEngine(t, disk.RetryPolicy{})
+	mustEnable(t, failpoint.FlushAfterWrite, "error(1)")
+
+	eng.fsink.beginCycle(true)
+	batch := pipelineBatch(6000, 12)
+	if err := eng.fsink.Flush(batch); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	waitDegraded(t, eng)
+	waitPipelineIdle(t, eng)
+
+	// No rollback: memory stays empty of the batch, the segment answers.
+	for _, fr := range batch {
+		if eng.store.Get(fr.MB.ID) != nil {
+			t.Fatalf("record %d restored despite durable segment (would duplicate)", fr.MB.ID)
+		}
+	}
+	got := searchIDs(t, eng, "p", 100)
+	if len(got) != len(batch) {
+		t.Fatalf("disk answers %d of %d records after post-write fault", len(got), len(batch))
+	}
+	if eng.Stats().Disk.Segments == 0 {
+		t.Fatal("durable segment not visible")
+	}
+
+	if err := eng.CheckReady(); err != nil {
+		t.Fatalf("CheckReady after one-shot fault: %v", err)
+	}
+	if degraded, _ := eng.Degraded(); degraded {
+		t.Fatal("still degraded after successful readiness probe")
+	}
+}

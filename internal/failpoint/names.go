@@ -56,6 +56,15 @@ const (
 	DiskCompactRename      = "disk/compact/rename"       // merged file written, rename not yet done
 	DiskCompactRemove      = "disk/compact/remove"       // merged file live, inputs not yet deleted
 
+	// Leveled-tier sites (internal/disk): the manifest commit protocol
+	// and the points where a segment is live on disk but not yet
+	// referenced by a committed manifest.
+	DiskManifestWrite  = "disk/manifest/write"  // writing the manifest temp file (torn-write capable)
+	DiskManifestSync   = "disk/manifest/sync"   // syncing the manifest temp file
+	DiskManifestRename = "disk/manifest/rename" // temp manifest durable, rename not yet done
+	DiskLevelInstall   = "disk/level/install"   // flushed segment renamed live, manifest not yet committed
+	DiskCompactInstall = "disk/compact/install" // merged output renamed live, manifest not yet committed
+
 	// Flush-cycle sites (internal/engine, internal/core, internal/policy).
 	FlushBegin       = "flush/begin"        // flush cycle entered, nothing evicted yet
 	FlushAfterPhase1 = "flush/after-phase1" // kFlushing Phase 1 done, Phase 2 not started
@@ -82,6 +91,8 @@ func CrashSites() []string {
 		DiskSegmentCreate, DiskSegmentWrite, DiskSegmentDirWrite,
 		DiskSegmentSync, DiskSegmentRename, DiskSegmentAfterRename,
 		DiskCompactRename, DiskCompactRemove,
+		DiskManifestWrite, DiskManifestSync, DiskManifestRename,
+		DiskLevelInstall, DiskCompactInstall,
 		FlushBegin, FlushAfterPhase1, FlushAfterPhase2,
 		FlushAfterEvict, FlushAfterWrite,
 		RecoverReplayRecord, RecoverAfterReplay,

@@ -47,6 +47,10 @@ const (
 	// TriggerDegradedClear marks the engine leaving degraded mode after
 	// a successful tier write or readiness probe.
 	TriggerDegradedClear = "degraded-clear"
+	// TriggerPipeline marks the asynchronous completion (build + install
+	// + release) of a batch a budget-triggered cycle enqueued on the
+	// flush pipeline; the prepare half is the enqueueing cycle's event.
+	TriggerPipeline = "pipeline"
 )
 
 // PhaseEvent describes one phase of a flush cycle. kFlushing records
@@ -99,6 +103,19 @@ type Event struct {
 	Err string `json:"error,omitempty"`
 	// Phases are the executed phases in order.
 	Phases []PhaseEvent `json:"phases"`
+	// Stages are the cycle's pipeline stage timings (prepare, build,
+	// install, release) where they ran within this event; a cycle that
+	// enqueued its batch records only prepare here, the rest appears on
+	// the matching "pipeline" event.
+	Stages []StageEvent `json:"stages,omitempty"`
+}
+
+// StageEvent is one pipeline stage timing within an Event.
+type StageEvent struct {
+	// Name is the stage ("prepare", "build", "install", "release").
+	Name string `json:"name"`
+	// Nanos is the stage duration.
+	Nanos int64 `json:"nanos"`
 }
 
 // Journal is the ring. The zero value is not usable; use New. A nil
@@ -146,6 +163,17 @@ func (j *Journal) Phase(pe PhaseEvent) {
 	}
 	if ev := j.cur.Load(); ev != nil {
 		ev.Phases = append(ev.Phases, pe)
+	}
+}
+
+// Stage appends one pipeline stage timing to the open cycle. Nil-safe;
+// a Stage with no open cycle is dropped.
+func (j *Journal) Stage(name string, nanos int64) {
+	if j == nil {
+		return
+	}
+	if ev := j.cur.Load(); ev != nil {
+		ev.Stages = append(ev.Stages, StageEvent{Name: name, Nanos: nanos})
 	}
 }
 

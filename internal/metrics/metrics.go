@@ -107,6 +107,25 @@ func (h *Histogram) Snap() HistogramSnapshot {
 // the paper maps to index i-1.
 const FlushPhases = 3
 
+// FlushStages is the number of pipeline stages a flush passes through:
+// prepare (victim selection + eviction under the flush gate), build
+// (segment encode + staged write + fsync, off the gate), install
+// (atomic rename + manifest commit + level append), release (completion
+// bookkeeping, or eviction rollback on failure).
+const FlushStages = 4
+
+// Stage indices for ObserveStage.
+const (
+	StagePrepare = iota
+	StageBuild
+	StageInstall
+	StageRelease
+)
+
+// StageNames labels the pipeline stages, index-aligned with the Stage*
+// constants and the StageLatency histograms.
+var StageNames = [FlushStages]string{"prepare", "build", "install", "release"}
+
 // Registry aggregates one engine's counters. All methods are safe for
 // concurrent use.
 type Registry struct {
@@ -143,6 +162,20 @@ type Registry struct {
 	PhaseLatency [FlushPhases]Histogram
 	PhaseFreed   [FlushPhases]atomic.Int64
 
+	// StageLatency breaks a flush down by pipeline stage (index = the
+	// Stage* constants): prepare runs under the flush gate, build and
+	// install on the tier, release on completion.
+	StageLatency [FlushStages]Histogram
+
+	// Flush pipeline activity: PipelineDepth is the current number of
+	// evicted batches queued or building (a gauge); PipelineEnqueued
+	// counts batches handed to the background builder; PipelineFallbacks
+	// counts batches written synchronously because the queue was full
+	// (or the pipeline disabled mid-flight).
+	PipelineDepth     atomic.Int64
+	PipelineEnqueued  atomic.Int64
+	PipelineFallbacks atomic.Int64
+
 	HitLatency  Histogram
 	MissLatency Histogram
 }
@@ -156,6 +189,15 @@ func (r *Registry) ObservePhase(phase int, d time.Duration, freed int64) {
 	}
 	r.PhaseLatency[phase-1].Observe(d)
 	r.PhaseFreed[phase-1].Add(freed)
+}
+
+// ObserveStage records one flush pipeline stage execution. stage is one
+// of the Stage* constants; out-of-range stages are ignored.
+func (r *Registry) ObserveStage(stage int, d time.Duration) {
+	if stage < 0 || stage >= FlushStages {
+		return
+	}
+	r.StageLatency[stage].Observe(d)
 }
 
 // HitRatio returns the fraction of queries answered entirely from
@@ -236,11 +278,19 @@ type Snapshot struct {
 	P99Flush              time.Duration
 	// Phases breaks flushing down by kFlushing phase (index = phase-1);
 	// all-zero under FIFO and LRU, which have no phases.
-	Phases   [FlushPhases]PhaseSnapshot
-	MeanHit  time.Duration
-	MeanMiss time.Duration
-	P99Hit   time.Duration
-	P99Miss  time.Duration
+	Phases [FlushPhases]PhaseSnapshot
+	// Stages breaks flushing down by pipeline stage (index = the Stage*
+	// constants; names in StageNames).
+	Stages [FlushStages]PhaseSnapshot
+	// Pipeline activity: current queue depth, total batches built in the
+	// background, total synchronous fallbacks.
+	PipelineDepth     int64
+	PipelineEnqueued  int64
+	PipelineFallbacks int64
+	MeanHit           time.Duration
+	MeanMiss          time.Duration
+	P99Hit            time.Duration
+	P99Miss           time.Duration
 
 	// Full latency distributions for the Prometheus histogram series
 	// (_bucket/_sum/_count); excluded from /stats JSON, where the
@@ -288,5 +338,16 @@ func (r *Registry) Snap() Snapshot {
 			Hist:       r.PhaseLatency[i].Snap(),
 		}
 	}
+	for i := range s.Stages {
+		s.Stages[i] = PhaseSnapshot{
+			Runs: r.StageLatency[i].Count(),
+			Mean: r.StageLatency[i].Mean(),
+			P99:  r.StageLatency[i].Quantile(0.99),
+			Hist: r.StageLatency[i].Snap(),
+		}
+	}
+	s.PipelineDepth = r.PipelineDepth.Load()
+	s.PipelineEnqueued = r.PipelineEnqueued.Load()
+	s.PipelineFallbacks = r.PipelineFallbacks.Load()
 	return s
 }

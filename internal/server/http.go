@@ -34,7 +34,9 @@ type HandlerOptions struct {
 //	GET  /metrics               Prometheus text exposition
 //	GET  /debug/flushlog        flush audit journal (JSON)
 //	GET  /healthz               liveness probe
-//	GET  /readyz                readiness probe (disk + WAL writable)
+//	GET  /readyz                readiness probe (disk + WAL writable,
+//	                            plus per-level disk health and flush
+//	                            pipeline queue depth)
 //
 // trace=1 attaches a per-query execution trace to the JSON response:
 // the memory probe per key and, on a miss, every disk segment consulted
@@ -325,15 +327,20 @@ func (s *Store) handleFlushLog(w http.ResponseWriter, r *http.Request) {
 // handleReady is the readiness probe: it verifies every attribute
 // system can actually write (disk tier dir writable, WAL appendable
 // when durable) and answers 503 with the failing attributes otherwise.
+// Both verdicts carry each attribute's disk health — per-level segment
+// counts, compaction backlog, and pipeline queue depth — so a wedged
+// compactor or saturated flush pipeline shows up in the probe body.
 func (s *Store) handleReady(w http.ResponseWriter, _ *http.Request) {
 	failures := s.Ready()
+	disk := s.DiskHealth()
 	if len(failures) == 0 {
-		writeJSON(w, map[string]any{"ready": true})
+		writeJSON(w, map[string]any{"ready": true, "disk": disk})
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusServiceUnavailable)
-	if err := json.NewEncoder(w).Encode(map[string]any{"ready": false, "reasons": failures}); err != nil {
+	body := map[string]any{"ready": false, "reasons": failures, "disk": disk}
+	if err := json.NewEncoder(w).Encode(body); err != nil {
 		slog.Error("server: encode readiness response", "err", err)
 	}
 }
@@ -383,6 +390,20 @@ func (s *Store) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(st kflushing.Stats) float64 { return float64(st.Metrics.IngestBatches) })
 	emit("disk_segments", "gauge", "live disk segments",
 		func(st kflushing.Stats) float64 { return float64(st.Disk.Segments) })
+	emit("disk_compactions_total", "counter", "segment merges completed",
+		func(st kflushing.Stats) float64 { return float64(st.Disk.Compactions) })
+	emit("disk_compaction_failures_total", "counter", "background compaction passes that failed",
+		func(st kflushing.Stats) float64 { return float64(st.Disk.CompactionFailures) })
+	emit("compaction_backlog", "gauge", "tier levels over their fanout awaiting compaction (persistently positive = wedged compactor)",
+		func(st kflushing.Stats) float64 { return float64(st.Disk.CompactionBacklog) })
+	emit("disk_retired_segments", "gauge", "compaction inputs superseded by a merged segment but not yet unlinked",
+		func(st kflushing.Stats) float64 { return float64(st.Disk.PendingRetired) })
+	emit("flush_pipeline_depth", "gauge", "evicted batches queued or building in the staged flush pipeline",
+		func(st kflushing.Stats) float64 { return float64(st.Metrics.PipelineDepth) })
+	emit("flush_pipeline_enqueued_total", "counter", "evicted batches handed to the background flush builder",
+		func(st kflushing.Stats) float64 { return float64(st.Metrics.PipelineEnqueued) })
+	emit("flush_pipeline_fallbacks_total", "counter", "evicted batches written synchronously because the pipeline queue was full",
+		func(st kflushing.Stats) float64 { return float64(st.Metrics.PipelineFallbacks) })
 	emit("disk_record_reads_total", "counter", "record preads served by the disk tier",
 		func(st kflushing.Stats) float64 { return float64(st.Disk.RecordReads) })
 	emit("disk_searches_total", "counter", "disk searches actually executed on memory misses",
@@ -410,6 +431,25 @@ func (s *Store) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			}
 			return 0
 		})
+
+	// Per-level occupancy of the leveled disk tier (flat tiers report a
+	// single level 0), one series per populated level.
+	emitLevel := func(name, help string, value func(kflushing.LevelStats) float64) {
+		fmt.Fprintf(w, "# HELP kflushing_%s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE kflushing_%s gauge\n", name)
+		for _, a := range attrs {
+			for _, lv := range stats[a].Disk.Levels {
+				fmt.Fprintf(w, "kflushing_%s{attr=%q,policy=%q,level=\"%d\"} %g\n",
+					name, a, stats[a].Policy, lv.Level, value(lv))
+			}
+		}
+	}
+	emitLevel("disk_level_segments", "live segments per tier level",
+		func(lv kflushing.LevelStats) float64 { return float64(lv.Segments) })
+	emitLevel("disk_level_bytes", "bytes per tier level",
+		func(lv kflushing.LevelStats) float64 { return float64(lv.Bytes) })
+	emitLevel("disk_level_records", "records per tier level",
+		func(lv kflushing.LevelStats) float64 { return float64(lv.Records) })
 
 	// Latency distributions as real cumulative histograms. The engine's
 	// power-of-two buckets become `le` edges of 2^(i+1) ns in seconds.
@@ -448,6 +488,17 @@ func (s *Store) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		for p := 0; p < len(stats[a].Metrics.Phases); p++ {
 			labels := fmt.Sprintf("attr=%q,policy=%q,phase=\"%d\"", a, stats[a].Policy, p+1)
 			writeHistSeries(w, "flush_phase_duration_seconds", labels, stats[a].Metrics.Phases[p].Hist)
+		}
+	}
+
+	// Per-stage breakdown of the flush pipeline (prepare under the gate,
+	// build/install off it, release on completion).
+	fmt.Fprintf(w, "# HELP kflushing_flush_stage_duration_seconds duration of each flush pipeline stage\n")
+	fmt.Fprintf(w, "# TYPE kflushing_flush_stage_duration_seconds histogram\n")
+	for _, a := range attrs {
+		for i, stage := range metrics.StageNames {
+			labels := fmt.Sprintf("attr=%q,policy=%q,stage=%q", a, stats[a].Policy, stage)
+			writeHistSeries(w, "flush_stage_duration_seconds", labels, stats[a].Metrics.Stages[i].Hist)
 		}
 	}
 

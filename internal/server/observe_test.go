@@ -50,6 +50,21 @@ func TestMetricsExpositionLints(t *testing.T) {
 		"# TYPE kflushing_flushes_total counter",
 		"kflushing_goroutines ",
 		"kflushing_heap_alloc_bytes ",
+		// Leveled-tier and pipeline observability (PR 6): a wedged
+		// compactor or saturated flush pipeline must be visible here.
+		"# TYPE kflushing_compaction_backlog gauge",
+		`kflushing_compaction_backlog{attr="keyword"`,
+		"# TYPE kflushing_disk_compactions_total counter",
+		"# TYPE kflushing_disk_compaction_failures_total counter",
+		"# TYPE kflushing_disk_level_segments gauge",
+		`kflushing_disk_level_segments{attr="keyword",policy="kflushing",level="0"}`,
+		"# TYPE kflushing_disk_level_bytes gauge",
+		"# TYPE kflushing_disk_level_records gauge",
+		"# TYPE kflushing_flush_pipeline_depth gauge",
+		"# TYPE kflushing_flush_pipeline_enqueued_total counter",
+		"# TYPE kflushing_flush_pipeline_fallbacks_total counter",
+		"# TYPE kflushing_flush_stage_duration_seconds histogram",
+		`kflushing_flush_stage_duration_seconds_bucket{attr="keyword",policy="kflushing",stage="build"`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q", want)
@@ -198,10 +213,25 @@ func TestReadyz(t *testing.T) {
 		t.Fatalf("healthy store not ready: %d %s", rw.Code, rw.Body)
 	}
 	var ok struct {
-		Ready bool `json:"ready"`
+		Ready bool                            `json:"ready"`
+		Disk  map[string]kflushing.DiskHealth `json:"disk"`
 	}
 	if err := json.Unmarshal(rw.Body.Bytes(), &ok); err != nil || !ok.Ready {
 		t.Fatalf("ready body: %s (err=%v)", rw.Body, err)
+	}
+	// The probe body carries disk health per attribute: layout, level
+	// occupancy, compaction backlog, and pipeline queue depth.
+	for _, attr := range []string{"keyword", "spatial", "user"} {
+		h, found := ok.Disk[attr]
+		if !found {
+			t.Fatalf("readyz disk health missing attribute %q: %s", attr, rw.Body)
+		}
+		if h.Layout != "leveled" {
+			t.Fatalf("%s layout = %q, want leveled (the default)", attr, h.Layout)
+		}
+		if h.CompactionBacklog != 0 || h.PipelineDepth != 0 {
+			t.Fatalf("%s idle store reports backlog=%d depth=%d", attr, h.CompactionBacklog, h.PipelineDepth)
+		}
 	}
 
 	// A closed store can no longer append to its WAL or write its tier.

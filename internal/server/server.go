@@ -231,6 +231,18 @@ func (s *Store) Ready() map[string]string {
 	return out
 }
 
+// DiskHealth reports each attribute system's disk tier levels and flush
+// pipeline queue depth — cheap enough for the readiness endpoint, where
+// a persistently positive compaction backlog or a pinned queue depth
+// makes a wedged compactor or saturated pipeline visible.
+func (s *Store) DiskHealth() map[string]kflushing.DiskHealth {
+	return map[string]kflushing.DiskHealth{
+		"keyword": s.kw.DiskHealth(),
+		"spatial": s.sp.DiskHealth(),
+		"user":    s.us.DiskHealth(),
+	}
+}
+
 // SetK changes the default top-k threshold of all attribute systems.
 func (s *Store) SetK(k int) {
 	s.kw.SetK(k)

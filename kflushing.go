@@ -75,6 +75,11 @@ type (
 	// RetryPolicy bounds retries around transient disk errors; see
 	// Options.DiskRetry.
 	RetryPolicy = disk.RetryPolicy
+	// DiskHealth is a cheap probe-path view of the disk tier's levels
+	// and the flush pipeline queue; see the DiskHealth system methods.
+	DiskHealth = engine.DiskHealth
+	// LevelStats summarizes one level of a leveled disk tier.
+	LevelStats = disk.LevelStats
 )
 
 // ErrDegraded reports the system is in degraded read-only mode: a flush
@@ -152,9 +157,25 @@ type Options struct {
 	// SyncFlush runs flushes inline with ingestion, for deterministic
 	// tests and experiments (default: background flushing thread).
 	SyncFlush bool
+	// DiskLayout selects the disk tier organization: "leveled" (the
+	// default, also selected by "") keeps segments in size-tiered levels
+	// under a manifest so memory-miss cost grows logarithmically;
+	// "flat" is the original single segment list.
+	DiskLayout string
+	// DiskLevelFanout bounds a leveled tier's per-level segment count
+	// before the level merges into the next (0 selects the default of 4).
+	DiskLevelFanout int
 	// DiskMaxSegments bounds the number of disk segments via automatic
-	// compaction (0 selects the default of 48; negative disables).
+	// compaction (0 selects the default of 48; negative disables). Under
+	// the leveled layout only the sign matters: fanout governs when
+	// compaction runs.
 	DiskMaxSegments int
+	// FlushPipelineDepth bounds the staged flush pipeline: evicted
+	// batches whose segment build runs on a background worker so
+	// ingestion overlaps segment I/O (0 selects the default of 4;
+	// negative disables — every flush then writes synchronously).
+	// SyncFlush also disables the pipeline.
+	FlushPipelineDepth int
 	// DiskCacheBytes bounds the disk tier's decoded-record read cache,
 	// which spares hot memory-missing keys repeated file reads (0
 	// selects the default of 8 MiB; negative disables).
@@ -262,7 +283,10 @@ func Open(dir string, opt Options) (*System, error) {
 		Ranker:                opt.Ranker,
 		Clock:                 opt.Clock,
 		DiskDir:               dir,
+		DiskLayout:            opt.DiskLayout,
+		DiskLevelFanout:       opt.DiskLevelFanout,
 		DiskMaxSegments:       opt.DiskMaxSegments,
+		FlushPipelineDepth:    opt.FlushPipelineDepth,
 		DiskCacheBytes:        opt.DiskCacheBytes,
 		DiskSearchParallelism: opt.DiskSearchParallelism,
 		DiskRetry:             opt.DiskRetry,
@@ -322,6 +346,14 @@ func (s *System) SetK(k int) { s.eng.SetK(k) }
 // FlushNow forces one flush cycle, returning the bytes freed.
 func (s *System) FlushNow() (int64, error) { return s.eng.FlushNow() }
 
+// CompactNow runs leveled compaction passes until no disk level exceeds
+// its fanout. Answers are unchanged throughout.
+func (s *System) CompactNow() error { return s.eng.CompactNow() }
+
+// CompactAll merges every disk segment into one. Intended for
+// maintenance windows; answers are unchanged.
+func (s *System) CompactAll() error { return s.eng.CompactAll() }
+
 // Stats returns a snapshot of gauges, counters, and the index census.
 func (s *System) Stats() Stats { return s.eng.Stats() }
 
@@ -332,6 +364,10 @@ func (s *System) Err() error { return s.eng.Err() }
 // is writable and, when durability is on, the write-ahead log accepts
 // appends. It is the backing check of the server's /readyz endpoint.
 func (s *System) Ready() error { return s.eng.CheckReady() }
+
+// DiskHealth reports the disk tier's per-level layout and the flush
+// pipeline queue depth without the cost of a full Stats census.
+func (s *System) DiskHealth() DiskHealth { return s.eng.DiskHealth() }
 
 // Close drains background work and releases the disk tier.
 func (s *System) Close() error { return s.eng.Close() }

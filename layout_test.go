@@ -1,0 +1,191 @@
+package kflushing_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"kflushing"
+)
+
+// TestLayoutEquivalence runs one seeded mixed workload through three
+// systems that differ only in how the disk tier is organized — the
+// original flat segment list, the leveled layout, and the leveled
+// layout with the asynchronous flush pipeline — and requires
+// byte-identical top-k answers (IDs and scores) for every query shape.
+// kFlushing is an exact policy: answers equal memory ∪ disk no matter
+// when flushes, compactions, or pipeline installs happen, so the layout
+// must be invisible to queries.
+func TestLayoutEquivalence(t *testing.T) {
+	base := kflushing.Options{
+		Policy:       kflushing.PolicyKFlushing,
+		K:            4,
+		MemoryBudget: 48 << 10,
+		SyncFlush:    true,
+	}
+	flatOpt := base
+	flatOpt.DiskLayout = "flat"
+	levOpt := base
+	levOpt.DiskLayout = "leveled"
+	levOpt.DiskLevelFanout = 3
+	pipeOpt := base
+	pipeOpt.DiskLayout = "leveled"
+	pipeOpt.SyncFlush = false
+	pipeOpt.FlushPipelineDepth = 4
+
+	flat, err := kflushing.Open(t.TempDir(), flatOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flat.Close()
+	leveled, err := kflushing.Open(t.TempDir(), levOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leveled.Close()
+	piped, err := kflushing.Open(t.TempDir(), pipeOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer piped.Close()
+	systems := []struct {
+		name string
+		sys  *kflushing.System
+	}{{"flat", flat}, {"leveled", leveled}, {"pipelined", piped}}
+
+	rng := rand.New(rand.NewSource(20160516)) // the paper's conference date
+	const vocabSize = 30
+	kw := func(i int) string { return fmt.Sprintf("w%d", i) }
+	mkBatch := func(ts *int, n int) []*kflushing.Microblog {
+		batch := make([]*kflushing.Microblog, 0, n)
+		for j := 0; j < n; j++ {
+			*ts++
+			nk := rng.Intn(3) + 1
+			seen := map[string]bool{}
+			var kws []string
+			for len(kws) < nk {
+				w := kw(rng.Intn(vocabSize))
+				if !seen[w] {
+					seen[w] = true
+					kws = append(kws, w)
+				}
+			}
+			batch = append(batch, &kflushing.Microblog{
+				Timestamp: kflushing.Timestamp(*ts),
+				Keywords:  kws,
+				Text:      "t",
+			})
+		}
+		return batch
+	}
+	// drainPipeline waits for the asynchronous system's queued batches to
+	// install so a comparison sees its complete disk state.
+	drainPipeline := func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for piped.DiskHealth().PipelineDepth != 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("flush pipeline never drained")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	compare := func(round int) {
+		drainPipeline()
+		for q := 0; q < 60; q++ {
+			op := kflushing.Op(rng.Intn(3))
+			nKeys := 1
+			if op != kflushing.OpSingle {
+				nKeys = rng.Intn(4) + 2
+			}
+			seen := map[string]bool{}
+			var keys []string
+			for len(keys) < nKeys {
+				w := kw(rng.Intn(vocabSize + 3)) // some keys never ingested
+				if !seen[w] {
+					seen[w] = true
+					keys = append(keys, w)
+				}
+			}
+			k := []int{1, 2, 4, 7, 20, 500}[rng.Intn(6)]
+			ref, err := flat.Search(keys, op, k)
+			if err != nil {
+				t.Fatalf("round %d: flat search %v %v k=%d: %v", round, keys, op, k, err)
+			}
+			for _, s := range systems[1:] {
+				got, err := s.sys.Search(keys, op, k)
+				if err != nil {
+					t.Fatalf("round %d: %s search %v %v k=%d: %v", round, s.name, keys, op, k, err)
+				}
+				if len(got.Items) != len(ref.Items) {
+					t.Fatalf("round %d: query %v %v k=%d: flat %d items, %s %d",
+						round, keys, op, k, len(ref.Items), s.name, len(got.Items))
+				}
+				for i := range ref.Items {
+					if got.Items[i].MB.ID != ref.Items[i].MB.ID || got.Items[i].Score != ref.Items[i].Score {
+						t.Fatalf("round %d: query %v %v k=%d rank %d: flat (id %d, %g), %s (id %d, %g)",
+							round, keys, op, k, i,
+							ref.Items[i].MB.ID, ref.Items[i].Score,
+							s.name, got.Items[i].MB.ID, got.Items[i].Score)
+					}
+				}
+			}
+		}
+	}
+
+	ts := 0
+	for round := 1; round <= 8; round++ {
+		for b := 0; b < 20; b++ {
+			batch := mkBatch(&ts, rng.Intn(12)+1)
+			for _, s := range systems {
+				clones := make([]*kflushing.Microblog, len(batch))
+				for i, mb := range batch {
+					clones[i] = mb.Clone()
+				}
+				ids, err := s.sys.IngestBatch(clones)
+				if err != nil {
+					t.Fatalf("round %d: %s ingest: %v", round, s.name, err)
+				}
+				for _, id := range ids {
+					if id == 0 {
+						t.Fatalf("round %d: %s skipped a keyword-bearing record", round, s.name)
+					}
+				}
+			}
+			// Flush all three at the same stream positions so the flat and
+			// leveled tiers see identical segment contents.
+			if b%5 == 4 {
+				for _, s := range systems {
+					if _, err := s.sys.FlushNow(); err != nil {
+						t.Fatalf("round %d: %s flush: %v", round, s.name, err)
+					}
+				}
+			}
+		}
+		// Compaction reshapes the leveled tiers mid-stream; answers must
+		// not move. Every other round squashes completely.
+		if err := leveled.CompactNow(); err != nil {
+			t.Fatalf("round %d: CompactNow: %v", round, err)
+		}
+		if round%2 == 0 {
+			if err := piped.CompactAll(); err != nil {
+				t.Fatalf("round %d: CompactAll: %v", round, err)
+			}
+		}
+		compare(round)
+	}
+
+	for _, s := range systems {
+		if s.sys.Stats().Disk.Segments == 0 {
+			t.Fatalf("%s: nothing flushed, equivalence vacuous", s.name)
+		}
+	}
+	// The layouts really did diverge structurally while agreeing on
+	// answers: the leveled system must report multiple levels by now.
+	if h := leveled.DiskHealth(); h.Layout != "leveled" || len(h.Levels) < 2 {
+		t.Fatalf("leveled system never built levels: %+v", h)
+	}
+	if h := flat.DiskHealth(); h.Layout != "flat" {
+		t.Fatalf("flat system layout = %q", h.Layout)
+	}
+}

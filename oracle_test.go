@@ -153,8 +153,9 @@ func TestEngineMatchesOracle(t *testing.T) {
 
 // TestRandomizedModelBased is a randomized model-based test: ~10k
 // seeded operations — batched ingests of random sizes, searches of every
-// shape, and forced flushes — interleaved in random order against the
-// flat in-memory model, for each flushing policy. The operation stream
+// shape, forced flushes, and leveled compactions (both single passes and
+// full squashes) — interleaved in random order against the flat
+// in-memory model, for each flushing policy. The operation stream
 // is fully determined by the seed, which is logged first so any failure
 // (every check also embeds it) replays exactly.
 func TestRandomizedModelBased(t *testing.T) {
@@ -215,11 +216,20 @@ func TestRandomizedModelBased(t *testing.T) {
 						}
 						orc.add(batch[j])
 					}
-				case r < 0.95: // search, checked against the model
+				case r < 0.92: // search, checked against the model
 					checkQuery(t, sys, orc, rng, kw, vocabSize, pol, 4)
-				default: // forced flush at a random point in the stream
+				case r < 0.96: // forced flush at a random point in the stream
 					if _, err := sys.FlushNow(); err != nil {
 						t.Fatalf("seed %d op %d: FlushNow: %v", seed, op, err)
+					}
+				case r < 0.99: // leveled compaction at a random point: answers
+					// must be unchanged by segment merging mid-stream.
+					if err := sys.CompactNow(); err != nil {
+						t.Fatalf("seed %d op %d: CompactNow: %v", seed, op, err)
+					}
+				default: // full compaction squashes every level into one segment
+					if err := sys.CompactAll(); err != nil {
+						t.Fatalf("seed %d op %d: CompactAll: %v", seed, op, err)
 					}
 				}
 			}

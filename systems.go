@@ -41,9 +41,13 @@ func OpenSpatial(dir string, grid *spatial.Grid, opt Options) (*SpatialSystem, e
 		Ranker:                opt.Ranker,
 		Clock:                 opt.Clock,
 		DiskDir:               dir,
+		DiskLayout:            opt.DiskLayout,
+		DiskLevelFanout:       opt.DiskLevelFanout,
 		DiskMaxSegments:       opt.DiskMaxSegments,
+		FlushPipelineDepth:    opt.FlushPipelineDepth,
 		DiskCacheBytes:        opt.DiskCacheBytes,
 		DiskSearchParallelism: opt.DiskSearchParallelism,
+		DiskRetry:             opt.DiskRetry,
 		WALDir:                walDir(dir, opt),
 		WALOptions:            walOptions(opt),
 		Policy:                pc.pol,
@@ -106,6 +110,10 @@ func (s *SpatialSystem) FlushLog(n int) []FlushEvent { return s.eng.Journal().La
 // Ready verifies the system can serve writes; see System.Ready.
 func (s *SpatialSystem) Ready() error { return s.eng.CheckReady() }
 
+// DiskHealth reports the disk tier's per-level layout and the flush
+// pipeline queue depth; see System.DiskHealth.
+func (s *SpatialSystem) DiskHealth() DiskHealth { return s.eng.DiskHealth() }
+
 // SetK changes the default top-k threshold at run time.
 func (s *SpatialSystem) SetK(k int) { s.eng.SetK(k) }
 
@@ -147,9 +155,13 @@ func OpenUser(dir string, opt Options) (*UserSystem, error) {
 		Ranker:                opt.Ranker,
 		Clock:                 opt.Clock,
 		DiskDir:               dir,
+		DiskLayout:            opt.DiskLayout,
+		DiskLevelFanout:       opt.DiskLevelFanout,
 		DiskMaxSegments:       opt.DiskMaxSegments,
+		FlushPipelineDepth:    opt.FlushPipelineDepth,
 		DiskCacheBytes:        opt.DiskCacheBytes,
 		DiskSearchParallelism: opt.DiskSearchParallelism,
+		DiskRetry:             opt.DiskRetry,
 		WALDir:                walDir(dir, opt),
 		WALOptions:            walOptions(opt),
 		Policy:                pc.pol,
@@ -189,6 +201,10 @@ func (s *UserSystem) FlushLog(n int) []FlushEvent { return s.eng.Journal().Last(
 
 // Ready verifies the system can serve writes; see System.Ready.
 func (s *UserSystem) Ready() error { return s.eng.CheckReady() }
+
+// DiskHealth reports the disk tier's per-level layout and the flush
+// pipeline queue depth; see System.DiskHealth.
+func (s *UserSystem) DiskHealth() DiskHealth { return s.eng.DiskHealth() }
 
 // SetK changes the default top-k threshold at run time.
 func (s *UserSystem) SetK(k int) { s.eng.SetK(k) }

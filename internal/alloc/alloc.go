@@ -1,0 +1,60 @@
+// Package alloc implements the pooled-allocation layer that keeps
+// sustained ingestion allocation-flat.
+//
+// The paper's premise is that main memory is the scarce resource in a
+// microblog store, yet a naive Go implementation spends it on garbage:
+// every posting-list growth allocates a fresh backing array, every
+// ingested microblog allocates a record wrapper, and flushing hands all
+// of it to the collector only for the very next ingest batch to
+// reallocate the same shapes. Earlybird's posting allocator (Asadi,
+// Lin & Busch: fixed-size posting blocks in geometric size classes drawn
+// from slab pools) is the classical fix; this package is that idea
+// adapted to the structures of this system:
+//
+//   - SlicePool: slab pools of slice backing arrays in geometric
+//     capacity classes (4, 16, 64, 256, 1024), recycling posting-list
+//     arrays across entry growth, trim shrink, and flush detach.
+//   - Recycler: an epoch-guarded free list of objects whose lifetime is
+//     ended explicitly (store records released once durably flushed);
+//     epoch pinning makes reuse safe against in-flight readers that
+//     still hold pointers copied out of the index.
+//
+// Everything is policy-gated: a nil pool or recycler behaves exactly
+// like the plain heap, so the engine can run either policy and the
+// bench harness can compare them (the AllocPolicy knob).
+package alloc
+
+import "fmt"
+
+// Policy selects how the engine allocates its hot-path structures.
+type Policy uint8
+
+const (
+	// PolicyPooled recycles posting arrays, record wrappers and ingest
+	// scratch through slab pools — the default.
+	PolicyPooled Policy = iota
+	// PolicyHeap allocates everything from the Go heap, the baseline
+	// the pooled policy is benchmarked against.
+	PolicyHeap
+)
+
+// String returns the option-level name of the policy.
+func (p Policy) String() string {
+	if p == PolicyHeap {
+		return "heap"
+	}
+	return "pooled"
+}
+
+// ParsePolicy maps an option string onto a Policy; the empty string
+// selects the pooled default.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "pooled":
+		return PolicyPooled, nil
+	case "heap":
+		return PolicyHeap, nil
+	default:
+		return PolicyPooled, fmt.Errorf("alloc: unknown policy %q (want \"heap\" or \"pooled\")", s)
+	}
+}

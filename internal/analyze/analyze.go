@@ -94,6 +94,8 @@ type Config struct {
 //	20 index.Index.overMu
 //	22 index.shard.mu
 //	30 index.Entry.mu
+//	35 alloc.SlicePool.mu (posting-array pool; taken under Entry.mu)
+//	36 alloc.Recycler.mu (record recycler; leaf)
 //	40 store.shard.mu
 //	50 policy.VictimBuffer.mu
 //	60 disk.Tier.flushMu
@@ -111,6 +113,8 @@ func DefaultConfig() Config {
 			"kflushing/internal/index.Index.overMu":     20,
 			"kflushing/internal/index.shard.mu":         22,
 			"kflushing/internal/index.Entry.mu":         30,
+			"kflushing/internal/alloc.SlicePool.mu":     35,
+			"kflushing/internal/alloc.Recycler.mu":      36,
 			"kflushing/internal/store.shard.mu":         40,
 			"kflushing/internal/policy.VictimBuffer.mu": 50,
 			"kflushing/internal/disk.Tier.flushMu":      60,
@@ -124,6 +128,8 @@ func DefaultConfig() Config {
 			"kflushing/internal/index.Index.overMu":    true,
 			"kflushing/internal/index.shard.mu":        true,
 			"kflushing/internal/index.Entry.mu":        true,
+			"kflushing/internal/alloc.SlicePool.mu":    true,
+			"kflushing/internal/alloc.Recycler.mu":     true,
 			"kflushing/internal/store.shard.mu":        true,
 			"kflushing/internal/engine.flightGroup.mu": true,
 		},

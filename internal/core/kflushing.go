@@ -300,6 +300,7 @@ func (f *KFlushing[K]) trimEntries(entries []*index.Entry[K], k int, keep func(*
 			// next Phase 1 re-examines it.
 			f.r.Index.ReRegisterOverK(e)
 		}
+		f.r.Index.RecyclePostings(removed)
 	}
 	return freed
 }
@@ -401,6 +402,7 @@ func (f *KFlushing[K]) evictEntry(e *index.Entry[K], keep func(*store.Record) bo
 			buf.AddPartial(rec)
 		}
 	}
+	f.r.Index.RecyclePostings(removed)
 	return freed
 }
 

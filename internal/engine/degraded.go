@@ -34,6 +34,9 @@ type flushSink[K comparable] struct {
 	tier  *disk.Tier[K]
 	retry disk.RetryPolicy
 	pipe  *flushPipeline[K] // nil = always synchronous
+	// releaseDead hands durably-flushed dead records to the engine's
+	// recycler; nil under the heap alloc policy (wrappers drop to GC).
+	releaseDead func([]*store.Record)
 
 	mu     sync.Mutex
 	failed []disk.FlushRecord
@@ -66,6 +69,21 @@ func (s *flushSink[K]) cycleStats() (build, install, write int64) {
 }
 
 func (s *flushSink[K]) Flush(recs []disk.FlushRecord) error {
+	return s.FlushDead(recs, nil)
+}
+
+// FlushDead implements policy.DeadSink: the flush batch plus the cycle's
+// dead records. The dead wrappers are recycled only once the segment is
+// durably installed; any failure drops them to the garbage collector
+// instead, which is always safe (a rolled-back eviction re-creates
+// fresh wrappers, never resurrects these).
+func (s *flushSink[K]) FlushDead(recs []disk.FlushRecord, dead []*store.Record) error {
+	if len(recs) == 0 {
+		// Nothing to write: every dead record's payload already rode an
+		// earlier durable batch, so the wrappers are recyclable as-is.
+		s.release(dead)
+		return nil
+	}
 	if err := failpoint.Eval(failpoint.FlushAfterEvict); err != nil {
 		s.stash(recs)
 		return err
@@ -73,7 +91,7 @@ func (s *flushSink[K]) Flush(recs []disk.FlushRecord) error {
 	s.mu.Lock()
 	async := s.async
 	s.mu.Unlock()
-	if async && s.pipe.tryEnqueue(recs) {
+	if async && s.pipe.tryEnqueue(recs, dead) {
 		// The batch is WAL-covered and queued; build/install/release run
 		// on the pipeline worker (see completeAsync).
 		return nil
@@ -98,9 +116,19 @@ func (s *flushSink[K]) Flush(recs []disk.FlushRecord) error {
 	s.cycleInstall += fs.InstallNanos
 	s.cycleWrite += time.Since(wstart).Nanoseconds()
 	s.mu.Unlock()
+	// The segment is durably renamed: the dead wrappers can enter the
+	// recycler's quarantine.
+	s.release(dead)
 	// A failure from here on is NOT stashed: the segment is durably
 	// renamed, so restoring the records to memory would duplicate them.
 	return failpoint.Eval(failpoint.FlushAfterWrite)
+}
+
+// release hands dead records to the engine's recycler, if any.
+func (s *flushSink[K]) release(dead []*store.Record) {
+	if len(dead) > 0 && s.releaseDead != nil {
+		s.releaseDead(dead)
+	}
 }
 
 // writeStaged is the pipeline worker's write path: the same retry and
@@ -171,7 +199,7 @@ func (e *Engine[K]) restoreEvicted(failed []disk.FlushRecord) {
 		if len(keys) == 0 {
 			continue
 		}
-		rec := store.NewRecord(fr.MB, fr.Score)
+		rec := e.newRecord(fr.MB, fr.Score)
 		e.store.Put(rec)
 		e.mem.AddData(rec.Bytes)
 		for _, key := range keys {

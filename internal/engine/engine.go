@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kflushing/internal/alloc"
 	"kflushing/internal/clock"
 	"kflushing/internal/disk"
 	"kflushing/internal/failpoint"
@@ -117,6 +118,11 @@ type Config[K comparable] struct {
 	SyncFlush bool
 	// Shards overrides the index shard count; 0 selects the default.
 	Shards int
+	// AllocPolicy selects how hot-path structures are allocated: the
+	// zero value (PolicyPooled) recycles posting arrays, record
+	// wrappers and ingest scratch through slab pools; PolicyHeap
+	// allocates everything from the Go heap.
+	AllocPolicy alloc.Policy
 }
 
 // Engine is one attribute's complete data management system. All
@@ -161,6 +167,24 @@ type Engine[K comparable] struct {
 	// persistently; degradedReason holds the entering error's message.
 	degraded       atomic.Bool
 	degradedReason atomic.Value // string
+
+	// recycler quarantines dead record wrappers (durably flushed,
+	// unreferenced, off the store) until no in-flight search can hold
+	// their pointer, then feeds them back to ingestion. Nil under
+	// AllocPolicy=heap.
+	recycler *alloc.Recycler[*store.Record]
+	// scratch pools per-batch ingest scratch slices across IngestBatch
+	// calls. Nil under AllocPolicy=heap.
+	scratch *sync.Pool
+}
+
+// ingestScratch is the reusable per-batch working set of IngestBatch:
+// none of these slices outlive the call (policies copy what they keep),
+// so one arena serves batch after batch.
+type ingestScratch[K comparable] struct {
+	recs    []*store.Record
+	recKeys [][]K
+	frames  []disk.FlushRecord
 }
 
 // New builds and wires an engine from cfg.
@@ -188,6 +212,10 @@ func New[K comparable](cfg Config[K]) (*Engine[K], error) {
 	}
 	e := &Engine[K]{cfg: cfg, store: store.New(), clk: cfg.Clock,
 		journal: flushlog.New(flushlog.DefaultSize)}
+	e.recycler = alloc.NewRecycler[*store.Record](cfg.AllocPolicy)
+	if cfg.AllocPolicy == alloc.PolicyPooled {
+		e.scratch = &sync.Pool{New: func() any { return &ingestScratch[K]{} }}
+	}
 	e.idx = index.New(index.Config[K]{
 		Hash:       cfg.KeyHash,
 		KeyLen:     cfg.KeyLen,
@@ -196,6 +224,7 @@ func New[K comparable](cfg Config[K]) (*Engine[K], error) {
 		TrackOverK: cfg.TrackOverK,
 		Tracker:    &e.mem,
 		Shards:     cfg.Shards,
+		Pool:       alloc.NewSlicePool[*store.Record](cfg.AllocPolicy),
 	})
 	maxSegs := cfg.DiskMaxSegments
 	if maxSegs == 0 {
@@ -227,7 +256,7 @@ func New[K comparable](cfg Config[K]) (*Engine[K], error) {
 		return nil, err
 	}
 	e.tier = tier
-	e.fsink = &flushSink[K]{tier: tier, retry: cfg.DiskRetry}
+	e.fsink = &flushSink[K]{tier: tier, retry: cfg.DiskRetry, releaseDead: e.recycler.Free}
 	if !cfg.SyncFlush && cfg.FlushPipelineDepth >= 0 {
 		depth := cfg.FlushPipelineDepth
 		if depth == 0 {
@@ -248,7 +277,11 @@ func New[K comparable](cfg Config[K]) (*Engine[K], error) {
 		Journal: e.journal,
 	})
 	if cfg.WALDir != "" {
-		w, err := wal.Open(cfg.WALDir, cfg.WALOptions)
+		wopt := cfg.WALOptions
+		if cfg.AllocPolicy == alloc.PolicyPooled {
+			wopt.PooledBuffers = true
+		}
+		w, err := wal.Open(cfg.WALDir, wopt)
 		if err != nil {
 			// Construction failed; the open error is the one to
 			// surface, not the cleanup's.
@@ -286,7 +319,7 @@ func (e *Engine[K]) recoverFromWAL() error {
 		if len(keys) == 0 {
 			return nil
 		}
-		rec := store.NewRecord(mb, fr.Score)
+		rec := e.newRecord(mb, fr.Score)
 		e.store.Put(rec)
 		e.mem.AddData(rec.Bytes)
 		for _, key := range keys {
@@ -352,8 +385,32 @@ func (e *Engine[K]) IngestBatch(mbs []*types.Microblog) ([]types.ID, error) {
 		return nil, fmt.Errorf("%w: %s", ErrDegraded, reason)
 	}
 	ids := make([]types.ID, len(mbs))
-	recs := make([]*store.Record, 0, len(mbs))
-	recKeys := make([][]K, 0, len(mbs))
+	var recs []*store.Record
+	var recKeys [][]K
+	var frames []disk.FlushRecord
+	var sc *ingestScratch[K]
+	if e.scratch != nil {
+		sc = e.scratch.Get().(*ingestScratch[K])
+		recs, recKeys, frames = sc.recs[:0], sc.recKeys[:0], sc.frames[:0]
+		defer func() {
+			// The batch's working slices hold pointers; zero them so the
+			// arena never pins records or keys across batches.
+			for i := range recs {
+				recs[i] = nil
+			}
+			for i := range recKeys {
+				recKeys[i] = nil
+			}
+			for i := range frames {
+				frames[i] = disk.FlushRecord{}
+			}
+			sc.recs, sc.recKeys, sc.frames = recs[:0], recKeys[:0], frames[:0]
+			e.scratch.Put(sc)
+		}()
+	} else {
+		recs = make([]*store.Record, 0, len(mbs))
+		recKeys = make([][]K, 0, len(mbs))
+	}
 	for i, mb := range mbs {
 		keys := e.cfg.KeysOf(mb)
 		if len(keys) == 0 {
@@ -364,16 +421,18 @@ func (e *Engine[K]) IngestBatch(mbs []*types.Microblog) ([]types.ID, error) {
 		}
 		mb.ID = types.ID(e.ids.Add(1))
 		ids[i] = mb.ID
-		recs = append(recs, store.NewRecord(mb, e.cfg.Ranker.Score(mb)))
+		recs = append(recs, e.newRecord(mb, e.cfg.Ranker.Score(mb)))
 		recKeys = append(recKeys, keys)
 	}
 	if len(recs) == 0 {
 		return ids, nil
 	}
 	if e.wal != nil {
-		frames := make([]disk.FlushRecord, len(recs))
-		for i, rec := range recs {
-			frames[i] = disk.FlushRecord{MB: rec.MB, Score: rec.Score}
+		if sc == nil {
+			frames = make([]disk.FlushRecord, 0, len(recs))
+		}
+		for _, rec := range recs {
+			frames = append(frames, disk.FlushRecord{MB: rec.MB, Score: rec.Score})
 		}
 		if err := e.wal.AppendBatch(frames); err != nil {
 			return nil, fmt.Errorf("engine: wal append: %w", err)
@@ -391,6 +450,22 @@ func (e *Engine[K]) IngestBatch(mbs []*types.Microblog) ([]types.ID, error) {
 	e.reg.IngestBatches.Add(1)
 	e.maybeFlush(flushlog.TriggerBudget)
 	return ids, nil
+}
+
+// newRecord builds a record for m, reusing a recycled wrapper whose
+// quarantine has expired when the pooled policy is active.
+func (e *Engine[K]) newRecord(m *types.Microblog, score float64) *store.Record {
+	if rec, ok := e.recycler.Get(); ok {
+		store.ResetRecord(rec, m, score)
+		return rec
+	}
+	return store.NewRecord(m, score)
+}
+
+// AllocStats reports the allocator layer's traffic: the posting slab
+// pool and the record recycler (all zero under AllocPolicy=heap).
+func (e *Engine[K]) AllocStats() (alloc.SliceStats, alloc.RecyclerStats) {
+	return e.idx.PoolStats(), e.recycler.Stats()
 }
 
 // maybeFlush triggers the policy when the budget is exhausted. In
@@ -543,6 +618,13 @@ func (e *Engine[K]) Search(req query.Request[K]) (query.Result, error) {
 	}
 	start := time.Now()
 	now := e.clk.Now()
+
+	// Pin the recycler epoch: record pointers copied out of entries
+	// below are read (and handed to OnAccess) without locks, so no
+	// wrapper may be recycled until this search ends. A no-op under
+	// AllocPolicy=heap.
+	ep := e.recycler.Pin()
+	defer e.recycler.Unpin(ep)
 
 	// Gather per-key candidates from memory, touching each entry's
 	// last-queried timestamp (Phase 3 bookkeeping).

@@ -9,6 +9,7 @@ import (
 	"kflushing/internal/disk"
 	"kflushing/internal/flushlog"
 	"kflushing/internal/metrics"
+	"kflushing/internal/store"
 )
 
 // flushPipeline decouples a flush cycle's prepare stage (victim
@@ -34,9 +35,16 @@ import (
 // can never outrun the disk by more than depth batches.
 type flushPipeline[K comparable] struct {
 	e      *Engine[K]
-	ch     chan []disk.FlushRecord
+	ch     chan pipeBatch
 	wg     sync.WaitGroup
 	closed atomic.Bool
+}
+
+// pipeBatch is one enqueued flush: the records to write plus the dead
+// wrappers recycled once the write durably installs.
+type pipeBatch struct {
+	recs []disk.FlushRecord
+	dead []*store.Record
 }
 
 // defaultPipelineDepth bounds the queue when Config.FlushPipelineDepth
@@ -45,7 +53,7 @@ type flushPipeline[K comparable] struct {
 const defaultPipelineDepth = 4
 
 func newFlushPipeline[K comparable](e *Engine[K], depth int) *flushPipeline[K] {
-	p := &flushPipeline[K]{e: e, ch: make(chan []disk.FlushRecord, depth)}
+	p := &flushPipeline[K]{e: e, ch: make(chan pipeBatch, depth)}
 	p.wg.Add(1)
 	go p.worker()
 	return p
@@ -54,12 +62,13 @@ func newFlushPipeline[K comparable](e *Engine[K], depth int) *flushPipeline[K] {
 // tryEnqueue hands an evicted batch to the background builder without
 // blocking. False means the caller must write synchronously (queue
 // full, or the pipeline shut down). The batch slice is copied — the
-// policy may reuse its buffer the moment Flush returns.
-func (p *flushPipeline[K]) tryEnqueue(recs []disk.FlushRecord) bool {
+// policy may reuse its buffer the moment Flush returns; ownership of
+// dead transfers to the pipeline.
+func (p *flushPipeline[K]) tryEnqueue(recs []disk.FlushRecord, dead []*store.Record) bool {
 	if p.closed.Load() {
 		return false
 	}
-	batch := append([]disk.FlushRecord(nil), recs...)
+	batch := pipeBatch{recs: append([]disk.FlushRecord(nil), recs...), dead: dead}
 	select {
 	case p.ch <- batch:
 		p.e.reg.PipelineEnqueued.Add(1)
@@ -76,7 +85,7 @@ func (p *flushPipeline[K]) tryEnqueue(recs []disk.FlushRecord) bool {
 func (p *flushPipeline[K]) worker() {
 	defer p.wg.Done()
 	for batch := range p.ch {
-		p.e.completeAsync(batch)
+		p.e.completeAsync(batch.recs, batch.dead)
 		p.e.reg.PipelineDepth.Add(-1)
 	}
 }
@@ -104,9 +113,15 @@ func (p *flushPipeline[K]) depth() int {
 // "pipeline" event; failure rolls the eviction back into memory and
 // enters degraded mode — the same contract as a synchronous flush
 // failure, just later.
-func (e *Engine[K]) completeAsync(recs []disk.FlushRecord) {
+func (e *Engine[K]) completeAsync(recs []disk.FlushRecord, dead []*store.Record) {
 	start := time.Now()
 	fs, wrote, err := e.fsink.writeStaged(recs)
+	if wrote {
+		// The segment is durable; the dead wrappers enter the recycler's
+		// quarantine. On failure they drop to the garbage collector —
+		// restoreEvicted below re-creates fresh wrappers, never these.
+		e.fsink.release(dead)
+	}
 	if fs.BuildNanos > 0 {
 		e.reg.ObserveStage(metrics.StageBuild, time.Duration(fs.BuildNanos))
 		e.reg.ObserveStage(metrics.StageInstall, time.Duration(fs.InstallNanos))

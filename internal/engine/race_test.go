@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"kflushing/internal/alloc"
 	"kflushing/internal/attr"
 	"kflushing/internal/clock"
 	"kflushing/internal/core"
@@ -17,7 +18,7 @@ import (
 // raceEngine builds an engine with background flushing (SyncFlush off)
 // and a budget small enough that flushes happen constantly under the
 // stress load below.
-func raceEngine(t *testing.T, pol policy.Policy[string], trackOverK bool, walDir string) *Engine[string] {
+func raceEngine(t *testing.T, pol policy.Policy[string], trackOverK bool, walDir string, ap alloc.Policy) *Engine[string] {
 	t.Helper()
 	eng, err := New(Config[string]{
 		K:             5,
@@ -32,6 +33,7 @@ func raceEngine(t *testing.T, pol policy.Policy[string], trackOverK bool, walDir
 		WALDir:        walDir,
 		Policy:        pol,
 		TrackOverK:    trackOverK,
+		AllocPolicy:   ap,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -139,26 +141,50 @@ func stress(t *testing.T, eng *Engine[string]) {
 	}
 }
 
+// stressBothAllocPolicies runs the stress load once per allocator
+// policy. Pooled is where the sharp edges live — a recycled record or
+// posting array handed out while a search still reads it is a
+// use-after-release the race detector will see — and heap keeps the
+// baseline honest.
+func stressBothAllocPolicies(t *testing.T, mk func(t *testing.T, ap alloc.Policy) *Engine[string]) {
+	for _, ap := range []alloc.Policy{alloc.PolicyPooled, alloc.PolicyHeap} {
+		ap := ap
+		t.Run("alloc="+ap.String(), func(t *testing.T) {
+			stress(t, mk(t, ap))
+		})
+	}
+}
+
 func TestConcurrentStressKFlushing(t *testing.T) {
-	stress(t, raceEngine(t, core.New[string](), true, ""))
+	stressBothAllocPolicies(t, func(t *testing.T, ap alloc.Policy) *Engine[string] {
+		return raceEngine(t, core.New[string](), true, "", ap)
+	})
 }
 
 func TestConcurrentStressKFlushingParallel(t *testing.T) {
 	// Forced multi-worker Phase 1 / victim scanning, so the parallel
 	// paths get race coverage even on single-core CI runners.
-	pol := core.New(core.WithParallelism[string](4))
-	stress(t, raceEngine(t, pol, true, ""))
+	stressBothAllocPolicies(t, func(t *testing.T, ap alloc.Policy) *Engine[string] {
+		pol := core.New(core.WithParallelism[string](4))
+		return raceEngine(t, pol, true, "", ap)
+	})
 }
 
 func TestConcurrentStressFIFO(t *testing.T) {
-	stress(t, raceEngine(t, policy.NewFIFO[string](24<<10), false, ""))
+	stressBothAllocPolicies(t, func(t *testing.T, ap alloc.Policy) *Engine[string] {
+		return raceEngine(t, policy.NewFIFO[string](24<<10), false, "", ap)
+	})
 }
 
 func TestConcurrentStressLRU(t *testing.T) {
-	stress(t, raceEngine(t, policy.NewLRU[string](), false, ""))
+	stressBothAllocPolicies(t, func(t *testing.T, ap alloc.Policy) *Engine[string] {
+		return raceEngine(t, policy.NewLRU[string](), false, "", ap)
+	})
 }
 
 func TestConcurrentStressDurable(t *testing.T) {
 	// WAL group commit under concurrent batches.
-	stress(t, raceEngine(t, core.New[string](), true, t.TempDir()))
+	stressBothAllocPolicies(t, func(t *testing.T, ap alloc.Policy) *Engine[string] {
+		return raceEngine(t, core.New[string](), true, t.TempDir(), ap)
+	})
 }

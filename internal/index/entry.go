@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"kflushing/internal/alloc"
 	"kflushing/internal/memsize"
 	"kflushing/internal/store"
 	"kflushing/internal/types"
@@ -25,6 +26,9 @@ type Entry[K comparable] struct {
 	mu       sync.Mutex
 	postings []*store.Record // ascending (Score, ID)
 	dead     bool            // detached from the index by a flush
+	// pool recycles posting backing arrays; nil means plain heap
+	// allocation (AllocPolicy=heap).
+	pool *alloc.SlicePool[*store.Record]
 
 	// lastArrival is the timestamp of the most recent insertion,
 	// the Phase 2 eviction order.
@@ -95,10 +99,15 @@ func (e *Entry[K]) insert(rec *store.Record, k int, trackTopK bool) (ok, crossed
 		return false, false
 	}
 	n := len(e.postings)
+	if e.pool != nil && n == cap(e.postings) {
+		e.postings = e.pool.Grow(e.postings)
+	}
+	var pos int
 	// Fast path: scores arrive mostly in ranking order under temporal
 	// ranking, so the new posting usually belongs at the tail.
 	if n == 0 || !less(rec, e.postings[n-1]) {
 		e.postings = append(e.postings, rec)
+		pos = n
 	} else {
 		// Binary search for the insertion point.
 		lo, hi := 0, n
@@ -113,22 +122,16 @@ func (e *Entry[K]) insert(rec *store.Record, k int, trackTopK bool) (ok, crossed
 		e.postings = append(e.postings, nil)
 		copy(e.postings[lo+1:], e.postings[lo:])
 		e.postings[lo] = rec
+		pos = lo
 	}
 	n++
-	if trackTopK && k > 0 {
-		// The new posting is in the top-k iff its index >= n-k; find it
-		// from the tail (cheap: it is near the tail on the fast path).
-		pos := n - 1
-		for pos >= 0 && e.postings[pos] != rec {
-			pos--
-		}
-		if pos >= n-k {
-			rec.TopKRef(1)
-			if n > k {
-				// Exactly one previous top-k posting fell out: the one
-				// now ranked (k+1)-th from the tail.
-				e.postings[n-k-1].TopKRef(-1)
-			}
+	// The new posting is in the top-k iff its insertion index >= n-k.
+	if trackTopK && k > 0 && pos >= n-k {
+		rec.TopKRef(1)
+		if n > k {
+			// Exactly one previous top-k posting fell out: the one
+			// now ranked (k+1)-th from the tail.
+			e.postings[n-k-1].TopKRef(-1)
 		}
 	}
 	e.lastArrival.Store(int64(rec.MB.Timestamp))
@@ -189,7 +192,7 @@ func (e *Entry[K]) TrimBeyondTopK(k int, keep func(*store.Record) bool) []*store
 		return nil
 	}
 	beyond := n - k
-	var removed []*store.Record
+	removed := e.pool.Get(beyond)
 	kept := e.postings[:0]
 	for i, rec := range e.postings {
 		if i < beyond && (keep == nil || !keep(rec)) {
@@ -203,6 +206,14 @@ func (e *Entry[K]) TrimBeyondTopK(k int, keep func(*store.Record) bool) []*store
 		e.postings[i] = nil
 	}
 	e.postings = kept
+	// Re-pack into a smaller capacity class when the trim freed enough
+	// of the array; the old backing returns to the pool.
+	if e.pool != nil && alloc.ShrinkThreshold(len(kept), cap(kept)) {
+		ns := e.pool.Get(len(kept))
+		ns = append(ns, kept...)
+		e.pool.Put(kept)
+		e.postings = ns
+	}
 	e.mu.Unlock()
 	return removed
 }
@@ -236,7 +247,8 @@ func (e *Entry[K]) DetachExcept(k int, keep func(*store.Record) bool) (removed [
 	e.mu.Lock()
 	n := len(e.postings)
 	oldBoundary := max(0, n-k) // indices >= oldBoundary were top-k
-	kept := make([]*store.Record, 0, n)
+	removed = e.pool.Get(n)
+	kept := e.pool.Get(n)
 	var keptOldIdx []int
 	for i, rec := range e.postings {
 		if keep != nil && keep(rec) {
@@ -262,10 +274,12 @@ func (e *Entry[K]) DetachExcept(k int, keep func(*store.Record) bool) (removed [
 	for i := range e.postings {
 		e.postings[i] = nil
 	}
+	e.pool.Put(e.postings) // old backing, already zeroed above
 	e.postings = kept
 	retained = len(kept)
 	if retained == 0 {
 		e.dead = true
+		e.pool.Put(e.postings)
 		e.postings = nil
 	}
 	e.mu.Unlock()

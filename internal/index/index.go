@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"kflushing/internal/alloc"
 	"kflushing/internal/memsize"
 	"kflushing/internal/store"
 )
@@ -48,6 +49,10 @@ type Config[K comparable] struct {
 	Tracker *memsize.Tracker
 	// Shards is the number of hash shards; 0 selects a default.
 	Shards int
+	// Pool recycles posting-slice backing arrays across entry growth,
+	// trim shrink, and flush detach. Nil allocates from the heap
+	// (AllocPolicy=heap).
+	Pool *alloc.SlicePool[*store.Record]
 }
 
 type shard[K comparable] struct {
@@ -158,7 +163,7 @@ func (ix *Index[K]) getOrCreate(key K) *Entry[K] {
 		e = nil
 	}
 	if e == nil {
-		e = &Entry[K]{key: key, trackTopK: ix.cfg.TrackTopK}
+		e = &Entry[K]{key: key, trackTopK: ix.cfg.TrackTopK, pool: ix.cfg.Pool}
 		sh.entries[key] = e
 		ix.entryCount.Add(1)
 		if ix.cfg.Tracker != nil {
@@ -236,6 +241,26 @@ func (ix *Index[K]) DetachEntry(e *Entry[K]) {
 		}
 	}
 	sh.mu.Unlock()
+}
+
+// RecyclePostings returns a posting backing array — handed out by
+// TrimBeyondTopK, DetachAll, or DetachExcept — to the slab pool once
+// the caller has finished dereferencing its records. A no-op under the
+// heap policy. The slice must not be used after the call.
+func (ix *Index[K]) RecyclePostings(s []*store.Record) {
+	ix.cfg.Pool.Put(s)
+}
+
+// PoolStats snapshots the posting slab pool's counters (zero under the
+// heap policy).
+func (ix *Index[K]) PoolStats() alloc.SliceStats {
+	return ix.cfg.Pool.Stats()
+}
+
+// PoolIdleBytes reports the memory parked in the posting slab pool's
+// free lists.
+func (ix *Index[K]) PoolIdleBytes() int64 {
+	return ix.cfg.Pool.IdleBytes(memsize.PostingSize)
 }
 
 // NotePostingsRemoved adjusts the posting count and index gauge after a

@@ -26,6 +26,22 @@ type Sink interface {
 	Flush([]disk.FlushRecord) error
 }
 
+// DeadSink is an optional Sink extension for record recycling: dead
+// records — fully released, off the store, memory already refunded —
+// ride alongside the flush batch so the sink can hand their wrappers to
+// the recycler once the batch is durably installed (and only then; a
+// failed batch drops them to the garbage collector, which is always
+// safe). Sinks that do not implement it simply let the collector take
+// the wrappers.
+type DeadSink interface {
+	Sink
+	// FlushDead behaves like Flush for recs and additionally receives
+	// the records that died during the cycle. dead may outnumber recs:
+	// a record whose payload an earlier partial flush already persisted
+	// dies without contributing a FlushRecord.
+	FlushDead(recs []disk.FlushRecord, dead []*store.Record) error
+}
+
 // Resources grants a policy access to the engine's shared structures. A
 // policy receives it once via Attach before any other call.
 type Resources[K comparable] struct {
@@ -107,6 +123,7 @@ type VictimBuffer struct {
 
 	mu    sync.Mutex
 	recs  []disk.FlushRecord
+	dead  []*store.Record
 	bytes int64
 }
 
@@ -117,12 +134,21 @@ func NewVictimBuffer(mem *memsize.Tracker, sink Sink, chargeTemp bool) *VictimBu
 
 // Add appends a fully-released record. If an earlier partial flush
 // already wrote the record's payload to disk, the buffer skips the
-// duplicate write; the memory was still freed either way.
+// duplicate write; the memory was still freed either way. Either way
+// the record is dead — unreferenced and off the store — so it joins
+// the dead list handed to a DeadSink on Close.
 func (b *VictimBuffer) Add(rec *store.Record) {
-	if !rec.MarkOnDisk() {
-		return
+	write := rec.MarkOnDisk()
+	b.mu.Lock()
+	b.dead = append(b.dead, rec)
+	if write {
+		b.recs = append(b.recs, disk.FlushRecord{MB: rec.MB, Score: rec.Score})
+		b.bytes += rec.Bytes
 	}
-	b.append(rec)
+	b.mu.Unlock()
+	if write && b.chargeTemp && b.mem != nil {
+		b.mem.AddTemp(rec.Bytes)
+	}
 }
 
 // AddPartial writes a record that remains memory-resident (its reference
@@ -162,14 +188,18 @@ func (b *VictimBuffer) Bytes() int64 {
 }
 
 // Close writes the buffered records to the sink and releases the
-// temporary-buffer charge.
+// temporary-buffer charge. A DeadSink additionally receives the cycle's
+// dead records so their wrappers can be recycled after the durable
+// install; other sinks leave them to the garbage collector.
 func (b *VictimBuffer) Close() error {
 	b.mu.Lock()
-	recs, bytes := b.recs, b.bytes
-	b.recs, b.bytes = nil, 0
+	recs, bytes, dead := b.recs, b.bytes, b.dead
+	b.recs, b.bytes, b.dead = nil, 0, nil
 	b.mu.Unlock()
 	var err error
-	if len(recs) > 0 && b.sink != nil {
+	if ds, ok := b.sink.(DeadSink); ok && (len(recs) > 0 || len(dead) > 0) {
+		err = ds.FlushDead(recs, dead)
+	} else if len(recs) > 0 && b.sink != nil {
 		err = b.sink.Flush(recs)
 	}
 	if b.chargeTemp && b.mem != nil {

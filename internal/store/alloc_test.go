@@ -1,0 +1,145 @@
+package store
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"kflushing/internal/alloc"
+	"kflushing/internal/types"
+)
+
+// TestStorePutRemoveAllocs pins the steady-state allocation ceiling of
+// the store's hot pair at zero: once a shard's map has held a key, a
+// Put/Remove cycle over live record wrappers touches no heap. The
+// ingestion path runs this pair for every record that flushes, so a
+// regression here multiplies across the whole stream.
+func TestStorePutRemoveAllocs(t *testing.T) {
+	s := New()
+	recs := make([]*Record, 64)
+	for i := range recs {
+		recs[i] = rec(uint64(i + 1))
+	}
+	cycle := func() {
+		for _, r := range recs {
+			s.Put(r)
+		}
+		for _, r := range recs {
+			if s.Remove(r.MB.ID) != r {
+				t.Fatal("Remove returned wrong record")
+			}
+		}
+	}
+	cycle() // warm the shard maps
+	if avg := testing.AllocsPerRun(200, cycle); avg > 0 {
+		t.Errorf("Put/Remove cycle allocates %.2f objects/run, want 0", avg)
+	}
+}
+
+// TestStoreConcurrentRecycledRecords drives the record-recycling
+// protocol across the store under the race detector, for both allocator
+// policies: writers create records through a Recycler (reusing dead
+// wrappers), publish them in the store, retire them, and Free them;
+// readers pin the recycler's epoch guard, look records up, and read
+// plain fields. The epoch quarantine is the only thing ordering a
+// reader's field loads before a writer's ResetRecord of the same
+// wrapper — exactly the hand-off the race detector must bless.
+func TestStoreConcurrentRecycledRecords(t *testing.T) {
+	for _, ap := range []alloc.Policy{alloc.PolicyPooled, alloc.PolicyHeap} {
+		ap := ap
+		t.Run("alloc="+ap.String(), func(t *testing.T) {
+			s := New()
+			rc := alloc.NewRecycler[*Record](ap)
+			var latest atomic.Uint64
+			var writersWg, readersWg sync.WaitGroup
+			const (
+				writers = 2
+				readers = 2
+				rounds  = 3000
+				window  = 32
+			)
+			var stop atomic.Bool
+
+			for w := 0; w < writers; w++ {
+				writersWg.Add(1)
+				go func(w int) {
+					defer writersWg.Done()
+					live := make([]*Record, 0, window)
+					for i := 0; i < rounds; i++ {
+						id := uint64(w*rounds+i) + 1
+						mb := &types.Microblog{
+							ID:        types.ID(id),
+							Timestamp: types.Timestamp(id),
+							Keywords:  []string{"kw"},
+							Text:      "recycled body",
+						}
+						r, ok := rc.Get()
+						if !ok {
+							r = NewRecord(mb, float64(id))
+						} else {
+							ResetRecord(r, mb, float64(id))
+						}
+						s.Put(r)
+						latest.Store(id)
+						live = append(live, r)
+						if len(live) == window {
+							old := live[0]
+							live = append(live[:0], live[1:]...)
+							if s.Remove(old.MB.ID) != old {
+								t.Error("Remove returned wrong record")
+								return
+							}
+							// Off the store and unreferenced: dead. The
+							// recycler's quarantine covers pinned readers.
+							rc.Free([]*Record{old})
+						}
+					}
+				}(w)
+			}
+
+			for g := 0; g < readers; g++ {
+				readersWg.Add(1)
+				go func(g int) {
+					defer readersWg.Done()
+					rng := rand.New(rand.NewSource(int64(g + 1)))
+					for !stop.Load() {
+						ep := rc.Pin()
+						hi := latest.Load()
+						if hi > 0 {
+							// Probe near the live window so lookups race
+							// with retirement and reuse.
+							delta := uint64(rng.Intn(2 * window))
+							if delta >= hi {
+								delta = hi - 1
+							}
+							if r := s.Get(types.ID(hi - delta)); r != nil {
+								if r.Score <= 0 || r.MB.Timestamp <= 0 {
+									t.Error("live record with zeroed fields")
+									rc.Unpin(ep)
+									return
+								}
+							}
+						}
+						rc.Unpin(ep)
+					}
+				}(g)
+			}
+
+			writersWg.Wait()
+			stop.Store(true)
+			readersWg.Wait()
+
+			if ap == alloc.PolicyPooled && rc.Stats().Reuses == 0 {
+				// Readers can keep the epoch pinned for the whole
+				// (short) run, in which case no Get above reclaimed.
+				// With the readers gone the quarantine drains, so a
+				// single Get must now reuse one of the thousands of
+				// wrappers freed during the run.
+				if _, ok := rc.Get(); !ok {
+					t.Fatal("pooled run never reused a record wrapper")
+				}
+			}
+		})
+	}
+}

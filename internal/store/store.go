@@ -72,6 +72,20 @@ func NewRecord(m *types.Microblog, score float64) *Record {
 	}
 }
 
+// ResetRecord reinitializes a recycled record for a new microblog,
+// clearing every counter, mark, and intrusive hook of its previous
+// life. The caller asserts the record is provably dead: durably
+// flushed, unreferenced, off the store, and past its reader quarantine.
+func ResetRecord(r *Record, m *types.Microblog, score float64) {
+	r.MB = m
+	r.Score = score
+	r.Bytes = memsize.RecordBytes(len(m.Text), m.Keywords)
+	r.pcount.Store(0)
+	r.topk.Store(0)
+	r.onDisk.Store(false)
+	r.LRUPrev, r.LRUNext = nil, nil
+}
+
 // Ref increments the reference count by n and returns the new value.
 func (r *Record) Ref(n int32) int32 { return r.pcount.Add(n) }
 

@@ -49,6 +49,11 @@ var ErrCorrupt = errors.New("wal: corrupt log")
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// encodeBufs recycles AppendBatch encode buffers across calls when
+// Options.PooledBuffers is set. Buffers are only handed to File.Write,
+// which does not retain them.
+var encodeBufs = sync.Pool{New: func() any { return new([]byte) }}
+
 // Options tunes a Log.
 type Options struct {
 	// MaxFileBytes rotates the active file when it exceeds this size;
@@ -57,6 +62,10 @@ type Options struct {
 	// SyncEvery fsyncs after this many appends; 0 relies on OS
 	// buffering (fsync still happens on rotation and close).
 	SyncEvery int
+	// PooledBuffers reuses the per-batch encode buffer across
+	// AppendBatch calls via a sync.Pool instead of allocating each time
+	// (AllocPolicy=pooled).
+	PooledBuffers bool
 }
 
 // Log is an append-only write-ahead log. Append and AppendBatch are safe
@@ -172,7 +181,20 @@ func (l *Log) AppendBatch(frs []disk.FlushRecord) error {
 	if len(frs) == 0 {
 		return nil
 	}
-	buf := make([]byte, 0, 96*len(frs))
+	var buf []byte
+	if l.opt.PooledBuffers {
+		pb := encodeBufs.Get().(*[]byte)
+		defer func() {
+			*pb = buf[:0]
+			encodeBufs.Put(pb)
+		}()
+		buf = (*pb)[:0]
+		if cap(buf) < 96*len(frs) {
+			buf = make([]byte, 0, 96*len(frs))
+		}
+	} else {
+		buf = make([]byte, 0, 96*len(frs))
+	}
 	for _, fr := range frs {
 		start := len(buf)
 		buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder

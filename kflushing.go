@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"path/filepath"
 
+	"kflushing/internal/alloc"
 	"kflushing/internal/attr"
 	"kflushing/internal/clock"
 	"kflushing/internal/core"
@@ -197,6 +198,13 @@ type Options struct {
 	// WALSyncEvery fsyncs the write-ahead log after this many ingests
 	// when Durable is set; 0 relies on OS buffering.
 	WALSyncEvery int
+	// AllocPolicy selects how the hot ingest path allocates: "pooled"
+	// (the default, also selected by "") recycles posting arrays,
+	// record wrappers and per-batch scratch through slab pools so
+	// sustained ingestion is allocation-flat; "heap" allocates
+	// everything from the Go heap — the baseline pooling is
+	// benchmarked against.
+	AllocPolicy string
 }
 
 func (o *Options) fill() {
@@ -259,6 +267,11 @@ func walOptions(opt Options) wal.Options {
 	return wal.Options{SyncEvery: opt.WALSyncEvery}
 }
 
+// allocPolicy parses the facade's allocation-policy knob.
+func allocPolicy(opt Options) (alloc.Policy, error) {
+	return alloc.ParsePolicy(opt.AllocPolicy)
+}
+
 // System is a keyword-search microblogs store: the paper's primary
 // evaluation target. All methods are safe for concurrent use.
 type System struct {
@@ -269,6 +282,10 @@ type System struct {
 func Open(dir string, opt Options) (*System, error) {
 	opt.fill()
 	pc, err := newPolicy[string](opt)
+	if err != nil {
+		return nil, err
+	}
+	ap, err := allocPolicy(opt)
 	if err != nil {
 		return nil, err
 	}
@@ -296,6 +313,7 @@ func Open(dir string, opt Options) (*System, error) {
 		TrackTopK:             pc.trackTopK,
 		TrackOverK:            pc.trackOverK,
 		SyncFlush:             opt.SyncFlush,
+		AllocPolicy:           ap,
 	})
 	if err != nil {
 		return nil, err

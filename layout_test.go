@@ -18,11 +18,19 @@ import (
 // when flushes, compactions, or pipeline installs happen, so the layout
 // must be invisible to queries.
 func TestLayoutEquivalence(t *testing.T) {
+	forEachAllocPolicy(t, "", func(t *testing.T, ap string) { runLayoutEquivalence(t, ap) })
+}
+
+// runLayoutEquivalence is the TestLayoutEquivalence body, parameterized
+// over the allocator policy so the flat/leveled/pipelined identity also
+// holds with pooled posting arrays and recycled record wrappers.
+func runLayoutEquivalence(t *testing.T, ap string) {
 	base := kflushing.Options{
 		Policy:       kflushing.PolicyKFlushing,
 		K:            4,
 		MemoryBudget: 48 << 10,
 		SyncFlush:    true,
+		AllocPolicy:  ap,
 	}
 	flatOpt := base
 	flatOpt.DiskLayout = "flat"

@@ -80,13 +80,14 @@ func TestEngineMatchesOracle(t *testing.T) {
 		kflushing.PolicyFIFO, kflushing.PolicyLRU,
 		kflushing.PolicyKFlushing, kflushing.PolicyKFlushingMK,
 	} {
-		t.Run(string(pol), func(t *testing.T) {
+		forEachAllocPolicy(t, string(pol), func(t *testing.T, ap string) {
 			rng := rand.New(rand.NewSource(42))
 			sys, err := kflushing.Open(t.TempDir(), kflushing.Options{
 				Policy:       pol,
 				K:            4,
 				MemoryBudget: 48 << 10,
 				SyncFlush:    true,
+				AllocPolicy:  ap,
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -164,7 +165,7 @@ func TestRandomizedModelBased(t *testing.T) {
 	} {
 		pol := pol
 		seed := int64(pi+1) * 7919
-		t.Run(string(pol), func(t *testing.T) {
+		forEachAllocPolicy(t, string(pol), func(t *testing.T, ap string) {
 			t.Logf("replay with rand.NewSource(%d)", seed)
 			rng := rand.New(rand.NewSource(seed))
 			sys, err := kflushing.Open(t.TempDir(), kflushing.Options{
@@ -172,6 +173,7 @@ func TestRandomizedModelBased(t *testing.T) {
 				K:            4,
 				MemoryBudget: 48 << 10,
 				SyncFlush:    true,
+				AllocPolicy:  ap,
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -292,12 +294,13 @@ func TestBatchedIngestEquivalence(t *testing.T) {
 	for _, pol := range []kflushing.PolicyKind{
 		kflushing.PolicyKFlushing, kflushing.PolicyFIFO,
 	} {
-		t.Run(string(pol), func(t *testing.T) {
+		forEachAllocPolicy(t, string(pol), func(t *testing.T, ap string) {
 			opt := kflushing.Options{
 				Policy:       pol,
 				K:            4,
 				MemoryBudget: 48 << 10,
 				SyncFlush:    true,
+				AllocPolicy:  ap,
 			}
 			single, err := kflushing.Open(t.TempDir(), opt)
 			if err != nil {

@@ -30,6 +30,10 @@ func OpenSpatial(dir string, grid *spatial.Grid, opt Options) (*SpatialSystem, e
 	if err != nil {
 		return nil, err
 	}
+	ap, err := allocPolicy(opt)
+	if err != nil {
+		return nil, err
+	}
 	eng, err := engine.New(engine.Config[spatial.Cell]{
 		K:                     opt.K,
 		MemoryBudget:          opt.MemoryBudget,
@@ -54,6 +58,7 @@ func OpenSpatial(dir string, grid *spatial.Grid, opt Options) (*SpatialSystem, e
 		TrackTopK:             pc.trackTopK,
 		TrackOverK:            pc.trackOverK,
 		SyncFlush:             opt.SyncFlush,
+		AllocPolicy:           ap,
 	})
 	if err != nil {
 		return nil, err
@@ -144,6 +149,10 @@ func OpenUser(dir string, opt Options) (*UserSystem, error) {
 	if err != nil {
 		return nil, err
 	}
+	ap, err := allocPolicy(opt)
+	if err != nil {
+		return nil, err
+	}
 	eng, err := engine.New(engine.Config[uint64]{
 		K:                     opt.K,
 		MemoryBudget:          opt.MemoryBudget,
@@ -168,6 +177,7 @@ func OpenUser(dir string, opt Options) (*UserSystem, error) {
 		TrackTopK:             pc.trackTopK,
 		TrackOverK:            pc.trackOverK,
 		SyncFlush:             opt.SyncFlush,
+		AllocPolicy:           ap,
 	})
 	if err != nil {
 		return nil, err

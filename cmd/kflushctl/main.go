@@ -23,6 +23,12 @@
 //	kflushctl probe <base-url>     report readiness and degraded
 //	                               read-only state (/readyz, /stats);
 //	                               exits non-zero when not ready
+//	kflushctl top <base-url> [interval] [count]  live watch: scrape
+//	                               /metrics twice per refresh and render
+//	                               per-attribute ingest rate, QPS, memory
+//	                               and disk-cache hit ratios, flush
+//	                               pipeline depth, compaction backlog,
+//	                               and the degraded flag
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/url"
@@ -114,6 +121,20 @@ func main() {
 			}
 		}
 		err = cmdFlushLog(args[1], n)
+	case "top":
+		interval := 2 * time.Second
+		if len(args) > 2 {
+			if interval, err = time.ParseDuration(args[2]); err != nil || interval <= 0 {
+				log.Fatalf("bad interval %q", args[2])
+			}
+		}
+		count := 1
+		if len(args) > 3 {
+			if count, err = strconv.Atoi(args[3]); err != nil || count < 1 {
+				log.Fatalf("bad count %q", args[3])
+			}
+		}
+		err = cmdTop(args[1], interval, count)
 	default:
 		usage()
 		os.Exit(2)
@@ -493,6 +514,154 @@ func cmdFlushLog(base string, n int) error {
 	return nil
 }
 
+// scrapeMetrics fetches /metrics from a running kflushd and parses the
+// Prometheus text exposition into metric name -> attr label -> value.
+// Histogram bucket and per-level/phase/stage series are skipped — the
+// watch only needs the scalar gauges and counters. Unlabeled process
+// metrics key under the empty attr.
+func scrapeMetrics(base string) (map[string]map[string]float64, error) {
+	base = strings.TrimSuffix(base, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	cli := &http.Client{Timeout: 30 * time.Second}
+	resp, err := cli.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	return parseExposition(resp.Body)
+}
+
+// parseExposition decodes Prometheus text format, keeping one value per
+// (metric, attr) pair.
+func parseExposition(r io.Reader) (map[string]map[string]float64, error) {
+	out := map[string]map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var name, labelStr, valStr string
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				continue
+			}
+			name, labelStr, valStr = line[:i], line[i+1:j], strings.TrimSpace(line[j+1:])
+		} else {
+			f := strings.Fields(line)
+			if len(f) != 2 {
+				continue
+			}
+			name, valStr = f[0], f[1]
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			continue
+		}
+		attr, skip := "", false
+		for _, pair := range strings.Split(labelStr, ",") {
+			k, qv, ok := strings.Cut(pair, "=")
+			if !ok {
+				continue
+			}
+			uv, err := strconv.Unquote(qv)
+			if err != nil {
+				uv = strings.Trim(qv, `"`)
+			}
+			switch k {
+			case "attr":
+				attr = uv
+			case "le", "level", "phase", "stage":
+				// One series per (metric, attr) is the contract here;
+				// bucketed and per-dimension families would collide.
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
+		m := out[name]
+		if m == nil {
+			m = map[string]float64{}
+			out[name] = m
+		}
+		m[attr] = v
+	}
+	return out, sc.Err()
+}
+
+// cmdTop is a live watch over a running kflushd: each refresh scrapes
+// /metrics twice (interval apart) and renders per-attribute rates and
+// deltas — ingest rate, QPS, memory and disk-cache hit ratios over the
+// window, flush pipeline depth, compaction backlog, and the degraded
+// flag. count bounds the refreshes so the command terminates in scripts.
+func cmdTop(base string, interval time.Duration, count int) error {
+	prev, err := scrapeMetrics(base)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < count; i++ {
+		time.Sleep(interval)
+		cur, err := scrapeMetrics(base)
+		if err != nil {
+			return err
+		}
+		renderTop(os.Stdout, prev, cur, interval)
+		prev = cur
+	}
+	return nil
+}
+
+// renderTop prints one refresh of the live watch from two scrapes.
+func renderTop(w io.Writer, prev, cur map[string]map[string]float64, interval time.Duration) {
+	get := func(name, attr string) float64 { return cur["kflushing_"+name][attr] }
+	delta := func(name, attr string) float64 {
+		return cur["kflushing_"+name][attr] - prev["kflushing_"+name][attr]
+	}
+	ratio := func(hits, total float64) string {
+		if total <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*hits/total)
+	}
+	attrs := make([]string, 0, len(cur["kflushing_ingested_total"]))
+	for a := range cur["kflushing_ingested_total"] {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	secs := interval.Seconds()
+	fmt.Fprintf(w, "%s  (window %s)\n", time.Now().Format("15:04:05"), interval)
+	fmt.Fprintf(w, "%-8s %10s %8s %7s %9s %9s %8s %9s\n",
+		"attr", "ingest/s", "qps", "hit%", "cachehit%", "pipeline", "backlog", "degraded")
+	for _, a := range attrs {
+		dq := delta("queries_total", a)
+		dch := delta("disk_cache_hits_total", a)
+		dcm := delta("disk_cache_misses_total", a)
+		degraded := "no"
+		if get("degraded", a) > 0 {
+			degraded = "YES"
+		}
+		fmt.Fprintf(w, "%-8s %10.1f %8.1f %7s %9s %9.0f %8.0f %9s\n",
+			a,
+			delta("ingested_total", a)/secs,
+			dq/secs,
+			ratio(delta("query_hits_total", a), dq),
+			ratio(dch, dch+dcm),
+			get("flush_pipeline_depth", a),
+			get("compaction_backlog", a),
+			degraded)
+	}
+	fmt.Fprintf(w, "process: %.0f goroutines, %.1f MiB heap\n",
+		cur["kflushing_goroutines"][""], cur["kflushing_heap_alloc_bytes"][""]/(1<<20))
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `kflushctl administers kflushing data directories offline.
 
@@ -507,5 +676,6 @@ usage:
   kflushctl wal <wal-dir>
   kflushctl trace <base-url> <q> [k]
   kflushctl flushlog <base-url> [n]
+  kflushctl top <base-url> [interval] [count]
 `)
 }

@@ -35,10 +35,21 @@ import (
 	"os"
 
 	"kflushing"
+	"kflushing/internal/blackbox"
 	"kflushing/internal/server"
 )
 
 func main() {
+	// A crash must not take the flight recorder's evidence with it: dump
+	// every attribute system's event rings before the panic propagates.
+	defer func() {
+		if p := recover(); p != nil {
+			for _, path := range blackbox.DumpAll("panic") {
+				slog.Error("kflushd: flight recorder dumped", "dump", path)
+			}
+			panic(p)
+		}
+	}()
 	addr := flag.String("addr", ":8080", "listen address")
 	dataDir := flag.String("data", "kflushd-data", "data directory (disk tiers and WAL)")
 	policy := flag.String("policy", "kflushing", "flushing policy: kflushing|kflushing-mk|fifo|lru")
@@ -47,6 +58,7 @@ func main() {
 	flushFrac := flag.Float64("flush", 0.10, "flushing budget B as a fraction")
 	durable := flag.Bool("durable", false, "write-ahead log memory contents")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	slowQuery := flag.Duration("slow-query", 0, "auto-capture traces for searches slower than this (e.g. 50ms; 0 disables), served at /debug/slowlog")
 	logLevel := flag.String("log-level", "info", "diagnostic log level: debug|info|warn|error")
 	flag.Parse()
 
@@ -57,12 +69,13 @@ func main() {
 	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
 
 	store, err := server.OpenStore(*dataDir, kflushing.Options{
-		K:             *k,
-		MemoryBudget:  *budgetMiB << 20,
-		FlushFraction: *flushFrac,
-		Policy:        kflushing.PolicyKind(*policy),
-		Clock:         kflushing.WallClock(),
-		Durable:       *durable,
+		K:              *k,
+		MemoryBudget:   *budgetMiB << 20,
+		FlushFraction:  *flushFrac,
+		Policy:         kflushing.PolicyKind(*policy),
+		Clock:          kflushing.WallClock(),
+		Durable:        *durable,
+		SlowQueryNanos: slowQuery.Nanoseconds(),
 	})
 	if err != nil {
 		log.Fatalf("open store: %v", err)

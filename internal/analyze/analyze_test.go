@@ -98,7 +98,7 @@ func TestNilsafeMarkersPresent(t *testing.T) {
 	if testing.Short() {
 		t.Skip("module-wide type-check is slow; skipped with -short")
 	}
-	pkgs, err := LoadModule("../..", []string{"./internal/trace", "./internal/flushlog"})
+	pkgs, err := LoadModule("../..", []string{"./internal/trace", "./internal/flushlog", "./internal/blackbox"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,90 @@
+package blackbox
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// DumpFile is the on-disk form of a flight-recorder snapshot.
+type DumpFile struct {
+	Reason string `json:"reason"`
+	// EpochUnixNanos anchors event Nanos to wall time.
+	EpochUnixNanos   int64   `json:"epoch_unix_nanos"`
+	WrittenUnixNanos int64   `json:"written_unix_nanos"`
+	Events           []Event `json:"events"`
+}
+
+// Dump writes a sequence-ordered snapshot of every ring to a new file
+// in dir (blackbox-<reason>-<unixnanos>.json) and returns its path. It
+// is called on degraded-mode entry and from panic handlers, so it never
+// panics itself and reports failure by error only.
+func (r *Recorder) Dump(dir, reason string) (string, error) {
+	if r == nil {
+		return "", nil
+	}
+	now := time.Now()
+	df := DumpFile{
+		Reason:           reason,
+		EpochUnixNanos:   EpochUnixNanos(),
+		WrittenUnixNanos: now.UnixNano(),
+		Events:           r.Events(),
+	}
+	buf, err := json.MarshalIndent(df, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("blackbox: encode dump: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("blackbox-%s-%d.json", reason, now.UnixNano()))
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return "", fmt.Errorf("blackbox: write dump: %w", err)
+	}
+	return path, nil
+}
+
+// The dumper registry lets a process-level panic handler flush every
+// live recorder without holding references to them: each engine
+// registers a dump closure at construction and unregisters at Close.
+var (
+	dumpMu  sync.Mutex
+	dumpers = map[string]func(reason string) (string, error){}
+)
+
+// RegisterDumper installs a dump closure under a unique name
+// (re-registering a name replaces the previous closure).
+func RegisterDumper(name string, f func(reason string) (string, error)) {
+	if f == nil {
+		return
+	}
+	dumpMu.Lock()
+	defer dumpMu.Unlock()
+	dumpers[name] = f
+}
+
+// UnregisterDumper removes a previously registered dump closure.
+func UnregisterDumper(name string) {
+	dumpMu.Lock()
+	defer dumpMu.Unlock()
+	delete(dumpers, name)
+}
+
+// DumpAll runs every registered dump closure, returning the paths
+// written. Failures are skipped — in a panic handler there is nobody
+// left to handle them.
+func DumpAll(reason string) []string {
+	dumpMu.Lock()
+	fns := make([]func(string) (string, error), 0, len(dumpers))
+	for _, f := range dumpers {
+		fns = append(fns, f)
+	}
+	dumpMu.Unlock()
+	var paths []string
+	for _, f := range fns {
+		if path, err := f(reason); err == nil && path != "" {
+			paths = append(paths, path)
+		}
+	}
+	return paths
+}

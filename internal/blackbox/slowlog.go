@@ -1,0 +1,91 @@
+package blackbox
+
+import (
+	"sync"
+	"time"
+
+	"kflushing/internal/trace"
+)
+
+// SlowQuery is one captured offender: the full query trace plus enough
+// envelope to place it on the merged timeline (Seq comes from the same
+// global ticket as ring events).
+type SlowQuery struct {
+	Seq           uint64       `json:"seq"`
+	UnixNanos     int64        `json:"unix_nanos"`
+	DurationNanos int64        `json:"duration_nanos"`
+	Trace         *trace.Trace `json:"trace"`
+}
+
+// DefaultSlowLogSize bounds the slow-query ring: offenders are rare by
+// construction (they crossed a threshold), so a short history suffices.
+const DefaultSlowLogSize = 64
+
+// SlowLog is a small mutex-guarded ring of slow queries. Unlike the
+// event rings it may allocate — entries carry full traces and are only
+// appended when a query already blew its latency budget. A nil *SlowLog
+// is the disabled log.
+type SlowLog struct {
+	mu   sync.Mutex
+	buf  []SlowQuery
+	next int
+	n    int
+}
+
+// NewSlowLog builds a slow-query ring of the given capacity; size <= 0
+// selects DefaultSlowLogSize.
+func NewSlowLog(size int) *SlowLog {
+	if size <= 0 {
+		size = DefaultSlowLogSize
+	}
+	return &SlowLog{buf: make([]SlowQuery, size)}
+}
+
+// Add appends one offender, stamping its global sequence number and
+// wall-clock capture time. Nil-safe.
+func (l *SlowLog) Add(tr *trace.Trace, durationNanos int64) {
+	if l == nil {
+		return
+	}
+	entry := SlowQuery{
+		Seq:           NextSeq(),
+		UnixNanos:     time.Now().UnixNano(),
+		DurationNanos: durationNanos,
+		Trace:         tr,
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf[l.next] = entry
+	l.next = (l.next + 1) % len(l.buf)
+	l.n++
+}
+
+// Snapshot returns the retained slow queries, oldest first.
+func (l *SlowLog) Snapshot() []SlowQuery {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	size := len(l.buf)
+	kept := l.n
+	if kept > size {
+		kept = size
+	}
+	out := make([]SlowQuery, 0, kept)
+	for i := 0; i < kept; i++ {
+		out = append(out, l.buf[(l.next-kept+i+size)%size])
+	}
+	return out
+}
+
+// Len reports how many slow queries have ever been captured (not just
+// retained).
+func (l *SlowLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}

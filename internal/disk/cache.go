@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"kflushing/internal/blackbox"
 )
 
 // recordCache is a bounded, sharded LRU over decoded FlushRecords keyed
@@ -14,6 +16,7 @@ import (
 // retired segments simply age out of the LRU.
 type recordCache struct {
 	shards []cacheShard
+	rec    *blackbox.Recorder
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -49,8 +52,8 @@ type cacheShard struct {
 
 // newRecordCache builds a cache holding at most budget bytes across all
 // shards. budget must be positive.
-func newRecordCache(budget int64) *recordCache {
-	c := &recordCache{shards: make([]cacheShard, cacheShardCount)}
+func newRecordCache(budget int64, rec *blackbox.Recorder) *recordCache {
+	c := &recordCache{shards: make([]cacheShard, cacheShardCount), rec: rec}
 	per := budget / cacheShardCount
 	if per < 1 {
 		per = 1
@@ -117,9 +120,11 @@ func (c *recordCache) put(k cacheKey, fr FlushRecord, diskSize int64) {
 		s.used -= en.size
 		evicted++
 	}
+	used := s.used
 	s.mu.Unlock()
 	if evicted > 0 {
 		c.evictions.Add(evicted)
+		c.rec.Record(blackbox.SubCache, blackbox.EvCacheEvict, evicted, used, 0)
 	}
 }
 

@@ -1,14 +1,23 @@
 package disk
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"sort"
+	"time"
 
+	"kflushing/internal/blackbox"
 	"kflushing/internal/failpoint"
 )
+
+// compactorLabels attributes background compaction CPU to its subsystem
+// in profiles.
+var compactorLabels = pprof.Labels("kflushing", "background-compactor")
 
 // Compaction merges old segments into fewer, larger ones. Every flush
 // writes one segment, so segment counts grow without bound and each
@@ -46,11 +55,14 @@ func (t *Tier[K]) CompactOldest(n int) error {
 	inputs := append([]*segment(nil), t.levels[0][:n]...)
 	t.mu.Unlock()
 
+	passStart := time.Now()
 	merged, err := mergeSegmentsTo(inputs, inputs[len(inputs)-1].path)
 	if err != nil {
 		return err
 	}
 	t.compactions.Add(1)
+	t.cfg.Recorder.Record(blackbox.SubCompact, blackbox.EvCompactPass,
+		0, int64(len(inputs)), time.Since(passStart).Nanoseconds())
 	slog.Debug("disk: compacted segments",
 		"dir", t.cfg.Dir, "inputs", len(inputs), "merged", merged.name(),
 		"records", merged.count)
@@ -113,18 +125,33 @@ func (t *Tier[K]) AutoCompact(maxSegments int) error {
 // repeated kicks during a pass coalesce.
 func (t *Tier[K]) compactor() {
 	defer t.compactWG.Done()
-	for {
-		select {
-		case <-t.compactStop:
-			return
-		case <-t.compactKick:
-			if err := t.CompactNow(); err != nil {
-				t.compactionFailures.Add(1)
-				slog.Error("disk: background compaction failed",
-					"dir", t.cfg.Dir, "error", err)
+	// A compactor panic would silently kill background compaction; dump
+	// the flight recorder next to the data it describes, then crash
+	// loudly — the rings hold the compaction events that led here.
+	defer func() {
+		if p := recover(); p != nil {
+			if path, err := t.cfg.Recorder.Dump(t.cfg.Dir, "panic"); err == nil && path != "" {
+				slog.Error("disk: compactor panic, flight recorder dumped", "dump", path)
+			}
+			panic(p)
+		}
+	}()
+	pprof.Do(context.Background(), compactorLabels, func(ctx context.Context) {
+		for {
+			select {
+			case <-t.compactStop:
+				return
+			case <-t.compactKick:
+				rtrace.WithRegion(ctx, "compaction-pass", func() {
+					if err := t.CompactNow(); err != nil {
+						t.compactionFailures.Add(1)
+						slog.Error("disk: background compaction failed",
+							"dir", t.cfg.Dir, "error", err)
+					}
+				})
 			}
 		}
-	}
+	})
 }
 
 // kickCompactor nudges the background compactor; a kick already pending
@@ -244,6 +271,7 @@ func (t *Tier[K]) compactLevel(lvl int, force bool) error {
 	if len(inputs) == 0 || (len(inputs) < 2 && !force) {
 		return nil
 	}
+	passStart := time.Now()
 	seq := t.seq.Add(1)
 	final := filepath.Join(t.cfg.Dir, fmt.Sprintf("lvl-%08d.kfs", seq))
 	merged, err := mergeSegmentsTo(inputs, final)
@@ -286,6 +314,8 @@ func (t *Tier[K]) compactLevel(lvl int, force bool) error {
 	}
 	t.manifestMu.Unlock()
 	t.compactions.Add(1)
+	t.cfg.Recorder.Record(blackbox.SubCompact, blackbox.EvCompactPass,
+		int64(lvl), int64(len(inputs)), time.Since(passStart).Nanoseconds())
 	slog.Debug("disk: compacted level",
 		"dir", t.cfg.Dir, "level", lvl, "inputs", len(inputs),
 		"merged", merged.name(), "records", merged.count)

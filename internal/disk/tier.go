@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kflushing/internal/blackbox"
 	"kflushing/internal/failpoint"
 	"kflushing/internal/query"
 	"kflushing/internal/trace"
@@ -106,6 +107,9 @@ type Config[K comparable] struct {
 	// Retry bounds transient-I/O retries on record reads; the zero
 	// value disables retrying.
 	Retry RetryPolicy
+	// Recorder, when non-nil, receives flush-stage, compaction, cache
+	// eviction and retry events on the engine's flight recorder.
+	Recorder *blackbox.Recorder
 }
 
 // RetryPolicy bounds a retry loop around transient disk errors.
@@ -121,16 +125,25 @@ type RetryPolicy struct {
 // Do runs f, retrying per the policy with exponential backoff. It
 // returns nil as soon as an attempt succeeds, else the last error.
 func (p RetryPolicy) Do(f func() error) error {
+	_, err := p.DoCounted(f)
+	return err
+}
+
+// DoCounted is Do reporting the number of attempts made (1 when the
+// first try succeeds), so callers can surface retry activity.
+func (p RetryPolicy) DoCounted(f func() error) (int, error) {
+	attempts := 1
 	err := f()
 	backoff := p.Backoff
-	for attempt := 0; err != nil && attempt < p.Attempts; attempt++ {
+	for retry := 0; err != nil && retry < p.Attempts; retry++ {
 		if backoff > 0 {
 			time.Sleep(backoff)
 			backoff *= 2
 		}
+		attempts++
 		err = f()
 	}
-	return err
+	return attempts, err
 }
 
 // DefaultCacheBytes is the record-cache budget when Config.CacheBytes
@@ -306,7 +319,7 @@ func Open[K comparable](cfg Config[K]) (*Tier[K], error) {
 		cacheBytes = DefaultCacheBytes
 	}
 	if cacheBytes > 0 {
-		t.cache = newRecordCache(cacheBytes)
+		t.cache = newRecordCache(cacheBytes, cfg.Recorder)
 	}
 	t.parallelism = cfg.SearchParallelism
 	if t.parallelism == 0 {
@@ -632,6 +645,10 @@ func (t *Tier[K]) FlushStaged(recs []FlushRecord) (FlushStats, error) {
 	t.bytesWritten.Add(s.size)
 	t.buildNanos.Add(fs.BuildNanos)
 	t.installNanos.Add(fs.InstallNanos)
+	t.cfg.Recorder.Record(blackbox.SubFlush, blackbox.EvFlushBuild,
+		int64(n), s.size, fs.BuildNanos)
+	t.cfg.Recorder.Record(blackbox.SubFlush, blackbox.EvFlushInstall,
+		int64(n), s.size, fs.InstallNanos)
 
 	if t.cfg.Layout == LayoutLeveled {
 		if !t.compactionEnabled() {
@@ -1024,11 +1041,15 @@ func (t *Tier[K]) readRecordCached(s *segment, ord uint32) (FlushRecord, bool, e
 // whole search.
 func (t *Tier[K]) readRecordRetry(s *segment, ord uint32) (FlushRecord, error) {
 	var fr FlushRecord
-	err := t.cfg.Retry.Do(func() error {
+	attempts, err := t.cfg.Retry.DoCounted(func() error {
 		var err error
 		fr, err = s.readRecord(ord)
 		return err
 	})
+	if attempts > 1 {
+		t.cfg.Recorder.Record(blackbox.SubDisk, blackbox.EvDiskRetry,
+			int64(attempts-1), int64(ord), 0)
+	}
 	return fr, err
 }
 

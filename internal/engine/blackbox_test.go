@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"testing"
+
+	"kflushing/internal/attr"
+	"kflushing/internal/clock"
+	"kflushing/internal/core"
+	"kflushing/internal/query"
+	"kflushing/internal/types"
+	"kflushing/internal/wal"
+)
+
+// newObservedEngine builds a durable keyword engine whose flight
+// recorder sees all three instrumented layers: ingest batches, WAL
+// appends and syncs (SyncEvery=1), and flush pipeline stages.
+func newObservedEngine(t *testing.T, slowQueryNanos int64) *Engine[string] {
+	t.Helper()
+	dir := t.TempDir()
+	eng, err := New(Config[string]{
+		K:              5,
+		MemoryBudget:   1 << 30,
+		FlushFraction:  0.5,
+		KeysOf:         attr.KeywordKeys,
+		KeyHash:        attr.HashString,
+		KeyLen:         attr.KeywordLen,
+		EncodeKey:      attr.KeywordEncode,
+		Clock:          clock.NewLogical(1, 1),
+		DiskDir:        dir,
+		WALDir:         dir + "/wal",
+		WALOptions:     wal.Options{SyncEvery: 1},
+		Policy:         core.New[string](),
+		TrackOverK:     true,
+		SyncFlush:      true,
+		SlowQueryNanos: slowQueryNanos,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// TestBlackboxFlushCycleTimeline drives records through ingest, WAL, and
+// a flush cycle, then checks the recorder's merged view reads as one
+// causal, sequence-ordered story: the WAL appends covering the records
+// precede the flush cycle's prepare/build/install events, and every
+// subsystem the cycle touched is present.
+func TestBlackboxFlushCycleTimeline(t *testing.T) {
+	eng := newObservedEngine(t, 0)
+	for i := 0; i < 30; i++ {
+		ingest(t, eng, int64(i+1), "a", "all")
+	}
+	if _, err := eng.FlushNow(); err != nil {
+		t.Fatalf("FlushNow: %v", err)
+	}
+
+	events := eng.Blackbox().Events()
+	if len(events) == 0 {
+		t.Fatal("recorder captured no events")
+	}
+	var lastSeq uint64
+	firstOf := map[string]uint64{}
+	for _, ev := range events {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("merged events out of sequence order: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if _, ok := firstOf[ev.Event]; !ok {
+			firstOf[ev.Event] = ev.Seq
+		}
+	}
+	for _, want := range []string{"ingest_batch", "wal_append", "wal_sync",
+		"flush_prepare", "flush_build", "flush_install"} {
+		if _, ok := firstOf[want]; !ok {
+			t.Fatalf("no %q event in timeline (got %v)", want, firstOf)
+		}
+	}
+	if firstOf["wal_append"] >= firstOf["flush_build"] {
+		t.Fatalf("WAL append (seq %d) does not precede flush build (seq %d)",
+			firstOf["wal_append"], firstOf["flush_build"])
+	}
+	if firstOf["flush_build"] >= firstOf["flush_install"] {
+		t.Fatalf("flush build (seq %d) does not precede install (seq %d)",
+			firstOf["flush_build"], firstOf["flush_install"])
+	}
+}
+
+// TestBlackboxDisabled checks the negative knob: a recorder-less engine
+// works end to end and reports an empty timeline.
+func TestBlackboxDisabled(t *testing.T) {
+	eng, err := New(Config[string]{
+		K:              3,
+		MemoryBudget:   1 << 30,
+		FlushFraction:  0.5,
+		KeysOf:         attr.KeywordKeys,
+		KeyHash:        attr.HashString,
+		KeyLen:         attr.KeywordLen,
+		EncodeKey:      attr.KeywordEncode,
+		Clock:          clock.NewLogical(1, 1),
+		DiskDir:        t.TempDir(),
+		Policy:         core.New[string](),
+		TrackOverK:     true,
+		SyncFlush:      true,
+		BlackboxEvents: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ingest(t, eng, 1, "a")
+	if _, err := eng.FlushNow(); err != nil {
+		t.Fatalf("FlushNow: %v", err)
+	}
+	if eng.Blackbox() != nil {
+		t.Fatal("BlackboxEvents=-1 still built a recorder")
+	}
+	if evs := eng.Blackbox().Events(); len(evs) != 0 {
+		t.Fatalf("disabled recorder returned %d events", len(evs))
+	}
+}
+
+// TestSlowQueryAutoCapture sets a 1 ns threshold so every untraced
+// search is "slow" and must land in the slow-query log with a full
+// execution trace attached; a traced request (caller-supplied trace) is
+// never double-captured.
+func TestSlowQueryAutoCapture(t *testing.T) {
+	eng := newObservedEngine(t, 1)
+	for i := 0; i < 10; i++ {
+		ingest(t, eng, int64(i+1), "a")
+	}
+	if _, err := eng.Search(query.Request[string]{Keys: []string{"a"}, K: 5}); err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	slow := eng.SlowLog().Snapshot()
+	if len(slow) != 1 {
+		t.Fatalf("slow log holds %d entries after one slow search, want 1", len(slow))
+	}
+	sq := slow[0]
+	if sq.Trace == nil {
+		t.Fatal("slow query captured without a trace")
+	}
+	if sq.DurationNanos <= 0 {
+		t.Fatalf("slow query duration = %d, want > 0", sq.DurationNanos)
+	}
+	if len(sq.Trace.Entries) == 0 {
+		t.Fatal("captured trace probed no index entries")
+	}
+	if sq.Seq == 0 {
+		t.Fatal("slow query not stamped with a global sequence number")
+	}
+}
+
+// TestSlowQueryDisabledByDefault checks that without a threshold the
+// engine builds no slow log and captures nothing.
+func TestSlowQueryDisabledByDefault(t *testing.T) {
+	eng := newObservedEngine(t, 0)
+	ingest(t, eng, 1, "a")
+	if _, err := eng.Search(query.Request[string]{Keys: []string{"a"}, K: 5}); err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	if eng.SlowLog() != nil {
+		t.Fatal("slow log built without a threshold")
+	}
+	if got := eng.SlowLog().Snapshot(); len(got) != 0 {
+		t.Fatalf("nil slow log returned %d entries", len(got))
+	}
+}
+
+// BenchmarkIngestBlackboxOverhead measures sustained single-record
+// ingestion with the flight recorder on (the default) and off, backing
+// the ≤1% overhead budget in results/pr8_blackbox_overhead.txt.
+func BenchmarkIngestBlackboxOverhead(b *testing.B) {
+	run := func(b *testing.B, blackboxEvents int) {
+		eng, err := New(Config[string]{
+			K:              5,
+			MemoryBudget:   1 << 40, // never flush: isolate the ingest path
+			FlushFraction:  0.2,
+			KeysOf:         attr.KeywordKeys,
+			KeyHash:        attr.HashString,
+			KeyLen:         attr.KeywordLen,
+			EncodeKey:      attr.KeywordEncode,
+			Clock:          clock.NewLogical(1, 1),
+			DiskDir:        b.TempDir(),
+			Policy:         core.New[string](),
+			TrackOverK:     true,
+			SyncFlush:      true,
+			BlackboxEvents: blackboxEvents,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		kws := []string{"bench"}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Ingest(&types.Microblog{Keywords: kws, Text: "t"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("enabled", func(b *testing.B) { run(b, 0) })
+	b.Run("disabled", func(b *testing.B) { run(b, -1) })
+}

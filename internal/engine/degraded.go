@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"kflushing/internal/blackbox"
 	"kflushing/internal/disk"
 	"kflushing/internal/failpoint"
 	"kflushing/internal/flushlog"
@@ -216,7 +217,10 @@ func (e *Engine[K]) restoreEvicted(failed []disk.FlushRecord) {
 }
 
 // enterDegraded flips the engine into degraded read-only mode and
-// journals the transition.
+// journals the transition. On the transition edge the flight recorder
+// is dumped to the tier directory: the rings hold the WAL, flush and
+// disk events that led here, which is exactly the evidence an incident
+// review needs.
 func (e *Engine[K]) enterDegraded(cause error) {
 	e.degradedReason.Store(cause.Error())
 	if e.degraded.CompareAndSwap(false, true) {
@@ -224,6 +228,8 @@ func (e *Engine[K]) enterDegraded(cause error) {
 		now := time.Now()
 		e.journal.Begin(e.pol.Name(), flushlog.TriggerDegraded, 0, e.mem.Used(), now)
 		e.journal.End(0, e.mem.Used(), 0, cause)
+		e.bbox.Record(blackbox.SubState, blackbox.EvDegradedEnter, 0, 0, 0)
+		e.dumpBlackbox("degraded")
 	}
 }
 
@@ -236,6 +242,7 @@ func (e *Engine[K]) exitDegraded(via string) {
 		now := time.Now()
 		e.journal.Begin(e.pol.Name(), flushlog.TriggerDegradedClear, 0, e.mem.Used(), now)
 		e.journal.End(0, e.mem.Used(), 0, nil)
+		e.bbox.Record(blackbox.SubState, blackbox.EvDegradedClear, 0, 0, 0)
 	}
 }
 

@@ -11,14 +11,17 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
+	rtrace "runtime/trace"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"kflushing/internal/alloc"
+	"kflushing/internal/blackbox"
 	"kflushing/internal/clock"
 	"kflushing/internal/disk"
 	"kflushing/internal/failpoint"
@@ -123,6 +126,16 @@ type Config[K comparable] struct {
 	// wrappers and ingest scratch through slab pools; PolicyHeap
 	// allocates everything from the Go heap.
 	AllocPolicy alloc.Policy
+	// BlackboxEvents sizes the flight recorder's per-subsystem event
+	// rings: 0 selects blackbox.DefaultRingSize, negative disables the
+	// recorder entirely (benchmark baseline — production keeps it on).
+	BlackboxEvents int
+	// SlowQueryNanos enables the slow-query log: a Search whose wall
+	// time reaches this threshold has its full execution trace captured
+	// into a small ring (served at /debug/slowlog). 0 disables. Note
+	// that capture attaches a trace to every query while enabled, so
+	// misses bypass disk-search coalescing like any traced query.
+	SlowQueryNanos int64
 }
 
 // Engine is one attribute's complete data management system. All
@@ -141,6 +154,14 @@ type Engine[K comparable] struct {
 	// journal is the flush audit ring: one structured event per flush
 	// cycle, served at /debug/flushlog.
 	journal *flushlog.Journal
+
+	// bbox is the always-on flight recorder (nil when disabled by a
+	// negative BlackboxEvents): per-subsystem event rings stamped with a
+	// global sequence, dumped to DiskDir on degraded entry and panic.
+	bbox *blackbox.Recorder
+	// slowlog retains queries that crossed SlowQueryNanos with their
+	// full traces; nil when the threshold is unset.
+	slowlog *blackbox.SlowLog
 
 	wal *wal.Log
 
@@ -212,6 +233,12 @@ func New[K comparable](cfg Config[K]) (*Engine[K], error) {
 	}
 	e := &Engine[K]{cfg: cfg, store: store.New(), clk: cfg.Clock,
 		journal: flushlog.New(flushlog.DefaultSize)}
+	if cfg.BlackboxEvents >= 0 {
+		e.bbox = blackbox.New(cfg.BlackboxEvents)
+	}
+	if cfg.SlowQueryNanos > 0 {
+		e.slowlog = blackbox.NewSlowLog(0)
+	}
 	e.recycler = alloc.NewRecycler[*store.Record](cfg.AllocPolicy)
 	if cfg.AllocPolicy == alloc.PolicyPooled {
 		e.scratch = &sync.Pool{New: func() any { return &ingestScratch[K]{} }}
@@ -251,6 +278,7 @@ func New[K comparable](cfg Config[K]) (*Engine[K], error) {
 		CacheBytes:           cfg.DiskCacheBytes,
 		SearchParallelism:    cfg.DiskSearchParallelism,
 		Retry:                cfg.DiskRetry,
+		Recorder:             e.bbox,
 	})
 	if err != nil {
 		return nil, err
@@ -281,6 +309,7 @@ func New[K comparable](cfg Config[K]) (*Engine[K], error) {
 		if cfg.AllocPolicy == alloc.PolicyPooled {
 			wopt.PooledBuffers = true
 		}
+		wopt.Recorder = e.bbox
 		w, err := wal.Open(cfg.WALDir, wopt)
 		if err != nil {
 			// Construction failed; the open error is the one to
@@ -294,6 +323,14 @@ func New[K comparable](cfg Config[K]) (*Engine[K], error) {
 			_ = tier.Close()
 			return nil, err
 		}
+	}
+	if e.bbox != nil {
+		// Join the process-level dump registry so a panic handler (or
+		// kflushctl-driven DumpAll) can snapshot this engine's rings.
+		// DiskDir is unique per engine, so it doubles as the key.
+		blackbox.RegisterDumper(cfg.DiskDir, func(reason string) (string, error) {
+			return e.bbox.Dump(cfg.DiskDir, reason)
+		})
 	}
 	return e, nil
 }
@@ -384,6 +421,7 @@ func (e *Engine[K]) IngestBatch(mbs []*types.Microblog) ([]types.ID, error) {
 		reason, _ := e.degradedReason.Load().(string)
 		return nil, fmt.Errorf("%w: %s", ErrDegraded, reason)
 	}
+	batchStart := time.Now()
 	ids := make([]types.ID, len(mbs))
 	var recs []*store.Record
 	var recKeys [][]K
@@ -448,6 +486,8 @@ func (e *Engine[K]) IngestBatch(mbs []*types.Microblog) ([]types.ID, error) {
 	e.pol.OnIngest(recs, recKeys)
 	e.reg.Ingested.Add(int64(len(recs)))
 	e.reg.IngestBatches.Add(1)
+	e.bbox.Record(blackbox.SubIngest, blackbox.EvIngestBatch,
+		int64(len(recs)), int64(len(mbs)-len(recs)), time.Since(batchStart).Nanoseconds())
 	e.maybeFlush(flushlog.TriggerBudget)
 	return ids, nil
 }
@@ -514,6 +554,10 @@ func (e *Engine[K]) runFlushLocked(trigger string) {
 // must hold flushMu.
 func (e *Engine[K]) flushCycle(trigger string) (int64, error) {
 	start := time.Now()
+	// A runtime/trace task per cycle: `go tool trace` groups the cycle's
+	// regions (and any GC or scheduler interference) under one span.
+	ctx, task := rtrace.NewTask(context.Background(), "flush-cycle")
+	defer task.End()
 	target := int64(e.cfg.FlushFraction * float64(e.cfg.MemoryBudget))
 	e.journal.Begin(e.pol.Name(), trigger, target, e.mem.Used(), start)
 	// Only budget-triggered background cycles may enqueue their batch to
@@ -523,7 +567,9 @@ func (e *Engine[K]) flushCycle(trigger string) (int64, error) {
 	var freed int64
 	err := failpoint.Eval(failpoint.FlushBegin)
 	if err == nil {
-		freed, err = e.pol.Flush(target)
+		rtrace.WithRegion(ctx, "flush-prepare", func() {
+			freed, err = e.pol.Flush(target)
+		})
 	}
 	prepare := time.Since(start)
 	if err != nil {
@@ -531,10 +577,13 @@ func (e *Engine[K]) flushCycle(trigger string) (int64, error) {
 		// not durably persist goes back into memory before anyone can
 		// observe the gap, then the engine stops accepting writes.
 		releaseStart := time.Now()
-		e.restoreEvicted(e.fsink.takeFailed())
+		failed := e.fsink.takeFailed()
+		e.restoreEvicted(failed)
 		release := time.Since(releaseStart)
 		e.reg.ObserveStage(metrics.StageRelease, release)
 		e.journal.Stage("release", release.Nanoseconds())
+		e.bbox.Record(blackbox.SubFlush, blackbox.EvFlushRelease,
+			int64(len(failed)), 0, release.Nanoseconds())
 	}
 	// Stage accounting: the prepare stage is the gate-held policy run
 	// minus the time the sink spent writing synchronously (enqueued
@@ -543,6 +592,7 @@ func (e *Engine[K]) flushCycle(trigger string) (int64, error) {
 	if p := prepare.Nanoseconds() - write; p > 0 {
 		e.reg.ObserveStage(metrics.StagePrepare, time.Duration(p))
 		e.journal.Stage("prepare", p)
+		e.bbox.Record(blackbox.SubFlush, blackbox.EvFlushPrepare, target, freed, p)
 	}
 	if build > 0 {
 		e.reg.ObserveStage(metrics.StageBuild, time.Duration(build))
@@ -608,6 +658,13 @@ func (e *Engine[K]) Search(req query.Request[K]) (query.Result, error) {
 		op = query.OpSingle
 	}
 	tr := req.Trace
+	// Slow-query capture: with a threshold configured and no caller
+	// trace, attach one speculatively — whether it is kept is decided by
+	// the query's final wall time.
+	slowCapture := tr == nil && e.slowlog != nil
+	if slowCapture {
+		tr = &trace.Trace{}
+	}
 	if tr != nil {
 		tr.Op = op.String()
 		tr.K = k
@@ -667,6 +724,8 @@ func (e *Engine[K]) Search(req query.Request[K]) (query.Result, error) {
 			})
 		}
 	}
+	gatherEnd := time.Now()
+	e.reg.ObserveQueryStage(metrics.QStageIndex, gatherEnd.Sub(start))
 
 	// Hit determination follows Section IV-D: a single-key query hits
 	// when its entry holds k postings; an OR query hits only when EVERY
@@ -690,6 +749,7 @@ func (e *Engine[K]) Search(req query.Request[K]) (query.Result, error) {
 		mem = query.IntersectTopK(lists, k)
 		hit = len(mem) >= k
 	}
+	e.reg.ObserveQueryStage(metrics.QStageHeap, time.Since(gatherEnd))
 
 	if tr != nil {
 		tr.MemoryHit = hit
@@ -700,10 +760,7 @@ func (e *Engine[K]) Search(req query.Request[K]) (query.Result, error) {
 	res := query.Result{Items: mem, MemoryHit: hit}
 	if !res.MemoryHit {
 		res.DiskChecked = true
-		var diskStart time.Time
-		if tr != nil {
-			diskStart = time.Now()
-		}
+		diskStart := time.Now()
 		diskItems, err := e.diskSearch(req.Keys, op, k, tr)
 		if err != nil {
 			return query.Result{}, err
@@ -712,6 +769,7 @@ func (e *Engine[K]) Search(req query.Request[K]) (query.Result, error) {
 			tr.Stage("disk", diskStart)
 		}
 		res.Items = query.MergeTopK([][]query.Item{mem, diskItems}, k)
+		e.reg.ObserveQueryStage(metrics.QStageDisk, time.Since(diskStart))
 	}
 
 	// Inform the policy which memory records the answer used (LRU
@@ -726,10 +784,14 @@ func (e *Engine[K]) Search(req query.Request[K]) (query.Result, error) {
 		e.pol.OnAccess(touched)
 	}
 
-	e.reg.RecordQuery(op.String(), res.MemoryHit, time.Since(start))
+	elapsed := time.Since(start)
+	e.reg.RecordQuery(op.String(), res.MemoryHit, elapsed)
 	if tr != nil {
 		tr.Items = len(res.Items)
 		tr.Stage("total", start)
+	}
+	if slowCapture && elapsed.Nanoseconds() >= e.cfg.SlowQueryNanos {
+		e.slowlog.Add(tr, elapsed.Nanoseconds())
 	}
 	return res, nil
 }
@@ -793,6 +855,28 @@ func (e *Engine[K]) Metrics() *metrics.Registry { return &e.reg }
 // Journal exposes the flush audit journal: one structured event per
 // completed flush cycle, newest DefaultSize retained.
 func (e *Engine[K]) Journal() *flushlog.Journal { return e.journal }
+
+// Blackbox exposes the flight recorder; nil when disabled. Its Events
+// snapshot merges every subsystem ring into one sequence-ordered
+// timeline.
+func (e *Engine[K]) Blackbox() *blackbox.Recorder { return e.bbox }
+
+// SlowLog exposes the slow-query ring; nil unless SlowQueryNanos is
+// configured.
+func (e *Engine[K]) SlowLog() *blackbox.SlowLog { return e.slowlog }
+
+// dumpBlackbox snapshots the flight recorder next to the disk tier. It
+// is called on degraded-mode entry and from panic recovery, so failures
+// are logged, never propagated.
+func (e *Engine[K]) dumpBlackbox(reason string) {
+	path, err := e.bbox.Dump(e.cfg.DiskDir, reason)
+	switch {
+	case err != nil:
+		slog.Error("engine: flight recorder dump failed", "reason", reason, "error", err)
+	case path != "":
+		slog.Warn("engine: flight recorder dumped", "reason", reason, "dump", path)
+	}
+}
 
 // CheckReady verifies the engine can currently accept writes: the disk
 // tier directory must accept new files and the write-ahead log (when
@@ -922,6 +1006,9 @@ func (e *Engine[K]) Stats() Stats {
 func (e *Engine[K]) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	if e.bbox != nil {
+		blackbox.UnregisterDumper(e.cfg.DiskDir)
 	}
 	// Drain any in-flight background flush first (closed is set, so no
 	// new cycle can start once the gate is observed free), then drain

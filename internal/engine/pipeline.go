@@ -1,16 +1,24 @@
 package engine
 
 import (
+	"context"
 	"log/slog"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"kflushing/internal/blackbox"
 	"kflushing/internal/disk"
 	"kflushing/internal/flushlog"
 	"kflushing/internal/metrics"
 	"kflushing/internal/store"
 )
+
+// pipelineLabels attributes the flush pipeline worker's CPU (segment
+// encode, fsync, manifest commits) to its subsystem in profiles.
+var pipelineLabels = pprof.Labels("kflushing", "flush-pipeline-worker")
 
 // flushPipeline decouples a flush cycle's prepare stage (victim
 // selection and eviction, which must run under the flush gate) from its
@@ -72,10 +80,14 @@ func (p *flushPipeline[K]) tryEnqueue(recs []disk.FlushRecord, dead []*store.Rec
 	select {
 	case p.ch <- batch:
 		p.e.reg.PipelineEnqueued.Add(1)
-		p.e.reg.PipelineDepth.Add(1)
+		depth := p.e.reg.PipelineDepth.Add(1)
+		p.e.bbox.Record(blackbox.SubFlush, blackbox.EvFlushEnqueue,
+			int64(len(recs)), depth, 0)
 		return true
 	default:
 		p.e.reg.PipelineFallbacks.Add(1)
+		p.e.bbox.Record(blackbox.SubFlush, blackbox.EvFlushFallback,
+			int64(len(recs)), 0, 0)
 		return false
 	}
 }
@@ -84,10 +96,23 @@ func (p *flushPipeline[K]) tryEnqueue(recs []disk.FlushRecord, dead []*store.Rec
 // enqueue order.
 func (p *flushPipeline[K]) worker() {
 	defer p.wg.Done()
-	for batch := range p.ch {
-		p.e.completeAsync(batch.recs, batch.dead)
-		p.e.reg.PipelineDepth.Add(-1)
-	}
+	defer func() {
+		if r := recover(); r != nil {
+			// Last chance to preserve the evidence: the rings hold the
+			// events leading up to whatever went wrong.
+			p.e.dumpBlackbox("panic")
+			slog.Error("engine: flush pipeline worker panicked", "panic", r)
+			panic(r)
+		}
+	}()
+	pprof.Do(context.Background(), pipelineLabels, func(ctx context.Context) {
+		for batch := range p.ch {
+			rtrace.WithRegion(ctx, "pipeline-complete", func() {
+				p.e.completeAsync(batch.recs, batch.dead)
+			})
+			p.e.reg.PipelineDepth.Add(-1)
+		}
+	})
 }
 
 // close stops intake and drains every queued batch through the worker.
@@ -140,6 +165,8 @@ func (e *Engine[K]) completeAsync(recs []disk.FlushRecord, dead []*store.Record)
 	release := time.Since(releaseStart)
 	e.reg.ObserveStage(metrics.StageRelease, release)
 	e.journal.Stage("release", release.Nanoseconds())
+	e.bbox.Record(blackbox.SubFlush, blackbox.EvFlushRelease,
+		int64(len(recs)), int64(fs.Bytes), release.Nanoseconds())
 	e.journal.End(int64(fs.Bytes), e.mem.Used(), time.Since(start), err)
 	if err != nil {
 		_ = e.fsink.tookWrite() // reset the evidence bit; this batch failed

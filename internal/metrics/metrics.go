@@ -126,6 +126,25 @@ const (
 // constants and the StageLatency histograms.
 var StageNames = [FlushStages]string{"prepare", "build", "install", "release"}
 
+// QueryStages is the number of instrumented query stages: parse (HTTP
+// parameter decoding in the server), index (memory index gather over the
+// query keys), heap (the in-memory merge — top-k heap, OR merge, or AND
+// intersection), disk (tier fallback search plus the memory/disk merge;
+// zero observations while every query hits memory).
+const QueryStages = 4
+
+// Query stage indices for ObserveQueryStage.
+const (
+	QStageParse = iota
+	QStageIndex
+	QStageHeap
+	QStageDisk
+)
+
+// QueryStageNames labels the query stages, index-aligned with the
+// QStage* constants and the QueryStageLatency histograms.
+var QueryStageNames = [QueryStages]string{"parse", "index", "heap", "disk"}
+
 // Registry aggregates one engine's counters. All methods are safe for
 // concurrent use.
 type Registry struct {
@@ -167,6 +186,11 @@ type Registry struct {
 	// install on the tier, release on completion.
 	StageLatency [FlushStages]Histogram
 
+	// QueryStageLatency attributes query latency to its stages (index =
+	// the QStage* constants): where a slow query actually spent its time,
+	// without requiring trace=1.
+	QueryStageLatency [QueryStages]Histogram
+
 	// Flush pipeline activity: PipelineDepth is the current number of
 	// evicted batches queued or building (a gauge); PipelineEnqueued
 	// counts batches handed to the background builder; PipelineFallbacks
@@ -198,6 +222,15 @@ func (r *Registry) ObserveStage(stage int, d time.Duration) {
 		return
 	}
 	r.StageLatency[stage].Observe(d)
+}
+
+// ObserveQueryStage records one query stage execution. stage is one of
+// the QStage* constants; out-of-range stages are ignored.
+func (r *Registry) ObserveQueryStage(stage int, d time.Duration) {
+	if stage < 0 || stage >= QueryStages {
+		return
+	}
+	r.QueryStageLatency[stage].Observe(d)
 }
 
 // HitRatio returns the fraction of queries answered entirely from
@@ -282,6 +315,9 @@ type Snapshot struct {
 	// Stages breaks flushing down by pipeline stage (index = the Stage*
 	// constants; names in StageNames).
 	Stages [FlushStages]PhaseSnapshot
+	// QueryStages attributes query latency by stage (index = the QStage*
+	// constants; names in QueryStageNames).
+	QueryStages [QueryStages]PhaseSnapshot
 	// Pipeline activity: current queue depth, total batches built in the
 	// background, total synchronous fallbacks.
 	PipelineDepth     int64
@@ -344,6 +380,14 @@ func (r *Registry) Snap() Snapshot {
 			Mean: r.StageLatency[i].Mean(),
 			P99:  r.StageLatency[i].Quantile(0.99),
 			Hist: r.StageLatency[i].Snap(),
+		}
+	}
+	for i := range s.QueryStages {
+		s.QueryStages[i] = PhaseSnapshot{
+			Runs: r.QueryStageLatency[i].Count(),
+			Mean: r.QueryStageLatency[i].Mean(),
+			P99:  r.QueryStageLatency[i].Quantile(0.99),
+			Hist: r.QueryStageLatency[i].Snap(),
 		}
 	}
 	s.PipelineDepth = r.PipelineDepth.Load()

@@ -11,8 +11,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"kflushing"
+	"kflushing/internal/blackbox"
 	"kflushing/internal/metrics"
 )
 
@@ -33,6 +35,11 @@ type HandlerOptions struct {
 //	GET  /stats                 per-attribute gauges and counters
 //	GET  /metrics               Prometheus text exposition
 //	GET  /debug/flushlog        flush audit journal (JSON)
+//	GET  /debug/blackbox        flight-recorder merged timeline
+//	                            [?attr=keyword|spatial|user]
+//	                            [&subsystem=ingest|wal|flush|...][&n=256]
+//	GET  /debug/slowlog         auto-captured slow-query traces
+//	                            [?attr=keyword|spatial|user]
 //	GET  /healthz               liveness probe
 //	GET  /readyz                readiness probe (disk + WAL writable,
 //	                            plus per-level disk health and flush
@@ -55,6 +62,8 @@ func (s *Store) HandlerWithOptions(o HandlerOptions) http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/flushlog", s.handleFlushLog)
+	mux.HandleFunc("/debug/blackbox", s.handleBlackbox)
+	mux.HandleFunc("/debug/slowlog", s.handleSlowLog)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -193,6 +202,7 @@ func writeSearch(w http.ResponseWriter, res kflushing.Result, tr *kflushing.Trac
 }
 
 func (s *Store) handleSearchKeywords(w http.ResponseWriter, r *http.Request) {
+	parseStart := time.Now()
 	q := r.URL.Query()
 	var keywords []string
 	for _, kw := range strings.Split(q.Get("q"), ",") {
@@ -220,6 +230,7 @@ func (s *Store) handleSearchKeywords(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.kw.Engine().Metrics().ObserveQueryStage(metrics.QStageParse, time.Since(parseStart))
 	var res kflushing.Result
 	var tr *kflushing.Trace
 	if traceWanted(r) {
@@ -235,6 +246,7 @@ func (s *Store) handleSearchKeywords(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Store) handleSearchNearby(w http.ResponseWriter, r *http.Request) {
+	parseStart := time.Now()
 	q := r.URL.Query()
 	lat, errLat := strconv.ParseFloat(q.Get("lat"), 64)
 	lon, errLon := strconv.ParseFloat(q.Get("lon"), 64)
@@ -256,6 +268,7 @@ func (s *Store) handleSearchNearby(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.sp.Engine().Metrics().ObserveQueryStage(metrics.QStageParse, time.Since(parseStart))
 	var res kflushing.Result
 	var tr *kflushing.Trace
 	if traceWanted(r) {
@@ -271,6 +284,7 @@ func (s *Store) handleSearchNearby(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Store) handleSearchUser(w http.ResponseWriter, r *http.Request) {
+	parseStart := time.Now()
 	id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
 	if err != nil || id == 0 {
 		http.Error(w, "id must be a positive integer", http.StatusBadRequest)
@@ -281,6 +295,7 @@ func (s *Store) handleSearchUser(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.us.Engine().Metrics().ObserveQueryStage(metrics.QStageParse, time.Since(parseStart))
 	var res kflushing.Result
 	var tr *kflushing.Trace
 	if traceWanted(r) {
@@ -312,6 +327,75 @@ func (s *Store) handleFlushLog(w http.ResponseWriter, r *http.Request) {
 		n = v
 	}
 	logs := s.FlushLogs(n)
+	if attr := r.URL.Query().Get("attr"); attr != "" {
+		evs, ok := logs[attr]
+		if !ok {
+			http.Error(w, "attr must be keyword|spatial|user", http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]any{attr: evs})
+		return
+	}
+	writeJSON(w, logs)
+}
+
+// handleBlackbox serves the flight recorder's merged timeline: every
+// attribute system's per-subsystem event rings interleaved in global
+// sequence order, so one flush cycle's WAL, pipeline-stage, and disk
+// events read as a single causal story. ?attr restricts to one attribute
+// system; ?subsystem filters by subsystem name (see blackbox.Subsystems);
+// ?n bounds the response to the most recent n events (default 256).
+func (s *Store) handleBlackbox(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	n := 256
+	if ns := q.Get("n"); ns != "" {
+		v, err := strconv.Atoi(ns)
+		if err != nil || v < 1 || v > 100_000 {
+			http.Error(w, "n must be an integer in [1,100000]", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	byAttr := s.BlackboxEvents()
+	if attr := q.Get("attr"); attr != "" {
+		evs, ok := byAttr[attr]
+		if !ok {
+			http.Error(w, "attr must be keyword|spatial|user", http.StatusBadRequest)
+			return
+		}
+		byAttr = map[string][]kflushing.BlackboxEvent{attr: evs}
+	}
+	if sub := q.Get("subsystem"); sub != "" {
+		if _, ok := blackbox.ParseSubsystem(sub); !ok {
+			http.Error(w, "subsystem must be one of "+strings.Join(blackbox.Subsystems(), "|"),
+				http.StatusBadRequest)
+			return
+		}
+		for a, evs := range byAttr {
+			kept := evs[:0]
+			for _, ev := range evs {
+				if ev.Subsystem == sub {
+					kept = append(kept, ev)
+				}
+			}
+			byAttr[a] = kept
+		}
+	}
+	timeline := blackbox.MergeTimeline(byAttr)
+	if len(timeline) > n {
+		timeline = timeline[len(timeline)-n:]
+	}
+	writeJSON(w, map[string]any{
+		"epoch_unix_nanos": blackbox.EpochUnixNanos(),
+		"events":           timeline,
+	})
+}
+
+// handleSlowLog serves the auto-captured slow-query traces (populated
+// only when the server runs with a slow-query threshold). ?attr
+// restricts to one attribute system.
+func (s *Store) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	logs := s.SlowQueries()
 	if attr := r.URL.Query().Get("attr"); attr != "" {
 		evs, ok := logs[attr]
 		if !ok {
@@ -499,6 +583,18 @@ func (s *Store) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		for i, stage := range metrics.StageNames {
 			labels := fmt.Sprintf("attr=%q,policy=%q,stage=%q", a, stats[a].Policy, stage)
 			writeHistSeries(w, "flush_stage_duration_seconds", labels, stats[a].Metrics.Stages[i].Hist)
+		}
+	}
+
+	// Per-stage attribution of query latency (parse in the HTTP handler,
+	// index/heap/disk in the engine) — where a slow query spent its time,
+	// without requiring trace=1.
+	fmt.Fprintf(w, "# HELP kflushing_query_stage_duration_seconds duration of each query stage\n")
+	fmt.Fprintf(w, "# TYPE kflushing_query_stage_duration_seconds histogram\n")
+	for _, a := range attrs {
+		for i, stage := range metrics.QueryStageNames {
+			labels := fmt.Sprintf("attr=%q,policy=%q,stage=%q", a, stats[a].Policy, stage)
+			writeHistSeries(w, "query_stage_duration_seconds", labels, stats[a].Metrics.QueryStages[i].Hist)
 		}
 	}
 

@@ -65,6 +65,13 @@ func TestMetricsExpositionLints(t *testing.T) {
 		"# TYPE kflushing_flush_pipeline_fallbacks_total counter",
 		"# TYPE kflushing_flush_stage_duration_seconds histogram",
 		`kflushing_flush_stage_duration_seconds_bucket{attr="keyword",policy="kflushing",stage="build"`,
+		// Query-stage latency attribution (PR 8): parse/index/heap/disk
+		// histograms answer "where did a slow query spend its time"
+		// without trace=1.
+		"# TYPE kflushing_query_stage_duration_seconds histogram",
+		`kflushing_query_stage_duration_seconds_bucket{attr="keyword",policy="kflushing",stage="index"`,
+		`kflushing_query_stage_duration_seconds_bucket{attr="keyword",policy="kflushing",stage="heap"`,
+		`kflushing_query_stage_duration_seconds_bucket{attr="keyword",policy="kflushing",stage="disk"`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q", want)

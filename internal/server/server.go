@@ -214,6 +214,28 @@ func (s *Store) FlushLogs(n int) map[string][]kflushing.FlushEvent {
 	}
 }
 
+// BlackboxEvents returns each attribute system's retained flight-recorder
+// events, sequence-ordered within each attribute. Keys are the attribute
+// names ("keyword", "spatial", "user"); the /debug/blackbox handler
+// merges them into one timeline.
+func (s *Store) BlackboxEvents() map[string][]kflushing.BlackboxEvent {
+	return map[string][]kflushing.BlackboxEvent{
+		"keyword": s.kw.BlackboxEvents(),
+		"spatial": s.sp.BlackboxEvents(),
+		"user":    s.us.BlackboxEvents(),
+	}
+}
+
+// SlowQueries returns each attribute system's retained slow-query traces
+// oldest-first (empty unless Options.SlowQueryNanos is set).
+func (s *Store) SlowQueries() map[string][]kflushing.SlowQuery {
+	return map[string][]kflushing.SlowQuery{
+		"keyword": s.kw.SlowQueries(),
+		"spatial": s.sp.SlowQueries(),
+		"user":    s.us.SlowQueries(),
+	}
+}
+
 // Ready verifies every attribute system can serve writes (disk tier
 // writable, WAL appendable when durable), returning per-attribute
 // failure reasons; an empty map means ready.

@@ -22,6 +22,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -29,13 +30,21 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"kflushing/internal/blackbox"
 	"kflushing/internal/disk"
 	"kflushing/internal/failpoint"
 )
+
+// walCommitLabels attributes the group-commit slow path (fsync,
+// rotation) to the WAL in CPU profiles. The per-append fast path stays
+// unlabeled: labeling allocates, and appends are the 0-alloc hot path.
+var walCommitLabels = pprof.Labels("kflushing", "wal-group-commit")
 
 const (
 	fileMagic    = "KFWL"
@@ -66,6 +75,9 @@ type Options struct {
 	// AppendBatch calls via a sync.Pool instead of allocating each time
 	// (AllocPolicy=pooled).
 	PooledBuffers bool
+	// Recorder, when non-nil, receives append/sync/rotate events on the
+	// engine's flight recorder. Recording is allocation-free.
+	Recorder *blackbox.Recorder
 }
 
 // Log is an append-only write-ahead log. Append and AppendBatch are safe
@@ -124,6 +136,8 @@ func (l *Log) logFiles() ([]string, error) {
 // rotateLocked seals the active file and starts a new one. Callers must
 // hold l.mu (or own the log exclusively).
 func (l *Log) rotateLocked() error {
+	rotated := l.bytes
+	start := time.Now()
 	if l.f != nil {
 		if err := l.f.Sync(); err != nil {
 			return err
@@ -164,6 +178,8 @@ func (l *Log) rotateLocked() error {
 	l.f = f
 	l.bytes = headerSize
 	l.sinceSync = 0
+	l.opt.Recorder.Record(blackbox.SubWAL, blackbox.EvWALRotate,
+		int64(l.seq), rotated, time.Since(start).Nanoseconds())
 	return nil
 }
 
@@ -181,6 +197,7 @@ func (l *Log) AppendBatch(frs []disk.FlushRecord) error {
 	if len(frs) == 0 {
 		return nil
 	}
+	start := time.Now()
 	var buf []byte
 	if l.opt.PooledBuffers {
 		pb := encodeBufs.Get().(*[]byte)
@@ -239,17 +256,35 @@ func (l *Log) AppendBatch(frs []disk.FlushRecord) error {
 	l.bytes += int64(len(buf))
 	l.appended.Add(int64(len(frs)))
 	l.sinceSync += len(frs)
+	l.opt.Recorder.Record(blackbox.SubWAL, blackbox.EvWALAppend,
+		int64(len(frs)), int64(len(buf)), time.Since(start).Nanoseconds())
 	if l.opt.SyncEvery > 0 && l.sinceSync >= l.opt.SyncEvery {
-		if err := failpoint.Eval(failpoint.WALSync); err != nil {
-			return err
-		}
-		if err := l.f.Sync(); err != nil {
-			return err
+		// The fsync is the group-commit slow path: label it so CPU
+		// profiles attribute the stall to the WAL, and record the event.
+		frames := l.sinceSync
+		var serr error
+		pprof.Do(context.Background(), walCommitLabels, func(context.Context) {
+			if serr = failpoint.Eval(failpoint.WALSync); serr != nil {
+				return
+			}
+			syncStart := time.Now()
+			if serr = l.f.Sync(); serr != nil {
+				return
+			}
+			l.opt.Recorder.Record(blackbox.SubWAL, blackbox.EvWALSync,
+				int64(frames), l.bytes, time.Since(syncStart).Nanoseconds())
+		})
+		if serr != nil {
+			return serr
 		}
 		l.sinceSync = 0
 	}
 	if l.bytes >= l.opt.MaxFileBytes {
-		return l.rotateLocked()
+		var rerr error
+		pprof.Do(context.Background(), walCommitLabels, func(context.Context) {
+			rerr = l.rotateLocked()
+		})
+		return rerr
 	}
 	return nil
 }

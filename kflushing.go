@@ -33,6 +33,7 @@ import (
 
 	"kflushing/internal/alloc"
 	"kflushing/internal/attr"
+	"kflushing/internal/blackbox"
 	"kflushing/internal/clock"
 	"kflushing/internal/core"
 	"kflushing/internal/disk"
@@ -81,6 +82,14 @@ type (
 	DiskHealth = engine.DiskHealth
 	// LevelStats summarizes one level of a leveled disk tier.
 	LevelStats = disk.LevelStats
+	// BlackboxEvent is one flight-recorder event; see System.BlackboxEvents.
+	BlackboxEvent = blackbox.Event
+	// TimelineEvent is a flight-recorder event tagged with the attribute
+	// system it came from, for multi-system merged timelines.
+	TimelineEvent = blackbox.TimelineEvent
+	// SlowQuery is one auto-captured slow-query trace; see
+	// Options.SlowQueryNanos and System.SlowQueries.
+	SlowQuery = blackbox.SlowQuery
 )
 
 // ErrDegraded reports the system is in degraded read-only mode: a flush
@@ -198,6 +207,18 @@ type Options struct {
 	// WALSyncEvery fsyncs the write-ahead log after this many ingests
 	// when Durable is set; 0 relies on OS buffering.
 	WALSyncEvery int
+	// BlackboxEvents sizes the per-subsystem flight-recorder rings (0
+	// selects the default of 1024 events per subsystem; negative disables
+	// the recorder entirely). The recorder is always-on and lock-free —
+	// its hot-path cost is a few atomic stores — so disabling it is for
+	// measurement, not production.
+	BlackboxEvents int
+	// SlowQueryNanos auto-captures a full execution trace for any search
+	// slower than this many nanoseconds into an in-memory slow-query log
+	// (see SlowQueries and the server's /debug/slowlog). 0 disables.
+	// Tracing a query disables miss coalescing for it, so a traced miss
+	// pays its own disk search.
+	SlowQueryNanos int64
 	// AllocPolicy selects how the hot ingest path allocates: "pooled"
 	// (the default, also selected by "") recycles posting arrays,
 	// record wrappers and per-batch scratch through slab pools so
@@ -314,6 +335,8 @@ func Open(dir string, opt Options) (*System, error) {
 		TrackOverK:            pc.trackOverK,
 		SyncFlush:             opt.SyncFlush,
 		AllocPolicy:           ap,
+		BlackboxEvents:        opt.BlackboxEvents,
+		SlowQueryNanos:        opt.SlowQueryNanos,
 	})
 	if err != nil {
 		return nil, err
@@ -357,6 +380,15 @@ func (s *System) SearchTraced(keywords []string, op Op, k int) (Result, *Trace, 
 // FlushLog returns the most recent n audited flush cycles oldest-first
 // (all retained cycles when n <= 0).
 func (s *System) FlushLog(n int) []FlushEvent { return s.eng.Journal().Last(n) }
+
+// BlackboxEvents returns the flight recorder's retained events across
+// every subsystem, merged in sequence order (empty when the recorder is
+// disabled). See the server's /debug/blackbox for the filtered view.
+func (s *System) BlackboxEvents() []BlackboxEvent { return s.eng.Blackbox().Events() }
+
+// SlowQueries returns the retained auto-captured slow-query traces
+// oldest-first (empty unless Options.SlowQueryNanos is set).
+func (s *System) SlowQueries() []SlowQuery { return s.eng.SlowLog().Snapshot() }
 
 // SetK changes the default top-k threshold at run time.
 func (s *System) SetK(k int) { s.eng.SetK(k) }

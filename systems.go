@@ -59,6 +59,8 @@ func OpenSpatial(dir string, grid *spatial.Grid, opt Options) (*SpatialSystem, e
 		TrackOverK:            pc.trackOverK,
 		SyncFlush:             opt.SyncFlush,
 		AllocPolicy:           ap,
+		BlackboxEvents:        opt.BlackboxEvents,
+		SlowQueryNanos:        opt.SlowQueryNanos,
 	})
 	if err != nil {
 		return nil, err
@@ -111,6 +113,14 @@ func (s *SpatialSystem) SearchCellsTraced(cells []Cell, op Op, k int) (Result, *
 // FlushLog returns the most recent n audited flush cycles oldest-first
 // (all retained cycles when n <= 0).
 func (s *SpatialSystem) FlushLog(n int) []FlushEvent { return s.eng.Journal().Last(n) }
+
+// BlackboxEvents returns the flight recorder's retained events merged in
+// sequence order; see System.BlackboxEvents.
+func (s *SpatialSystem) BlackboxEvents() []BlackboxEvent { return s.eng.Blackbox().Events() }
+
+// SlowQueries returns the retained slow-query traces oldest-first; see
+// System.SlowQueries.
+func (s *SpatialSystem) SlowQueries() []SlowQuery { return s.eng.SlowLog().Snapshot() }
 
 // Ready verifies the system can serve writes; see System.Ready.
 func (s *SpatialSystem) Ready() error { return s.eng.CheckReady() }
@@ -178,6 +188,8 @@ func OpenUser(dir string, opt Options) (*UserSystem, error) {
 		TrackOverK:            pc.trackOverK,
 		SyncFlush:             opt.SyncFlush,
 		AllocPolicy:           ap,
+		BlackboxEvents:        opt.BlackboxEvents,
+		SlowQueryNanos:        opt.SlowQueryNanos,
 	})
 	if err != nil {
 		return nil, err
@@ -208,6 +220,14 @@ func (s *UserSystem) SearchUserTraced(userID uint64, k int) (Result, *Trace, err
 // FlushLog returns the most recent n audited flush cycles oldest-first
 // (all retained cycles when n <= 0).
 func (s *UserSystem) FlushLog(n int) []FlushEvent { return s.eng.Journal().Last(n) }
+
+// BlackboxEvents returns the flight recorder's retained events merged in
+// sequence order; see System.BlackboxEvents.
+func (s *UserSystem) BlackboxEvents() []BlackboxEvent { return s.eng.Blackbox().Events() }
+
+// SlowQueries returns the retained slow-query traces oldest-first; see
+// System.SlowQueries.
+func (s *UserSystem) SlowQueries() []SlowQuery { return s.eng.SlowLog().Snapshot() }
 
 // Ready verifies the system can serve writes; see System.Ready.
 func (s *UserSystem) Ready() error { return s.eng.CheckReady() }

@@ -603,8 +603,17 @@ func parseExposition(r io.Reader) (map[string]map[string]float64, error) {
 // window, flush pipeline depth, compaction backlog, and the degraded
 // flag. count bounds the refreshes so the command terminates in scripts.
 func cmdTop(base string, interval time.Duration, count int) error {
+	// The CLI parser rejects non-positive intervals too, but cmdTop is
+	// the last line of defense: a zero window would turn every rate
+	// column into a division by zero.
+	if interval <= 0 {
+		return fmt.Errorf("top: interval must be positive, got %v", interval)
+	}
 	prev, err := scrapeMetrics(base)
 	if err != nil {
+		return err
+	}
+	if err := checkTopFamilies(prev); err != nil {
 		return err
 	}
 	for i := 0; i < count; i++ {
@@ -615,6 +624,32 @@ func cmdTop(base string, interval time.Duration, count int) error {
 		}
 		renderTop(os.Stdout, prev, cur, interval)
 		prev = cur
+	}
+	return nil
+}
+
+// topFamilies are the metric families the top view is built from; a
+// scrape missing any of them is an older (or foreign) server whose
+// output would render as all-zero columns, so it is rejected up front.
+var topFamilies = []string{
+	"kflushing_ingested_total",
+	"kflushing_queries_total",
+	"kflushing_flush_pipeline_depth",
+}
+
+// checkTopFamilies verifies the first scrape carries the families the
+// watch renders, so a too-old kflushd produces one clear error instead
+// of a table of zeros and dashes.
+func checkTopFamilies(scrape map[string]map[string]float64) error {
+	var missing []string
+	for _, fam := range topFamilies {
+		if len(scrape[fam]) == 0 {
+			missing = append(missing, fam)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("top: metric families %s missing from the scrape; the server is too old (or not kflushd) — upgrade it or use the /metrics endpoint directly",
+			strings.Join(missing, ", "))
 	}
 	return nil
 }

@@ -3,7 +3,7 @@
 // detector cannot check before code runs. It parses and type-checks the
 // whole module on the stdlib go/ast + go/types toolchain (following the
 // hand-written internal/promlint precedent — no external analysis
-// framework) and runs four analyzers:
+// framework) and runs nine analyzers. Four are intraprocedural (v1):
 //
 //   - locksafe: every Lock() is released on all return paths (paired or
 //     deferred), no blocking operation runs while a declared hot mutex
@@ -22,6 +22,27 @@
 //   - errlint: no discarded error from Write/Sync/Close in the
 //     durability-bearing packages (wal, disk, engine) — an unchecked
 //     Close is a silent torn segment.
+//
+// Five are interprocedural and annotation-driven (v2), built on a
+// module-wide function index and static call graph (module.go):
+//
+//   - allocfree: `//kfvet:noalloc` functions contain no allocating
+//     construct and call only allocation-free callees, verified
+//     transitively; `whennil` restricts the contract to the
+//     nil-receiver disabled path (trace probes).
+//   - failpointcov: the failpoint catalog and the fallible I/O surface
+//     of wal/disk/engine stay in lockstep — every declared site is
+//     evaluated, every evaluation uses a declared constant, and every
+//     consumed-error I/O call shares a function with a failpoint.
+//   - lockorder-infer: locksafe's DAG extended with call-graph-
+//     propagated acquisition sets, catching A→f()→B inversions that
+//     thread any number of calls.
+//   - seqlockcheck: the flight recorder's invalidate→fill→publish
+//     writer and load→copy→recheck reader shapes, enforced on every
+//     function that touches a slot (`//kfvet:seqlock writer|reader`).
+//   - epochcheck: the allocator's 2-parity epoch guard arithmetic
+//     (`//kfvet:epoch pin|unpin|advance|free|reclaim`) plus the rule
+//     that posting-copy calls are dominated by a recycler pin.
 //
 // A finding is suppressed by a `//kfvet:allow <analyzer>` comment on
 // the flagged line or the line above it; suppressions are deliberate,
@@ -82,6 +103,53 @@ type Config struct {
 	// ErrlintMethods are the method names whose discarded error returns
 	// errlint reports.
 	ErrlintMethods map[string]bool
+
+	// --- kfvet v2: interprocedural analyzers ---
+
+	// NoallocAllowedPkgs are import paths every function of which is an
+	// allowed callee inside `//kfvet:noalloc` bodies (sync, sync/atomic:
+	// runtime-managed, no heap traffic in steady state).
+	NoallocAllowedPkgs map[string]bool
+	// NoallocAllowedFuncs are individual allowed callees by funcKey
+	// ("time.Since") — vetted non-allocating stdlib calls.
+	NoallocAllowedFuncs map[string]bool
+	// NoallocPoolFuncs are the pool capacity suppliers (SlicePool.Get,
+	// SlicePool.Grow): calls are allowed, and an append whose
+	// destination was assigned from one is pool-fed, not a finding.
+	NoallocPoolFuncs map[string]bool
+	// NoallocExemptCallees are further pool-API callees (Put, recycler
+	// methods) allowed inside noalloc bodies; the pool is the contract
+	// boundary and allocates internally by design.
+	NoallocExemptCallees map[string]bool
+
+	// FailpointEvalFuncs are the failpoint evaluation entry-points by
+	// funcKey; their first argument is a site name.
+	FailpointEvalFuncs map[string]bool
+	// FailpointSitePkg is the import path of the failpoint catalog:
+	// its slash-bearing string constants are the declared sites.
+	FailpointSitePkg string
+	// FailpointCovPkgs are the packages where every consumed-error
+	// fallible I/O call must share a function with a failpoint.
+	FailpointCovPkgs map[string]bool
+	// FallibleIOMethods are fallible I/O methods by "pkg.Type.Method".
+	FallibleIOMethods map[string]bool
+	// FallibleIOFuncs are fallible I/O package functions by "pkg.Func".
+	FallibleIOFuncs map[string]bool
+
+	// SeqlockSlotTypes maps a seqlock slot struct ("pkg.slot") to its
+	// sequence field name; seqlockcheck closes these types' fields to
+	// annotated writers/readers.
+	SeqlockSlotTypes map[string]string
+
+	// EpochGuardTypes are the epoch-guard structs ("pkg.epochGuard")
+	// whose field accesses epochcheck closes to annotated roles.
+	EpochGuardTypes map[string]bool
+	// EpochCopyFuncs are the posting-copy entry-points that must be
+	// dominated by a pin; EpochPinFuncs/EpochUnpinFuncs name the
+	// pin/unpin API.
+	EpochCopyFuncs  map[string]bool
+	EpochPinFuncs   map[string]bool
+	EpochUnpinFuncs map[string]bool
 }
 
 // DefaultConfig returns the declared invariants of this codebase.
@@ -154,6 +222,58 @@ func DefaultConfig() Config {
 		ErrlintMethods: map[string]bool{
 			"Write": true, "WriteString": true, "Sync": true, "Close": true,
 		},
+		NoallocAllowedPkgs: map[string]bool{
+			"sync": true, "sync/atomic": true,
+		},
+		NoallocAllowedFuncs: map[string]bool{
+			"time.Since":                true,
+			"time.Duration.Nanoseconds": true,
+		},
+		NoallocPoolFuncs: map[string]bool{
+			"kflushing/internal/alloc.SlicePool.Get":  true,
+			"kflushing/internal/alloc.SlicePool.Grow": true,
+		},
+		NoallocExemptCallees: map[string]bool{
+			"kflushing/internal/alloc.SlicePool.Put":   true,
+			"kflushing/internal/alloc.ShrinkThreshold": true,
+			"kflushing/internal/alloc.Recycler.Pin":    true,
+			"kflushing/internal/alloc.Recycler.Unpin":  true,
+		},
+		FailpointEvalFuncs: map[string]bool{
+			"kflushing/internal/failpoint.Eval":      true,
+			"kflushing/internal/failpoint.EvalWrite": true,
+		},
+		FailpointSitePkg: "kflushing/internal/failpoint",
+		FailpointCovPkgs: map[string]bool{
+			"kflushing/internal/wal":    true,
+			"kflushing/internal/disk":   true,
+			"kflushing/internal/engine": true,
+		},
+		FallibleIOMethods: map[string]bool{
+			"os.File.Write": true, "os.File.WriteString": true, "os.File.WriteAt": true,
+			"os.File.Sync": true, "os.File.Truncate": true,
+		},
+		FallibleIOFuncs: map[string]bool{
+			"os.Rename": true, "os.Remove": true, "os.RemoveAll": true,
+			"os.Truncate": true, "os.MkdirAll": true, "os.Create": true,
+			"os.CreateTemp": true, "os.WriteFile": true,
+		},
+		SeqlockSlotTypes: map[string]string{
+			"kflushing/internal/blackbox.slot": "seq",
+		},
+		EpochGuardTypes: map[string]bool{
+			"kflushing/internal/alloc.epochGuard": true,
+		},
+		EpochCopyFuncs: map[string]bool{
+			"kflushing/internal/index.Entry.TopK": true,
+			"kflushing/internal/index.Entry.All":  true,
+		},
+		EpochPinFuncs: map[string]bool{
+			"kflushing/internal/alloc.Recycler.Pin": true,
+		},
+		EpochUnpinFuncs: map[string]bool{
+			"kflushing/internal/alloc.Recycler.Unpin": true,
+		},
 	}
 }
 
@@ -176,6 +296,41 @@ func FixtureConfig(pkgPath string) Config {
 		pkgPath + ".Policy": true,
 	}
 	cfg.ErrlintPkgs = map[string]bool{pkgPath: true}
+	// v2 analyzers, keyed to the fixture package's own types. The
+	// annotation-driven passes (allocfree, lockorder-infer) are safe to
+	// arm everywhere; the type/package-scoped ones (failpointcov,
+	// seqlockcheck, epochcheck) arm only in their own fixture so e.g.
+	// the locksafe fixture's deliberate os.File traffic doesn't trip
+	// failpoint coverage.
+	cfg.NoallocPoolFuncs = map[string]bool{
+		pkgPath + ".Pool.Get":  true,
+		pkgPath + ".Pool.Grow": true,
+	}
+	cfg.NoallocExemptCallees = map[string]bool{
+		pkgPath + ".Pool.Put": true,
+	}
+	cfg.FailpointSitePkg = ""
+	cfg.FailpointEvalFuncs = nil
+	cfg.FailpointCovPkgs = nil
+	cfg.SeqlockSlotTypes = nil
+	cfg.EpochGuardTypes = nil
+	cfg.EpochCopyFuncs, cfg.EpochPinFuncs, cfg.EpochUnpinFuncs = nil, nil, nil
+	switch pkgPath {
+	case "failpointcov":
+		cfg.FailpointSitePkg = pkgPath
+		cfg.FailpointEvalFuncs = map[string]bool{
+			pkgPath + ".Eval":      true,
+			pkgPath + ".EvalWrite": true,
+		}
+		cfg.FailpointCovPkgs = map[string]bool{pkgPath: true}
+	case "seqlockcheck":
+		cfg.SeqlockSlotTypes = map[string]string{pkgPath + ".slot": "seq"}
+	case "epochcheck":
+		cfg.EpochGuardTypes = map[string]bool{pkgPath + ".guard": true}
+		cfg.EpochCopyFuncs = map[string]bool{pkgPath + ".Entry.TopK": true}
+		cfg.EpochPinFuncs = map[string]bool{pkgPath + ".Recycler.Pin": true}
+		cfg.EpochUnpinFuncs = map[string]bool{pkgPath + ".Recycler.Unpin": true}
+	}
 	return cfg
 }
 
@@ -208,6 +363,15 @@ func Run(pkgs []*Package, cfg Config) []Finding {
 		runNilRecv(&pass{pkg: pkg, cfg: cfg, findings: &findings, analyzer: "nilrecv"})
 		runErrlint(&pass{pkg: pkg, cfg: cfg, findings: &findings, analyzer: "errlint"})
 	}
+	// The v2 analyzers are interprocedural: they share one module-wide
+	// function index and annotation table built over every package of
+	// the load, so cross-package call chains resolve by object identity.
+	m := buildModule(pkgs, cfg, &findings)
+	runAllocFree(m)
+	runFailpointCov(m)
+	runLockInfer(m)
+	runSeqlockCheck(m)
+	runEpochCheck(m)
 	findings = applySuppressions(pkgs, findings)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]

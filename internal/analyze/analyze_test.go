@@ -15,7 +15,10 @@ import (
 // functions therefore prove silence as strictly as the positives prove
 // detection.
 func TestFixtures(t *testing.T) {
-	for _, name := range []string{"locksafe", "atomiccheck", "nilrecv", "errlint"} {
+	for _, name := range []string{
+		"locksafe", "atomiccheck", "nilrecv", "errlint",
+		"allocfree", "failpointcov", "lockinfer", "seqlockcheck", "epochcheck",
+	} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", name)
 			pkg, err := LoadDir(dir)
@@ -88,6 +91,69 @@ func TestModuleClean(t *testing.T) {
 	}
 	for _, f := range Run(pkgs, DefaultConfig()) {
 		t.Errorf("%s", f)
+	}
+}
+
+// TestProtocolAnnotationsPresent pins the module's annotation surface:
+// the hot paths, seqlock halves and epoch roles the v2 analyzers verify
+// must stay annotated, or the verification silently switches off. It
+// also pins the failpoint catalog diff at empty — every declared site
+// reachable by the crash matrix.
+func TestProtocolAnnotationsPresent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide type-check is slow; skipped with -short")
+	}
+	pkgs, err := LoadModule("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := Coverage(pkgs, DefaultConfig())
+	has := func(list []string, entry string) bool {
+		for _, e := range list {
+			if e == entry {
+				return true
+			}
+		}
+		return false
+	}
+	for _, entry := range []string{
+		"kflushing/internal/index.Entry.insert",
+		"kflushing/internal/index.Entry.TrimBeyondTopK",
+		"kflushing/internal/store.Store.Put",
+		"kflushing/internal/store.Store.Remove",
+		"kflushing/internal/blackbox.Recorder.Record",
+		"kflushing/internal/trace.Trace.Stage (whennil)",
+		"kflushing/internal/trace.DiskProbe.AddSegment (whennil)",
+	} {
+		if !has(cov.Noalloc, entry) {
+			t.Errorf("noalloc annotation missing: %s", entry)
+		}
+	}
+	for _, entry := range []string{
+		"kflushing/internal/blackbox.Recorder.Record (writer)",
+		"kflushing/internal/blackbox.readSlot (reader)",
+	} {
+		if !has(cov.Seqlock, entry) {
+			t.Errorf("seqlock annotation missing: %s", entry)
+		}
+	}
+	for _, entry := range []string{
+		"kflushing/internal/alloc.epochGuard.pin (pin)",
+		"kflushing/internal/alloc.epochGuard.unpin (unpin)",
+		"kflushing/internal/alloc.epochGuard.tryAdvance (advance)",
+		"kflushing/internal/alloc.Recycler.Free (free)",
+		"kflushing/internal/alloc.Recycler.reclaimLocked (reclaim)",
+	} {
+		if !has(cov.Epoch, entry) {
+			t.Errorf("epoch annotation missing: %s", entry)
+		}
+	}
+	if len(cov.Dead) > 0 {
+		t.Errorf("failpoint sites declared but never evaluated: %v", cov.Dead)
+	}
+	if len(cov.Declared) == 0 || len(cov.Declared) != len(cov.Evaluated) {
+		t.Errorf("failpoint catalog diff not empty: %d declared, %d evaluated",
+			len(cov.Declared), len(cov.Evaluated))
 	}
 }
 

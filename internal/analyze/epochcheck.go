@@ -1,0 +1,414 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"sort"
+)
+
+// epochcheck verifies the allocator's 2-parity epoch reclamation
+// protocol (DESIGN.md §7.6) structurally. The guard's correctness is
+// arithmetic — registration parity e&1, straggler check on (e+1)&1,
+// quarantine expiry at freeEpoch+2 — and a refactor that changes one
+// constant silently converts "provably unreachable" into "reused
+// under a live reader". The checks are annotation-driven:
+//
+//	//kfvet:epoch pin      registers in the CURRENT parity
+//	                       (active[e&1].Add(1)) and re-validates the
+//	                       global epoch afterwards (the racing-advance
+//	                       window).
+//	//kfvet:epoch unpin    decrements the SAME parity it pinned; it
+//	                       must never touch the opposite slot.
+//	//kfvet:epoch advance  checks the PREVIOUS parity ((e+1)&1) for
+//	                       stragglers and moves the epoch with a
+//	                       CompareAndSwap(e, e+1).
+//	//kfvet:epoch free     stamps quarantined objects with a plain
+//	                       load of the global epoch and never writes
+//	                       it.
+//	//kfvet:epoch reclaim  releases quarantine only on a
+//	                       freeEpoch+2 <= global comparison — the +2
+//	                       is the two-parity safety margin.
+//
+// Any function touching a configured guard's fields without an epoch
+// annotation is a finding: the protocol surface is closed.
+//
+// Separately, the pin-domination rule: every function calling a
+// configured posting-copy routine (Config.EpochCopyFuncs — the
+// entry-points that copy pooled pointers out of shared structures)
+// must call a configured Pin before the first copy and an Unpin
+// somewhere in the function (conventionally deferred). Copying
+// pooled postings outside a pin window is exactly the use-after-
+// reclaim the guard exists to prevent.
+//
+// Soundness limits: parity is recognized syntactically (x&1 is
+// "same", (x+1)&1 is "opposite", anything else unknown and exempt);
+// the expiry scan requires every compare-against-sum in a reclaim
+// function to use +2, so unrelated arithmetic comparisons there
+// would need restructuring; and pin-domination is position-based
+// within one function body, not flow-sensitive.
+func runEpochCheck(m *module) {
+	if len(m.cfg.EpochGuardTypes) == 0 {
+		return
+	}
+	for _, fi := range m.infos {
+		acc := guardAccesses(m, fi)
+		if fi.ann.epoch == "" {
+			if len(acc) > 0 {
+				m.report("epochcheck", acc[0].pos,
+					"%s touches epoch-guard field %q without a %s annotation; the guard protocol is closed to ad-hoc access",
+					fi.decl.Name.Name, acc[0].field, epochMarker)
+			}
+			continue
+		}
+		switch fi.ann.epoch {
+		case "pin":
+			checkEpochPin(m, fi, acc)
+		case "unpin":
+			checkEpochUnpin(m, fi, acc)
+		case "advance":
+			checkEpochAdvance(m, fi, acc)
+		case "free":
+			checkEpochFree(m, fi, acc)
+		case "reclaim":
+			checkEpochReclaim(m, fi, acc)
+		}
+	}
+	checkPinDomination(m)
+}
+
+// Parity of an active[...] index expression.
+const (
+	paritySame     = 0  // e&1: the epoch's own slot
+	parityOpposite = 1  // (e+1)&1: the previous/next slot
+	parityUnknown  = -1 // anything else
+)
+
+// guardAccess is one atomic operation on an epoch guard's fields.
+type guardAccess struct {
+	field  string // "global" or "active"
+	parity int    // for active accesses
+	op     string // atomic method name
+	call   *ast.CallExpr
+	pos    token.Pos
+}
+
+// guardAccesses collects every atomic method call on a configured
+// guard's fields, in source order.
+func guardAccesses(m *module, fi *funcInfo) []guardAccess {
+	var out []guardAccess
+	info := fi.pkg.Info
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		target := ast.Unparen(sel.X)
+		parity := parityUnknown
+		if idx, ok := target.(*ast.IndexExpr); ok {
+			parity = parityOf(idx.Index)
+			target = ast.Unparen(idx.X)
+		}
+		inner, ok := target.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		named := namedOf(info.TypeOf(inner.X))
+		if named == nil || named.Obj().Pkg() == nil {
+			return true
+		}
+		if !m.cfg.EpochGuardTypes[named.Obj().Pkg().Path()+"."+named.Obj().Name()] {
+			return true
+		}
+		out = append(out, guardAccess{
+			field:  inner.Sel.Name,
+			parity: parity,
+			op:     sel.Sel.Name,
+			call:   call,
+			pos:    call.Pos(),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// parityOf classifies an active[] index expression.
+func parityOf(idx ast.Expr) int {
+	bin, ok := ast.Unparen(idx).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.AND {
+		return parityUnknown
+	}
+	switch x := ast.Unparen(bin.X).(type) {
+	case *ast.Ident:
+		return paritySame
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD {
+			return parityOpposite
+		}
+	}
+	return parityUnknown
+}
+
+func checkEpochPin(m *module, fi *funcInfo, acc []guardAccess) {
+	registered := false
+	for _, a := range acc {
+		if a.field != "active" {
+			continue
+		}
+		if a.parity == parityOpposite {
+			m.report("epochcheck", a.pos,
+				"epoch pin %s touches the opposite parity slot; registration belongs in active[e&1]", fi.decl.Name.Name)
+		}
+		if a.op == "Add" && a.parity == paritySame && constIntArg(fi.pkg, a.call) == 1 {
+			registered = true
+		}
+	}
+	if !registered {
+		m.report("epochcheck", fi.decl.Pos(),
+			"epoch pin %s never registers with active[e&1].Add(1)", fi.decl.Name.Name)
+	}
+	if !hasGuardLoadComparison(fi, acc) {
+		m.report("epochcheck", fi.decl.Pos(),
+			"epoch pin %s does not re-validate the global epoch after registering; a racing advance can strand the pin in the wrong parity",
+			fi.decl.Name.Name)
+	}
+}
+
+func checkEpochUnpin(m *module, fi *funcInfo, acc []guardAccess) {
+	released, wrongParity := false, false
+	for _, a := range acc {
+		if a.field != "active" {
+			continue
+		}
+		if a.parity == parityOpposite {
+			wrongParity = true
+			m.report("epochcheck", a.pos,
+				"epoch unpin %s decrements the opposite parity slot; the release must mirror the pin (active[e&1])", fi.decl.Name.Name)
+			continue
+		}
+		if a.op == "Add" && a.parity == paritySame && constIntArg(fi.pkg, a.call) == -1 {
+			released = true
+		}
+	}
+	if !released && !wrongParity {
+		m.report("epochcheck", fi.decl.Pos(),
+			"epoch unpin %s never releases with active[e&1].Add(-1)", fi.decl.Name.Name)
+	}
+}
+
+func checkEpochAdvance(m *module, fi *funcInfo, acc []guardAccess) {
+	checkedPrev := false
+	wrongGate := false
+	cas := false
+	for _, a := range acc {
+		if a.field == "active" && a.op == "Load" {
+			if a.parity == parityOpposite {
+				checkedPrev = true
+			} else if a.parity == paritySame {
+				wrongGate = true
+				m.report("epochcheck", a.pos,
+					"epoch advance %s checks the current parity for stragglers; the gate is the PREVIOUS parity, active[(e+1)&1]",
+					fi.decl.Name.Name)
+			}
+		}
+		if a.field == "global" && a.op == "CompareAndSwap" {
+			cas = true
+			if len(a.call.Args) == 2 {
+				if add, ok := ast.Unparen(a.call.Args[1]).(*ast.BinaryExpr); !ok || add.Op != token.ADD {
+					m.report("epochcheck", a.pos,
+						"epoch advance %s must CAS the global epoch from e to e+1", fi.decl.Name.Name)
+				}
+			}
+		}
+		if a.field == "global" && (a.op == "Store" || a.op == "Add") {
+			m.report("epochcheck", a.pos,
+				"epoch advance %s writes the global epoch without CompareAndSwap; racing advances would skip a parity", fi.decl.Name.Name)
+		}
+	}
+	if !checkedPrev && !wrongGate {
+		m.report("epochcheck", fi.decl.Pos(),
+			"epoch advance %s never checks active[(e+1)&1] for straggling readers before advancing", fi.decl.Name.Name)
+	}
+	if !cas {
+		m.report("epochcheck", fi.decl.Pos(),
+			"epoch advance %s never CompareAndSwaps the global epoch", fi.decl.Name.Name)
+	}
+}
+
+func checkEpochFree(m *module, fi *funcInfo, acc []guardAccess) {
+	stamped := false
+	for _, a := range acc {
+		if a.field == "global" {
+			switch a.op {
+			case "Load":
+				stamped = true
+			default:
+				m.report("epochcheck", a.pos,
+					"epoch free %s writes the global epoch; free only stamps (Load), advancing is the reclaim path's job", fi.decl.Name.Name)
+			}
+		}
+		if a.field == "active" {
+			m.report("epochcheck", a.pos,
+				"epoch free %s touches reader registration; free must not interact with pins", fi.decl.Name.Name)
+		}
+	}
+	if !stamped {
+		m.report("epochcheck", fi.decl.Pos(),
+			"epoch free %s never loads the global epoch; unstamped quarantine has no expiry", fi.decl.Name.Name)
+	}
+}
+
+func checkEpochReclaim(m *module, fi *funcInfo, acc []guardAccess) {
+	for _, a := range acc {
+		if a.field == "global" && a.op != "Load" {
+			m.report("epochcheck", a.pos,
+				"epoch reclaim %s writes the global epoch directly; advancing must go through the advance role", fi.decl.Name.Name)
+		}
+	}
+	// The expiry comparison: some `x+2 <= global` (in any comparison
+	// direction). Every compare-against-sum in a reclaim function must
+	// carry the +2 — a +1 here is the classic off-by-one that reuses
+	// under a live reader.
+	found, wrongMargin := false, false
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.LEQ, token.LSS, token.GEQ, token.GTR:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			add, ok := ast.Unparen(side).(*ast.BinaryExpr)
+			if !ok || add.Op != token.ADD {
+				continue
+			}
+			q, ok := constIntExpr(fi.pkg, add.Y)
+			if !ok {
+				continue
+			}
+			if q == 2 {
+				found = true
+			} else {
+				wrongMargin = true
+				m.report("epochcheck", bin.Pos(),
+					"epoch reclaim %s compares quarantine expiry with +%d; the two-parity guard requires freeEpoch+2 <= global",
+					fi.decl.Name.Name, q)
+			}
+		}
+		return true
+	})
+	if !found && !wrongMargin {
+		m.report("epochcheck", fi.decl.Pos(),
+			"epoch reclaim %s has no freeEpoch+2 <= global expiry comparison; quarantine never provably expires", fi.decl.Name.Name)
+	}
+}
+
+// hasGuardLoadComparison reports whether some ==/!= comparison in the
+// body has a guard global.Load call as one side — the pin
+// re-validation.
+func hasGuardLoadComparison(fi *funcInfo, acc []guardAccess) bool {
+	loads := make(map[*ast.CallExpr]bool)
+	for _, a := range acc {
+		if a.field == "global" && a.op == "Load" {
+			loads[a.call] = true
+		}
+	}
+	found := false
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			if call, ok := ast.Unparen(side).(*ast.CallExpr); ok && loads[call] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkPinDomination enforces the pin window around posting-copy
+// calls in every module function.
+func checkPinDomination(m *module) {
+	cfg := m.cfg
+	if len(cfg.EpochCopyFuncs) == 0 {
+		return
+	}
+	for _, fi := range m.infos {
+		var firstCopy *ast.CallExpr
+		var copyName string
+		pinPos := token.NoPos
+		unpinned := false
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(fi.pkg, call)
+			if fn == nil {
+				return true
+			}
+			key := funcKey(fn)
+			switch {
+			case cfg.EpochCopyFuncs[key]:
+				if firstCopy == nil || call.Pos() < firstCopy.Pos() {
+					firstCopy = call
+					copyName = key
+				}
+			case cfg.EpochPinFuncs[key]:
+				if !pinPos.IsValid() || call.Pos() < pinPos {
+					pinPos = call.Pos()
+				}
+			case cfg.EpochUnpinFuncs[key]:
+				unpinned = true
+			}
+			return true
+		})
+		if firstCopy == nil {
+			continue
+		}
+		if !pinPos.IsValid() || pinPos > firstCopy.Pos() {
+			m.report("epochcheck", firstCopy.Pos(),
+				"%s copies pooled postings via %s without a preceding recycler pin; the copy can race reclamation",
+				fi.decl.Name.Name, copyName)
+		} else if !unpinned {
+			m.report("epochcheck", firstCopy.Pos(),
+				"%s pins the recycler but never unpins; the stranded registration blocks epoch advance forever", fi.decl.Name.Name)
+		}
+	}
+}
+
+// constIntArg resolves a call's single argument to an int constant,
+// or 0 with no match.
+func constIntArg(pkg *Package, call *ast.CallExpr) int64 {
+	if len(call.Args) != 1 {
+		return 0
+	}
+	if v, ok := constIntExpr(pkg, call.Args[0]); ok {
+		return v
+	}
+	return 0
+}
+
+// constIntExpr resolves an expression to its integer constant value.
+func constIntExpr(pkg *Package, e ast.Expr) (int64, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	if !exact {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,251 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// failpointcov keeps the failpoint catalog and the fallible I/O
+// surface of the durability packages in lockstep, so new I/O cannot
+// silently escape the crash matrix and dead catalog entries cannot
+// accumulate. Three checks, all module-wide:
+//
+//  1. Catalog diff. A failpoint site is a package-level string
+//     constant in Config.FailpointSitePkg whose value contains "/"
+//     (the site-name grammar; plain strings like the env-var name are
+//     not sites). Every declared site must be evaluated somewhere in
+//     the module, and every Eval/EvalWrite argument must be a
+//     declared constant — string literals at call sites would bypass
+//     the catalog and the crash matrix that iterates it.
+//
+//  2. Adjacency. In Config.FailpointCovPkgs (wal, disk, engine),
+//     every fallible I/O call whose error is consumed must share a
+//     function with at least one failpoint evaluation. Per-function
+//     granularity matches how the crash matrix exercises code: the
+//     failpoint fires where the protocol step runs, so a function
+//     performing I/O with no site is a protocol step the matrix
+//     cannot interrupt. Best-effort calls that explicitly discard
+//     the error (`_ = os.Remove(tmp)`) and deferred cleanups are
+//     exempt: they are not durability steps, and errlint separately
+//     polices which errors may be discarded.
+//
+// Soundness limits: adjacency is per-function, not per-statement, so
+// one Eval covers all I/O in its function; I/O reached through
+// helpers in non-covered packages is out of scope; and the "/" site
+// grammar is a convention, not a type.
+func runFailpointCov(m *module) {
+	cfg := m.cfg
+	if cfg.FailpointSitePkg == "" || len(cfg.FailpointEvalFuncs) == 0 {
+		return
+	}
+
+	// Declared sites, from the catalog package's string constants.
+	declared := declaredSites(m.pkgs, cfg)
+	if len(declared) == 0 {
+		return // catalog package not in this load; nothing to diff
+	}
+
+	// Evaluated sites, from every Eval/EvalWrite call in the module.
+	evaluated := evaluatedSites(m.pkgs, cfg, declared, m)
+
+	// Catalog diff: declared but never evaluated.
+	var dead []string
+	for site := range declared {
+		if !evaluated[site] {
+			dead = append(dead, site)
+		}
+	}
+	sort.Strings(dead)
+	for _, site := range dead {
+		m.report("failpointcov", declared[site],
+			"failpoint site %q is declared but never evaluated; dead catalog entries make the crash matrix lie", site)
+	}
+
+	// Adjacency in the covered packages.
+	for _, pkg := range m.pkgs {
+		if !cfg.FailpointCovPkgs[pkg.Path] {
+			continue
+		}
+		pkg := pkg
+		funcBodies(pkg, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			checkFailpointAdjacency(m, pkg, decl, body)
+		})
+	}
+}
+
+// declaredSites collects the failpoint catalog: package-level string
+// constants in cfg.FailpointSitePkg whose value contains "/".
+func declaredSites(pkgs []*Package, cfg Config) map[string]token.Pos {
+	declared := make(map[string]token.Pos)
+	for _, pkg := range pkgs {
+		if pkg.Path != cfg.FailpointSitePkg {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						cn, ok := pkg.Info.Defs[name].(*types.Const)
+						if !ok {
+							continue
+						}
+						if val, ok := constValueString(cn); ok && strings.Contains(val, "/") {
+							declared[val] = name.Pos()
+						}
+					}
+				}
+			}
+		}
+	}
+	return declared
+}
+
+// evaluatedSites collects every constant site passed to an
+// Eval/EvalWrite call anywhere in the module. When m is non-nil,
+// non-constant and undeclared site arguments are reported as findings;
+// with m nil (the Coverage path) they are silently skipped.
+func evaluatedSites(pkgs []*Package, cfg Config, declared map[string]token.Pos, m *module) map[string]bool {
+	evaluated := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := staticCallee(pkg, call)
+				if fn == nil || !cfg.FailpointEvalFuncs[funcKey(fn)] || len(call.Args) == 0 {
+					return true
+				}
+				site, ok := constStringArg(pkg, call.Args[0])
+				if !ok {
+					if m != nil {
+						m.report("failpointcov", call.Args[0].Pos(),
+							"failpoint site argument %s is not a compile-time constant; sites must come from the catalog",
+							types.ExprString(call.Args[0]))
+					}
+					return true
+				}
+				if _, ok := declared[site]; !ok {
+					if m != nil {
+						m.report("failpointcov", call.Args[0].Pos(),
+							"failpoint site %q is not declared in %s; the crash matrix cannot reach it", site, cfg.FailpointSitePkg)
+					}
+					return true
+				}
+				evaluated[site] = true
+				return true
+			})
+		}
+	}
+	return evaluated
+}
+
+// checkFailpointAdjacency reports consumed-error fallible I/O in a
+// function containing no failpoint evaluation.
+func checkFailpointAdjacency(m *module, pkg *Package, decl *ast.FuncDecl, body *ast.BlockStmt) {
+	cfg := m.cfg
+	hasEval := false
+	exempt := make(map[token.Pos]bool) // discarded-error and deferred call positions
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := staticCallee(pkg, n); fn != nil && cfg.FailpointEvalFuncs[funcKey(fn)] {
+				hasEval = true
+			}
+		case *ast.DeferStmt:
+			markCalls(n.Call, exempt)
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN && allBlank(n.Lhs) {
+				for _, rhs := range n.Rhs {
+					markCalls(rhs, exempt)
+				}
+			}
+		}
+		return true
+	})
+	if hasEval {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || exempt[call.Pos()] {
+			return true
+		}
+		if why := fallibleIOCall(m, pkg, call); why != "" {
+			m.report("failpointcov", call.Pos(),
+				"fallible I/O call %s in %s has no adjacent failpoint; register a site in %s so the crash matrix can interrupt it",
+				why, decl.Name.Name, cfg.FailpointSitePkg)
+		}
+		return true
+	})
+}
+
+// fallibleIOCall classifies a call against the configured fallible
+// I/O surface, returning its display name or "".
+func fallibleIOCall(m *module, pkg *Package, call *ast.CallExpr) string {
+	fn := staticCallee(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		if named := namedOf(recv.Type()); named != nil && named.Obj().Pkg() != nil {
+			key := named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+			if m.cfg.FallibleIOMethods[key] {
+				return key
+			}
+		}
+		return ""
+	}
+	key := fn.Pkg().Path() + "." + fn.Name()
+	if m.cfg.FallibleIOFuncs[key] {
+		return key
+	}
+	return ""
+}
+
+// markCalls records the positions of every call inside e.
+func markCalls(e ast.Expr, set map[token.Pos]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			set[call.Pos()] = true
+		}
+		return true
+	})
+}
+
+// allBlank reports whether every expression is the blank identifier.
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}
+
+// constValueString extracts a string constant's value.
+func constValueString(c *types.Const) (string, bool) {
+	v := c.Val()
+	if v == nil || v.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(v), true
+}

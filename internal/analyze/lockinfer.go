@@ -1,0 +1,163 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockorder-infer extends locksafe's declared lock-order DAG across
+// function boundaries. locksafe proves that no single function body
+// acquires locks against the DAG, but an inversion that threads a
+// call — A.Lock(); f() where f (or anything it calls) takes B with
+// rank(B) <= rank(A) — is invisible intraprocedurally. This pass:
+//
+//  1. Computes, for every module function, its ranked acquisition
+//     summary: the set of DAG-ranked locks the function may acquire,
+//     directly or transitively through static calls, with one example
+//     call chain retained for the report.
+//  2. Re-runs locksafe's held-state machine in silent mode and, at
+//     every call site, checks the callee's summary against the locks
+//     currently held: a summary entry with rank <= a held lock's rank
+//     is a propagated order violation.
+//
+// Soundness limits (DESIGN.md §7.8): summaries are path-insensitive
+// (an acquisition behind an unreachable branch still propagates);
+// dynamic dispatch — func values and interface methods — contributes
+// no edges, which is why policy callbacks are separately banned under
+// hot locks by locksafe; acquisitions inside function literals are
+// excluded from summaries (goroutine bodies run under their own lock
+// state, where locksafe checks them); and a callee that releases the
+// caller's lock before re-acquiring is modeled only by convention
+// (helpers named *Locked are assumed to run entirely under the
+// caller's lock and are skipped for the lock they were handed).
+
+// acqInfo is one ranked acquisition reachable from a function.
+type acqInfo struct {
+	rankKey string
+	rank    int
+	pos     token.Pos // the acquisition site
+	via     string    // example call chain, "f → g → h"
+}
+
+// acqSummary maps rankKey to the acquisition reaching it.
+type acqSummary map[string]acqInfo
+
+func runLockInfer(m *module) {
+	if len(m.cfg.LockRank) == 0 {
+		return
+	}
+	sums := make(map[*types.Func]acqSummary, len(m.infos))
+	edges := make(map[*types.Func][]*types.Func, len(m.infos))
+
+	// Phase 1a: direct acquisitions and static call edges.
+	for _, fi := range m.infos {
+		c := &lockChecker{p: &pass{pkg: fi.pkg, cfg: m.cfg, findings: m.findings}, silent: true}
+		sum := make(acqSummary)
+		var callees []*types.Func
+		inspectSkipLits(fi.decl.Body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if op, lockExpr := c.classifyMutexCall(call); op == opLock || op == opRLock {
+				rk := c.lockRankKey(lockExpr)
+				if r, ok := m.cfg.LockRank[rk]; ok {
+					if _, dup := sum[rk]; !dup {
+						sum[rk] = acqInfo{rankKey: rk, rank: r, pos: call.Pos(), via: funcKey(fi.fn)}
+					}
+				}
+				return
+			}
+			if fn := staticCallee(fi.pkg, call); fn != nil && !isIfaceMethod(fn) {
+				if _, inModule := m.byFunc[fn]; inModule {
+					callees = append(callees, fn)
+				}
+			}
+		})
+		sums[fi.fn] = sum
+		edges[fi.fn] = callees
+	}
+
+	// Phase 1b: propagate summaries to a fixpoint. Entries are only
+	// added, never replaced, so iteration terminates.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range m.infos {
+			sum := sums[fi.fn]
+			for _, g := range edges[fi.fn] {
+				for rk, ai := range sums[g] {
+					if _, ok := sum[rk]; !ok {
+						sum[rk] = acqInfo{rankKey: rk, rank: ai.rank, pos: ai.pos, via: funcKey(fi.fn) + " → " + ai.via}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 2: walk every function with the held-state machine and
+	// check callee summaries at each call site.
+	seen := make(map[string]bool)
+	for _, fi := range m.infos {
+		fi := fi
+		c := &lockChecker{p: &pass{pkg: fi.pkg, cfg: m.cfg, findings: m.findings}, silent: true}
+		c.onCall = func(call *ast.CallExpr, held []heldLock) {
+			fn := staticCallee(fi.pkg, call)
+			if fn == nil || isIfaceMethod(fn) {
+				return
+			}
+			sum := sums[fn]
+			if len(sum) == 0 {
+				return
+			}
+			lockedHelper := strings.HasSuffix(fn.Name(), "Locked")
+			for _, h := range held {
+				if h.rank < 0 {
+					continue
+				}
+				for rk, ai := range sum {
+					if ai.rank > h.rank {
+						continue
+					}
+					if lockedHelper && rk == h.rankKey {
+						// By convention a *Locked helper runs under the
+						// caller's lock; the matching acquisition in its
+						// summary is the caller's own transfer pattern.
+						continue
+					}
+					key := fmt.Sprintf("%d|%s|%s", call.Pos(), rk, h.rankKey)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					m.report("lockinfer", call.Pos(),
+						"call to %s while holding %s (rank %d) may acquire %s (rank %d) via %s — interprocedural lock-order violation",
+						funcKey(fn), h.rankKey, h.rank, rk, ai.rank, ai.via)
+				}
+			}
+		}
+		c.checkFunc(fi.decl.Body)
+		for len(c.lits) > 0 {
+			lit := c.lits[0]
+			c.lits = c.lits[1:]
+			c.checkFunc(lit.Body)
+		}
+	}
+}
+
+// inspectSkipLits walks root in source order, not descending into
+// function literals.
+func inspectSkipLits(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

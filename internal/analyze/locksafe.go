@@ -35,6 +35,23 @@ type lockChecker struct {
 	// lits queues nested function literals for separate analysis with a
 	// fresh lock state (goroutine bodies, deferred closures).
 	lits []*ast.FuncLit
+	// silent suppresses locksafe's own findings; lockorder-infer reuses
+	// the held-state machine without double-reporting intraprocedural
+	// violations.
+	silent bool
+	// onCall, when set, observes every non-mutex call expression with
+	// the lock state held at that point — the hook lockorder-infer
+	// checks call-graph-propagated acquisition sets against.
+	onCall func(call *ast.CallExpr, held []heldLock)
+}
+
+// reportf emits a locksafe finding unless the checker is running as a
+// silent held-state engine for another analyzer.
+func (c *lockChecker) reportf(pos token.Pos, format string, args ...interface{}) {
+	if c.silent {
+		return
+	}
+	c.p.report(pos, format, args...)
 }
 
 // heldLock is one statically-tracked acquisition.
@@ -66,7 +83,7 @@ func (c *lockChecker) checkFunc(body *ast.BlockStmt) {
 	held := c.block(body.List, nil)
 	for _, h := range held {
 		if !h.deferred {
-			c.p.report(h.pos, "%s.Lock() is not released on the fall-through return path (no Unlock or defer)", h.key)
+			c.reportf(h.pos, "%s.Lock() is not released on the fall-through return path (no Unlock or defer)", h.key)
 		}
 	}
 }
@@ -178,7 +195,7 @@ func (c *lockChecker) branch(stmts []ast.Stmt, held []heldLock, what string) {
 	}
 	for _, h := range out[min(entry, len(out)):] {
 		if !h.deferred && !heldIn(held, h) {
-			c.p.report(h.pos, "%s.Lock() acquired in %s is not released before the %s ends", h.key, what, what)
+			c.reportf(h.pos, "%s.Lock() acquired in %s is not released before the %s ends", h.key, what, what)
 		}
 	}
 }
@@ -281,7 +298,7 @@ func (c *lockChecker) stmt(s ast.Stmt, held []heldLock) []heldLock {
 		}
 		for _, h := range held {
 			if !h.deferred {
-				c.p.report(s.Pos(), "return while %s is held (locked at %s) without unlock or defer",
+				c.reportf(s.Pos(), "return while %s is held (locked at %s) without unlock or defer",
 					h.key, c.p.pkg.Fset.Position(h.pos))
 			}
 		}
@@ -413,6 +430,9 @@ func (c *lockChecker) call(call *ast.CallExpr, held []heldLock) []heldLock {
 	case opTryLock:
 		return held // conditional ownership, conventionally handed to *Locked helpers
 	}
+	if c.onCall != nil {
+		c.onCall(call, held)
+	}
 	if why := c.blockingCall(call); why != "" {
 		c.checkBlocking(call.Pos(), held, why)
 	}
@@ -430,12 +450,12 @@ func (c *lockChecker) acquire(call *ast.CallExpr, lockExpr ast.Expr, read bool, 
 	}
 	for _, h := range held {
 		if h.key == key {
-			c.p.report(call.Pos(), "%s is already held (locked at %s); recursive acquisition deadlocks",
+			c.reportf(call.Pos(), "%s is already held (locked at %s); recursive acquisition deadlocks",
 				key, c.p.pkg.Fset.Position(h.pos))
 			continue
 		}
 		if rank >= 0 && h.rank >= 0 && rank <= h.rank {
-			c.p.report(call.Pos(), "acquiring %s (rank %d) while holding %s (rank %d) violates the lock-order DAG",
+			c.reportf(call.Pos(), "acquiring %s (rank %d) while holding %s (rank %d) violates the lock-order DAG",
 				rankKey, rank, h.rankKey, h.rank)
 		}
 	}
@@ -459,7 +479,7 @@ func release(held []heldLock, key string, read bool) []heldLock {
 func (c *lockChecker) checkBlocking(pos token.Pos, held []heldLock, what string) {
 	for _, h := range held {
 		if c.p.cfg.NoBlockLocks[h.rankKey] {
-			c.p.report(pos, "%s while holding hot lock %s (locked at %s)",
+			c.reportf(pos, "%s while holding hot lock %s (locked at %s)",
 				what, h.key, c.p.pkg.Fset.Position(h.pos))
 			return
 		}

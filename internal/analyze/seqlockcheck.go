@@ -1,0 +1,212 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"sort"
+)
+
+// seqlockcheck verifies the flight recorder's seqlock slot protocol
+// structurally. The slot invariant (DESIGN.md §7.7): a writer
+// invalidates (seq.Store(0)), fills the payload words, then publishes
+// a non-zero sequence; a reader loads the sequence, rejects zero,
+// copies the payload, and re-loads the sequence to detect a racing
+// writer. Both sides are a handful of lines that the race detector
+// cannot validate (the races are by design) and a refactor can
+// silently break — reordering one Store tears every reader.
+//
+// The check is driven by Config.SeqlockSlotTypes, mapping a slot
+// struct type to its sequence field. Any function that touches a
+// slot's atomic fields must carry a `//kfvet:seqlock writer` or
+// `//kfvet:seqlock reader` annotation and match its role's shape:
+//
+//	writer: first slot access is seqField.Store(0); last is a
+//	        seqField.Store of a non-zero value; in between only
+//	        payload stores/loads, never the sequence word.
+//	reader: at least two seqField.Load calls; payload fields are
+//	        only loaded, only between the first and last sequence
+//	        load; and a later sequence load participates in an
+//	        ==/!= comparison (the double-check).
+//
+// The model is textual-order within the function body, which matches
+// the straight-line (or simple retry-loop) shape both roles take;
+// protocol code spread across helpers would need the annotation on
+// each helper and would then fail the shape check — by design, the
+// protocol must stay in one place.
+func runSeqlockCheck(m *module) {
+	if len(m.cfg.SeqlockSlotTypes) == 0 {
+		return
+	}
+	for _, fi := range m.infos {
+		acc := slotAccesses(m, fi)
+		if len(acc) == 0 {
+			if fi.ann.seqlock != "" {
+				m.report("seqlockcheck", fi.decl.Pos(),
+					"%s is annotated %s %s but never touches a seqlock slot", fi.decl.Name.Name, seqlockMarker, fi.ann.seqlock)
+			}
+			continue
+		}
+		switch fi.ann.seqlock {
+		case "":
+			m.report("seqlockcheck", acc[0].pos,
+				"%s touches seqlock slot field %q without a %s writer/reader annotation; the slot protocol is closed to ad-hoc access",
+				fi.decl.Name.Name, acc[0].field, seqlockMarker)
+		case "writer":
+			checkSeqlockWriter(m, fi, acc)
+		case "reader":
+			checkSeqlockReader(m, fi, acc)
+		}
+	}
+}
+
+// slotAccess is one atomic operation on a configured slot struct.
+type slotAccess struct {
+	field    string // slot field name
+	seqField bool   // the configured sequence word
+	op       string // atomic method: Store, Load, Add, ...
+	call     *ast.CallExpr
+	pos      token.Pos
+}
+
+// slotAccesses collects, in source order, every atomic method call on
+// a field of a configured slot type inside the function.
+func slotAccesses(m *module, fi *funcInfo) []slotAccess {
+	var out []slotAccess
+	info := fi.pkg.Info
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		named := namedOf(info.TypeOf(inner.X))
+		if named == nil || named.Obj().Pkg() == nil {
+			return true
+		}
+		key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		seqField, configured := m.cfg.SeqlockSlotTypes[key]
+		if !configured {
+			return true
+		}
+		out = append(out, slotAccess{
+			field:    inner.Sel.Name,
+			seqField: inner.Sel.Name == seqField,
+			op:       sel.Sel.Name,
+			call:     call,
+			pos:      call.Pos(),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// checkSeqlockWriter enforces invalidate → payload → publish.
+func checkSeqlockWriter(m *module, fi *funcInfo, acc []slotAccess) {
+	first, last := acc[0], acc[len(acc)-1]
+	if !(first.seqField && first.op == "Store" && isConstZero(fi.pkg, argOf(first.call))) {
+		m.report("seqlockcheck", first.pos,
+			"seqlock writer %s must invalidate first: the opening slot access must be the sequence word's Store(0)", fi.decl.Name.Name)
+	}
+	if !(last.seqField && last.op == "Store" && !isConstZero(fi.pkg, argOf(last.call))) {
+		m.report("seqlockcheck", last.pos,
+			"seqlock writer %s must publish last: the closing slot access must store a non-zero sequence (payload store after publish tears readers)", fi.decl.Name.Name)
+	}
+	for _, a := range acc[1 : len(acc)-1] {
+		switch {
+		case a.seqField:
+			m.report("seqlockcheck", a.pos,
+				"seqlock writer %s touches the sequence word between invalidate and publish", fi.decl.Name.Name)
+		case a.op != "Store" && a.op != "Load":
+			m.report("seqlockcheck", a.pos,
+				"seqlock writer %s uses %s on payload field %q; the fill window permits only Store/Load", fi.decl.Name.Name, a.op, a.field)
+		}
+	}
+}
+
+// checkSeqlockReader enforces load → copy → re-check.
+func checkSeqlockReader(m *module, fi *funcInfo, acc []slotAccess) {
+	var seqLoads []slotAccess
+	for _, a := range acc {
+		if a.seqField && a.op == "Load" {
+			seqLoads = append(seqLoads, a)
+		}
+		if !a.seqField && a.op != "Load" {
+			m.report("seqlockcheck", a.pos,
+				"seqlock reader %s writes payload field %q; readers must only load", fi.decl.Name.Name, a.field)
+		}
+		if a.seqField && a.op != "Load" {
+			m.report("seqlockcheck", a.pos,
+				"seqlock reader %s writes the sequence word; readers must only load", fi.decl.Name.Name)
+		}
+	}
+	if len(seqLoads) < 2 {
+		m.report("seqlockcheck", acc[0].pos,
+			"seqlock reader %s must double-check: load the sequence word, copy the payload, and load it again", fi.decl.Name.Name)
+		return
+	}
+	firstSeq, lastSeq := seqLoads[0].pos, seqLoads[len(seqLoads)-1].pos
+	for _, a := range acc {
+		if a.seqField {
+			continue
+		}
+		if a.pos < firstSeq || a.pos > lastSeq {
+			m.report("seqlockcheck", a.pos,
+				"seqlock reader %s copies payload field %q outside the sequence-check window", fi.decl.Name.Name, a.field)
+		}
+	}
+	// The double-check must actually compare: some sequence load after
+	// the first must appear in an ==/!= expression.
+	compared := false
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			call, ok := ast.Unparen(side).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			for _, sl := range seqLoads[1:] {
+				if sl.call == call {
+					compared = true
+				}
+			}
+		}
+		return !compared
+	})
+	if !compared {
+		m.report("seqlockcheck", seqLoads[len(seqLoads)-1].pos,
+			"seqlock reader %s re-loads the sequence word but never compares it against the first load", fi.decl.Name.Name)
+	}
+}
+
+// argOf returns the call's single argument, or nil.
+func argOf(call *ast.CallExpr) ast.Expr {
+	if len(call.Args) != 1 {
+		return nil
+	}
+	return call.Args[0]
+}
+
+// isConstZero reports whether e is the integer constant 0.
+func isConstZero(pkg *Package, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return exact && v == 0
+}

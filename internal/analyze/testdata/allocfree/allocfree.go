@@ -1,0 +1,135 @@
+// Package allocfree is the fixture for the allocfree analyzer: the
+// `//kfvet:noalloc` contract, the pool-fed append rule, the whennil
+// variant, and transitive callee verification.
+package allocfree
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool mimics the module's SlicePool API; FixtureConfig registers
+// Pool.Get/Pool.Grow as the pool capacity suppliers and Pool.Put as an
+// exempt callee.
+type Pool struct{ mu sync.Mutex }
+
+func (p *Pool) Get(capHint int) []int { return make([]int, 0, capHint) }
+func (p *Pool) Grow(s []int) []int    { return append(s, 0)[:len(s)] }
+func (p *Pool) Put(s []int)           { _ = s }
+
+// Entry mimics the pooled-postings hot path.
+type Entry struct {
+	mu       sync.Mutex
+	postings []int
+	pool     *Pool
+	last     atomic.Int64
+}
+
+// CleanInsert is the canonical pool-fed hot path: grow through the
+// pool at capacity, append into pool-owned capacity, atomics and
+// mutexes allowed.
+//
+//kfvet:noalloc
+func (e *Entry) CleanInsert(v int) {
+	e.mu.Lock()
+	if len(e.postings) == cap(e.postings) {
+		e.postings = e.pool.Grow(e.postings)
+	}
+	e.postings = append(e.postings, v)
+	e.last.Store(int64(v))
+	e.mu.Unlock()
+}
+
+// CleanTrim exercises the reslice-fed append form and a dynamic call
+// through a func-typed parameter (the caller's responsibility).
+//
+//kfvet:noalloc
+func (e *Entry) CleanTrim(keep func(int) bool) []int {
+	e.mu.Lock()
+	out := e.pool.Get(len(e.postings))
+	kept := e.postings[:0]
+	for _, v := range e.postings {
+		if keep(v) {
+			kept = append(kept, v)
+		} else {
+			out = append(out, v)
+		}
+	}
+	e.postings = kept
+	e.mu.Unlock()
+	return out
+}
+
+// CleanTransitive calls an unannotated helper that is itself clean.
+//
+//kfvet:noalloc
+func (e *Entry) CleanTransitive() int64 { return cleanHelper(e) }
+
+func cleanHelper(e *Entry) int64 { return e.last.Load() }
+
+//kfvet:noalloc
+func BadMake(n int) []int {
+	return make([]int, n) // want "make allocates"
+}
+
+//kfvet:noalloc
+func BadAppend(s []int, v int) []int {
+	return append(s, v) // want "may grow beyond the pool"
+}
+
+//kfvet:noalloc
+func BadConcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//kfvet:noalloc
+func BadClosure(n int) func() int {
+	return func() int { return n } // want "captures"
+}
+
+//kfvet:noalloc
+func BadBox(v int) {
+	sink(v) // want "boxes the value"
+}
+
+func sink(v interface{}) { _ = v }
+
+//kfvet:noalloc
+func BadCallee(e *Entry) []int {
+	return allocHelper(e) // want "not allocation-free"
+}
+
+func allocHelper(e *Entry) []int { return append([]int(nil), e.postings...) }
+
+//kfvet:noalloc
+func BadTransitive(e *Entry) []int {
+	return midHelper(e) // want "not allocation-free"
+}
+
+// midHelper is clean itself but reaches allocHelper — the verdict
+// chains two hops.
+func midHelper(e *Entry) []int { return allocHelper(e) }
+
+//kfvet:noalloc
+func BadConvert(b []byte) string {
+	return string(b) // want "to-string conversion allocates"
+}
+
+// Probe mimics a trace probe: nil receiver is the disabled state.
+type Probe struct{ stages []int }
+
+// CleanStage is allowed to allocate on the enabled path; the whennil
+// contract only requires the terminating nil guard.
+//
+//kfvet:noalloc whennil
+func (t *Probe) CleanStage(v int) {
+	if t == nil {
+		return
+	}
+	t.stages = append(t.stages, v)
+}
+
+//kfvet:noalloc whennil
+func (t *Probe) BadStage(v int) { // want "does not open with a terminating"
+	t.stages = append(t.stages, v)
+}

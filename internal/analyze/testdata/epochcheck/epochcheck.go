@@ -1,0 +1,135 @@
+// Package epochcheck is the fixture for the epochcheck analyzer: the
+// 2-parity epoch guard role shapes and the pin-domination rule.
+// FixtureConfig declares guard as the epoch-guard type, Entry.TopK as
+// the posting-copy entry-point, and Recycler.Pin/Unpin as the pin API.
+package epochcheck
+
+import "sync/atomic"
+
+// guard mirrors the allocator's epochGuard layout.
+type guard struct {
+	global atomic.Uint64
+	active [2]atomic.Int64
+}
+
+// CleanPin registers in the current parity and re-validates the
+// global epoch.
+//
+//kfvet:epoch pin
+func (g *guard) CleanPin() uint64 {
+	for {
+		e := g.global.Load()
+		g.active[e&1].Add(1)
+		if g.global.Load() == e {
+			return e
+		}
+		g.active[e&1].Add(-1)
+	}
+}
+
+// CleanUnpin releases the same parity it pinned.
+//
+//kfvet:epoch unpin
+func (g *guard) CleanUnpin(e uint64) { g.active[e&1].Add(-1) }
+
+// CleanAdvance gates on the previous parity and moves the epoch with
+// a CAS.
+//
+//kfvet:epoch advance
+func (g *guard) CleanAdvance() bool {
+	e := g.global.Load()
+	if g.active[(e+1)&1].Load() != 0 {
+		return false
+	}
+	return g.global.CompareAndSwap(e, e+1)
+}
+
+// CleanFree stamps the current epoch without writing it.
+//
+//kfvet:epoch free
+func (g *guard) CleanFree() uint64 { return g.global.Load() }
+
+// CleanReclaim releases quarantine on the freeEpoch+2 expiry.
+//
+//kfvet:epoch reclaim
+func (g *guard) CleanReclaim(epochs []uint64) int {
+	gl := g.global.Load()
+	n := 0
+	for n < len(epochs) && epochs[n]+2 <= gl {
+		n++
+	}
+	return n
+}
+
+//kfvet:epoch pin
+func (g *guard) BadPinNoRevalidate() uint64 { // want "does not re-validate"
+	e := g.global.Load()
+	g.active[e&1].Add(1)
+	return e
+}
+
+//kfvet:epoch unpin
+func (g *guard) BadUnpinParity(e uint64) {
+	g.active[(e+1)&1].Add(-1) // want "opposite parity"
+}
+
+//kfvet:epoch advance
+func (g *guard) BadAdvanceParity() bool {
+	e := g.global.Load()
+	if g.active[e&1].Load() != 0 { // want "PREVIOUS parity"
+		return false
+	}
+	return g.global.CompareAndSwap(e, e+1)
+}
+
+//kfvet:epoch reclaim
+func (g *guard) BadReclaimOffByOne(epochs []uint64) int {
+	gl := g.global.Load()
+	n := 0
+	for n < len(epochs) && epochs[n]+1 <= gl { // want "requires freeEpoch"
+		n++
+	}
+	return n
+}
+
+func BadRogueAccess(g *guard) {
+	g.active[0].Add(1) // want "without a //kfvet:epoch annotation"
+}
+
+// Entry and Recycler mirror the pin-domination surface.
+type Entry struct{ v []int }
+
+func (e *Entry) TopK(k int) []int { _ = k; return e.v }
+
+type Recycler struct{ g guard }
+
+//kfvet:epoch pin
+func (r *Recycler) Pin() uint64 {
+	for {
+		e := r.g.global.Load()
+		r.g.active[e&1].Add(1)
+		if r.g.global.Load() == e {
+			return e
+		}
+		r.g.active[e&1].Add(-1)
+	}
+}
+
+//kfvet:epoch unpin
+func (r *Recycler) Unpin(e uint64) { r.g.active[e&1].Add(-1) }
+
+// CleanSearch copies postings inside a pin window.
+func CleanSearch(r *Recycler, e *Entry) []int {
+	ep := r.Pin()
+	defer r.Unpin(ep)
+	return e.TopK(1)
+}
+
+func BadSearchNoPin(e *Entry) []int {
+	return e.TopK(1) // want "without a preceding recycler pin"
+}
+
+func BadSearchNoUnpin(r *Recycler, e *Entry) []int {
+	_ = r.Pin()
+	return e.TopK(1) // want "never unpins"
+}

@@ -1,0 +1,71 @@
+// Package failpointcov is the fixture for the failpointcov analyzer:
+// the catalog diff (declared vs evaluated sites), the constant-site
+// rule, and the fallible-I/O adjacency rule. FixtureConfig declares
+// this package as both the site catalog and the covered package, with
+// Eval/EvalWrite as the evaluation entry-points.
+package failpointcov
+
+import "os"
+
+// The site catalog: slash-bearing string constants are sites.
+const (
+	SiteWrite = "fx/write/page"
+	SiteSync  = "fx/sync/dir"
+	SiteDead  = "fx/dead/entry" // want "declared but never evaluated"
+)
+
+// EnvVar has no slash: a plain string constant, not a site.
+const EnvVar = "FX_FAILPOINTS"
+
+// Eval and EvalWrite mimic the failpoint package's entry-points.
+func Eval(site string) error             { _ = site; return nil }
+func EvalWrite(site string, n int) error { _ = site; _ = n; return nil }
+
+// CleanCovered performs fallible I/O adjacent to failpoint
+// evaluations: one site covers the whole function.
+func CleanCovered(f *os.File, b []byte) error {
+	if err := Eval(SiteWrite); err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	if err := EvalWrite(SiteSync, len(b)); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// CleanBestEffort discards the error explicitly: best-effort cleanup
+// is not a durability step.
+func CleanBestEffort(path string) {
+	_ = os.Remove(path)
+}
+
+// CleanDeferred releases resources on the way out; deferred cleanup
+// is exempt like discarded-error cleanup.
+func CleanDeferred(dir, path string, b []byte) error {
+	if err := Eval(SiteWrite); err != nil {
+		return err
+	}
+	defer os.Remove(path)
+	return os.WriteFile(path, b, 0o644)
+}
+
+func BadUncovered(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want "no adjacent failpoint"
+}
+
+func BadLiteralSite(f *os.File) error {
+	if err := Eval("fx/unregistered/site"); err != nil { // want "not declared"
+		return err
+	}
+	return f.Sync()
+}
+
+func BadDynamicSite(f *os.File, site string) error {
+	if err := Eval(site); err != nil { // want "not a compile-time constant"
+		return err
+	}
+	return f.Sync()
+}

@@ -1,0 +1,61 @@
+// Package lockinfer is the fixture for the lockorder-infer analyzer:
+// lock-order inversions that thread one or more calls, invisible to
+// the intraprocedural locksafe pass. FixtureConfig ranks Engine.mu=10,
+// Index.mu=20, Entry.mu=30, Store.mu=40.
+package lockinfer
+
+import "sync"
+
+type Engine struct{ mu sync.Mutex }
+type Index struct{ mu sync.Mutex }
+type Entry struct{ mu sync.Mutex }
+type Store struct{ mu sync.Mutex }
+
+// Sys aggregates one lock of each rank.
+type Sys struct {
+	eng Engine
+	idx Index
+	ent Entry
+	st  Store
+}
+
+// lockEntry acquires Entry.mu (rank 30) — a direct summary entry.
+func (s *Sys) lockEntry() {
+	s.ent.mu.Lock()
+	defer s.ent.mu.Unlock()
+}
+
+// viaOneHop reaches Entry.mu through a call — the propagated entry.
+func (s *Sys) viaOneHop() { s.lockEntry() }
+
+// CleanDownward holds rank 10 and calls into rank 30: the DAG allows
+// acquiring downward.
+func (s *Sys) CleanDownward() {
+	s.eng.mu.Lock()
+	defer s.eng.mu.Unlock()
+	s.viaOneHop()
+}
+
+// CleanAfterRelease calls the helper only after dropping the
+// higher-ranked lock.
+func (s *Sys) CleanAfterRelease() {
+	s.st.mu.Lock()
+	s.st.mu.Unlock()
+	s.viaOneHop()
+}
+
+// BadInversion holds Store.mu (40) while a two-hop call chain
+// acquires Entry.mu (30): an upward acquisition through calls.
+func (s *Sys) BadInversion() {
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	s.viaOneHop() // want "may acquire"
+}
+
+// BadSelfDeadlock holds Entry.mu and calls the helper that acquires
+// it again: same-rank through a call is a self-deadlock.
+func (s *Sys) BadSelfDeadlock() {
+	s.ent.mu.Lock()
+	defer s.ent.mu.Unlock()
+	s.lockEntry() // want "may acquire"
+}

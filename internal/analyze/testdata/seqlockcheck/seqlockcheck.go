@@ -1,0 +1,71 @@
+// Package seqlockcheck is the fixture for the seqlockcheck analyzer:
+// the writer invalidate→fill→publish shape, the reader double-check
+// shape, and the closed-protocol rule. FixtureConfig declares slot as
+// the seqlock type with sequence field "seq".
+package seqlockcheck
+
+import "sync/atomic"
+
+// slot is the seqlock-published record, mirroring the flight
+// recorder's layout.
+type slot struct {
+	seq atomic.Uint64
+	a   atomic.Int64
+	b   atomic.Int64
+}
+
+// CleanWrite is the canonical writer: invalidate, fill, publish.
+//
+//kfvet:seqlock writer
+func CleanWrite(s *slot, seq uint64, a, b int64) {
+	s.seq.Store(0)
+	s.a.Store(a)
+	s.b.Store(b)
+	s.seq.Store(seq)
+}
+
+// CleanRead is the canonical reader: load, reject zero, copy,
+// re-check, bounded retry.
+//
+//kfvet:seqlock reader
+func CleanRead(s *slot) (int64, int64, bool) {
+	for attempt := 0; attempt < 3; attempt++ {
+		seq := s.seq.Load()
+		if seq == 0 {
+			return 0, 0, false
+		}
+		a := s.a.Load()
+		b := s.b.Load()
+		if s.seq.Load() != seq {
+			continue
+		}
+		return a, b, true
+	}
+	return 0, 0, false
+}
+
+//kfvet:seqlock writer
+func BadNoInvalidate(s *slot, seq uint64, a int64) {
+	s.a.Store(a) // want "must invalidate first"
+	s.seq.Store(seq)
+}
+
+//kfvet:seqlock writer
+func BadStoreAfterPublish(s *slot, seq uint64, a, b int64) {
+	s.seq.Store(0)
+	s.a.Store(a)
+	s.seq.Store(seq) // want "between invalidate and publish"
+	s.b.Store(b)     // want "must publish last"
+}
+
+//kfvet:seqlock reader
+func BadNoRecheck(s *slot) int64 {
+	if s.seq.Load() == 0 { // want "must double-check"
+		return 0
+	}
+	return s.a.Load()
+}
+
+func BadUnannotated(s *slot, v int64) {
+	s.b.Store(v) // want "without a //kfvet:seqlock writer/reader annotation"
+}

@@ -170,6 +170,8 @@ func EpochUnixNanos() int64 { return epoch.UnixNano() }
 // NextSeq claims one sequence number from the global ticket. Exposed for
 // sibling recorders (the slow-query log) whose entries interleave with
 // ring events on the merged timeline.
+//
+//kfvet:noalloc
 func NextSeq() uint64 { return globalSeq.Add(1) }
 
 // slot is one fixed-size event: a seqlock word plus five payload words.
@@ -215,6 +217,9 @@ func New(size int) *Recorder {
 // Record stamps one event into sub's ring: global sequence, monotonic
 // nanos, and three argument words whose meaning the code fixes. It is
 // the hot-path entry point — lock-free, allocation-free, nil-safe.
+//
+//kfvet:noalloc
+//kfvet:seqlock writer
 func (r *Recorder) Record(sub Subsystem, code Code, a, b, c int64) {
 	if r == nil {
 		return
@@ -288,6 +293,8 @@ func (r *Recorder) Events() []Event {
 // readSlot performs the seqlock read: copy the payload between two
 // agreeing loads of the sequence word. A bounded retry absorbs a writer
 // racing the copy; a slot that stays in flux is skipped, not torn.
+//
+//kfvet:seqlock reader
 func readSlot(s *slot, sub Subsystem) (Event, bool) {
 	for attempt := 0; attempt < 3; attempt++ {
 		seq := s.seq.Load()

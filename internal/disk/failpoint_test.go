@@ -145,3 +145,38 @@ func TestENOSPCSurfacesTyped(t *testing.T) {
 		t.Fatalf("flush error %v does not wrap syscall.ENOSPC", err)
 	}
 }
+
+// TestErrorOnlySitesLive arms the tier-side error-injection-only sites
+// (registered for failpointcov coverage, excluded from the crash
+// matrix) and proves they interrupt their operations: DiskOpenMkdir
+// fails Open cleanly before any state exists, and DiskDirSync turns a
+// flush's directory fsync into a surfaced error.
+func TestErrorOnlySitesLive(t *testing.T) {
+	failpoint.DisableAll()
+	t.Cleanup(failpoint.DisableAll)
+
+	if err := failpoint.Enable(failpoint.DiskOpenMkdir, "error"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(Config[string]{
+		Dir:    t.TempDir(),
+		KeysOf: func(m *types.Microblog) []string { return m.Keywords },
+		Encode: func(s string) string { return s },
+	})
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("Open with %s armed = %v, want injected error", failpoint.DiskOpenMkdir, err)
+	}
+	failpoint.Disable(failpoint.DiskOpenMkdir)
+
+	tier := newFaultTier(t, RetryPolicy{})
+	if err := failpoint.Enable(failpoint.DiskDirSync, "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.Flush([]FlushRecord{fr(1, 1, "a")}); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("Flush with %s armed = %v, want injected error", failpoint.DiskDirSync, err)
+	}
+	failpoint.Disable(failpoint.DiskDirSync)
+	if err := tier.Flush([]FlushRecord{fr(2, 2, "a")}); err != nil {
+		t.Fatalf("Flush after disarm = %v", err)
+	}
+}

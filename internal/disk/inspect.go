@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"kflushing/internal/failpoint"
 )
 
 // SegmentInfo describes one on-disk segment for tooling.
@@ -142,6 +144,9 @@ func CompactDir(dir string, n int) error {
 		return err
 	}
 	merged.release()
+	if err := failpoint.Eval(failpoint.DiskCompactDirRemove); err != nil {
+		return err
+	}
 	for i, s := range inputs {
 		if i != len(inputs)-1 {
 			if err := os.Remove(s.path); err != nil {

@@ -22,6 +22,10 @@ func syncDir(dir string) error {
 	if err != nil {
 		return fmt.Errorf("disk: open directory for sync: %w", err)
 	}
+	if err := failpoint.Eval(failpoint.DiskDirSync); err != nil {
+		_ = d.Close()
+		return fmt.Errorf("disk: sync directory: %w", err)
+	}
 	if err := d.Sync(); err != nil {
 		_ = d.Close() // the Sync error is the one to surface
 		return fmt.Errorf("disk: sync directory: %w", err)

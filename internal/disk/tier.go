@@ -310,6 +310,9 @@ func Open[K comparable](cfg Config[K]) (*Tier[K], error) {
 	if cfg.Dir == "" || cfg.KeysOf == nil || cfg.Encode == nil {
 		return nil, fmt.Errorf("disk: Dir, KeysOf and Encode are required")
 	}
+	if err := failpoint.Eval(failpoint.DiskOpenMkdir); err != nil {
+		return nil, err
+	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -455,8 +458,13 @@ func (t *Tier[K]) openLeveled() error {
 		retired := make(map[string]struct{}, len(m.Retired))
 		for _, name := range m.Retired {
 			retired[name] = struct{}{}
-			if err := os.Remove(filepath.Join(t.cfg.Dir, name)); err == nil {
-				slog.Warn("disk: deleted retired compaction input", "name", name)
+			// Removal is best-effort: an undeletable retired input is
+			// shadowed by the manifest, not adopted. The failpoint lets
+			// the recovery tests exercise exactly that tolerance.
+			if failpoint.Eval(failpoint.DiskAdoptRemove) == nil {
+				if err := os.Remove(filepath.Join(t.cfg.Dir, name)); err == nil {
+					slog.Warn("disk: deleted retired compaction input", "name", name)
+				}
 			}
 		}
 		for _, e := range m.Live {

@@ -92,6 +92,8 @@ func less(a, b *store.Record) bool {
 // counters when trackTopK is set. It reports whether the entry accepted
 // the posting (false when the entry was concurrently detached) and
 // whether the insertion pushed the posting count past k.
+//
+//kfvet:noalloc
 func (e *Entry[K]) insert(rec *store.Record, k int, trackTopK bool) (ok, crossedK bool) {
 	e.mu.Lock()
 	if e.dead {
@@ -184,6 +186,8 @@ func (e *Entry[K]) BeyondTopK(k int) int {
 // removed records; the caller handles reference counting and memory
 // accounting. Used by Phase 1; the keep predicate implements the
 // kFlushing-MK retention rule.
+//
+//kfvet:noalloc
 func (e *Entry[K]) TrimBeyondTopK(k int, keep func(*store.Record) bool) []*store.Record {
 	e.mu.Lock()
 	n := len(e.postings)

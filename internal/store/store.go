@@ -139,6 +139,8 @@ func (s *Store) shardFor(id types.ID) *shard {
 // Put inserts rec under its microblog ID. Inserting a duplicate ID
 // replaces the previous record; ingestion assigns unique IDs so this
 // only happens in tests.
+//
+//kfvet:noalloc
 func (s *Store) Put(rec *Record) {
 	sh := s.shardFor(rec.MB.ID)
 	sh.mu.Lock()
@@ -164,6 +166,8 @@ func (s *Store) Get(id types.ID) *Record {
 
 // Remove deletes the record with the given ID, returning it, or nil if
 // absent.
+//
+//kfvet:noalloc
 func (s *Store) Remove(id types.ID) *Record {
 	sh := s.shardFor(id)
 	sh.mu.Lock()

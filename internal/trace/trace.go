@@ -59,7 +59,10 @@ func New() *Trace { return &Trace{} }
 // Enabled reports whether the trace is collecting (non-nil).
 func (t *Trace) Enabled() bool { return t != nil }
 
-// Stage appends one stage timing measured from start. Nil-safe.
+// Stage appends one stage timing measured from start. Nil-safe: the
+// disabled (nil) trace must not cost an allocation on the hot path.
+//
+//kfvet:noalloc whennil
 func (t *Trace) Stage(name string, start time.Time) {
 	if t == nil {
 		return
@@ -68,6 +71,8 @@ func (t *Trace) Stage(name string, start time.Time) {
 }
 
 // AddEntry appends one memory-probe outcome. Nil-safe.
+//
+//kfvet:noalloc whennil
 func (t *Trace) AddEntry(ep EntryProbe) {
 	if t == nil {
 		return
@@ -77,6 +82,8 @@ func (t *Trace) AddEntry(ep EntryProbe) {
 
 // BeginDisk marks the disk tier consulted and returns the probe to
 // fill. Nil-safe (returns nil, which DiskProbe methods tolerate).
+//
+//kfvet:noalloc whennil
 func (t *Trace) BeginDisk() *DiskProbe {
 	if t == nil {
 		return nil
@@ -124,6 +131,8 @@ type DiskProbe struct {
 // AddSegment appends one segment outcome and folds its read counters
 // into the probe totals. Safe for concurrent use (parallel segment
 // workers share one probe); nil-safe.
+//
+//kfvet:noalloc whennil
 func (d *DiskProbe) AddSegment(sp SegmentProbe) {
 	if d == nil {
 		return

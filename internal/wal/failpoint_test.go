@@ -87,3 +87,47 @@ func TestSyncFaultSurfaces(t *testing.T) {
 		t.Fatalf("append after sync fault cleared: %v", err)
 	}
 }
+
+// TestErrorOnlySitesLive arms the error-injection-only sites — the
+// ones registered so failpointcov can reach every fallible I/O call
+// but deliberately excluded from CrashSites — and proves each actually
+// interrupts its operation. A site that never fires is a dead catalog
+// entry wearing a coverage costume.
+func TestErrorOnlySitesLive(t *testing.T) {
+	failpoint.DisableAll()
+	t.Cleanup(failpoint.DisableAll)
+
+	if err := failpoint.Enable(failpoint.WALOpenMkdir, "error"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(t.TempDir(), Options{}); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("Open with %s armed = %v, want injected error", failpoint.WALOpenMkdir, err)
+	}
+	failpoint.Disable(failpoint.WALOpenMkdir)
+
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Enable(failpoint.WALReadySync, "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckAppendable(); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("CheckAppendable with %s armed = %v, want injected error", failpoint.WALReadySync, err)
+	}
+	failpoint.Disable(failpoint.WALReadySync)
+	if err := l.CheckAppendable(); err != nil {
+		t.Fatalf("CheckAppendable after disarm = %v", err)
+	}
+
+	if err := failpoint.Enable(failpoint.WALCloseSync, "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("Close with %s armed = %v, want injected error", failpoint.WALCloseSync, err)
+	}
+	failpoint.Disable(failpoint.WALCloseSync)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close after disarm = %v", err)
+	}
+}

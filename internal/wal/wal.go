@@ -101,6 +101,9 @@ func Open(dir string, opt Options) (*Log, error) {
 	if opt.MaxFileBytes <= 0 {
 		opt.MaxFileBytes = 16 << 20
 	}
+	if err := failpoint.Eval(failpoint.WALOpenMkdir); err != nil {
+		return nil, err
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -298,7 +301,11 @@ func (l *Log) rollbackTailLocked() {
 	if l.f == nil {
 		return
 	}
-	if err := l.f.Truncate(l.bytes); err != nil {
+	err := failpoint.Eval(failpoint.WALRollbackTruncate)
+	if err == nil {
+		err = l.f.Truncate(l.bytes)
+	}
+	if err != nil {
 		slog.Error("wal: cannot roll back partial append; sealing active file",
 			"offset", l.bytes, "err", err)
 		_ = l.f.Close() // the Truncate error is the one that matters
@@ -317,6 +324,9 @@ func (l *Log) CheckAppendable() error {
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return errors.New("wal: closed")
+	}
+	if err := failpoint.Eval(failpoint.WALReadySync); err != nil {
+		return fmt.Errorf("wal: active file not syncable: %w", err)
 	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: active file not syncable: %w", err)
@@ -416,6 +426,9 @@ func truncateTornTail(path string, valid int64, activePath string) error {
 	}
 	slog.Warn("wal: truncating torn tail",
 		"file", filepath.Base(path), "valid_bytes", valid, "torn_bytes", st.Size()-valid)
+	if err := failpoint.Eval(failpoint.WALReplayTruncate); err != nil {
+		return err
+	}
 	return os.Truncate(path, valid)
 }
 
@@ -565,6 +578,9 @@ func (l *Log) Close() error {
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return nil
+	}
+	if err := failpoint.Eval(failpoint.WALCloseSync); err != nil {
+		return err
 	}
 	if err := l.f.Sync(); err != nil {
 		return err

@@ -20,6 +20,9 @@
 //	                               (?trace=1) and pretty-print the trace
 //	kflushctl flushlog <base-url> [n]   summarize the flush audit journal
 //	                               (/debug/flushlog)
+//	kflushctl tuner <base-url>     report the adaptive memory tuner's
+//	                               per-attribute targets, counters, and
+//	                               bounds (/debug/tuner)
 //	kflushctl probe <base-url>     report readiness and degraded
 //	                               read-only state (/readyz, /stats);
 //	                               exits non-zero when not ready
@@ -121,6 +124,8 @@ func main() {
 			}
 		}
 		err = cmdFlushLog(args[1], n)
+	case "tuner":
+		err = cmdTuner(args[1])
 	case "top":
 		interval := 2 * time.Second
 		if len(args) > 2 {
@@ -514,6 +519,50 @@ func cmdFlushLog(base string, n int) error {
 	return nil
 }
 
+// cmdTuner fetches /debug/tuner from a running kflushd and prints each
+// attribute system's adaptive-memory report: the targets currently in
+// force, the controller's counters (ticks, adjustments, holds, sign
+// flips), its last pressure reading and direction, and the configured
+// bounds.
+func cmdTuner(base string) error {
+	var states map[string]struct {
+		Enabled bool                 `json:"enabled"`
+		State   kflushing.TunerState `json:"state"`
+	}
+	if err := getJSON(base, "/debug/tuner", &states); err != nil {
+		return err
+	}
+	attrs := make([]string, 0, len(states))
+	for a := range states {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		ts := states[a]
+		if !ts.Enabled {
+			fmt.Printf("%-8s tuner off (static flush budget and cache)\n", a)
+			continue
+		}
+		st := ts.State
+		dir := "hold"
+		switch {
+		case st.Direction > 0:
+			dir = "write-heavy"
+		case st.Direction < 0:
+			dir = "read-heavy"
+		}
+		fmt.Printf("%-8s B=%.3f watermark=%d cache=%d\n", a, st.FlushFraction, st.WatermarkBytes, st.CacheBytes)
+		fmt.Printf("  ticks=%d adjusts=%d holds=%d sign_flips=%d pressure=%.3f direction=%s\n",
+			st.Ticks, st.Adjusts, st.Holds, st.SignFlips, st.LastPressure, dir)
+		l := st.Limits
+		fmt.Printf("  bounds: B [%.3f, %.3f]  watermark-frac [%.2f, %.2f]  cache [%d, %d]  step=%.3f deadband=%.3f interval=%d\n",
+			l.MinFlushFraction, l.MaxFlushFraction,
+			l.MinWatermarkFraction, l.MaxWatermarkFraction,
+			l.MinCacheBytes, l.MaxCacheBytes, l.Step, l.Deadband, l.Interval)
+	}
+	return nil
+}
+
 // scrapeMetrics fetches /metrics from a running kflushd and parses the
 // Prometheus text exposition into metric name -> attr label -> value.
 // Histogram bucket and per-level/phase/stage series are skipped — the
@@ -711,6 +760,7 @@ usage:
   kflushctl wal <wal-dir>
   kflushctl trace <base-url> <q> [k]
   kflushctl flushlog <base-url> [n]
+  kflushctl tuner <base-url>
   kflushctl top <base-url> [interval] [count]
 `)
 }

@@ -157,6 +157,7 @@ type Config struct {
 // The lock-order DAG (acquire downward only):
 //
 //	10 engine.Engine.flushMu
+//	11 tuner.Tuner.mu (controller state; ticked under flushMu)
 //	12 engine.flightGroup.mu
 //	15 policy.LRU.mu / policy.FIFO.mu
 //	20 index.Index.overMu
@@ -175,6 +176,7 @@ func DefaultConfig() Config {
 	return Config{
 		LockRank: map[string]int{
 			"kflushing/internal/engine.Engine.flushMu":  10,
+			"kflushing/internal/tuner.Tuner.mu":         11,
 			"kflushing/internal/engine.flightGroup.mu":  12,
 			"kflushing/internal/policy.LRU.mu":          15,
 			"kflushing/internal/policy.FIFO.mu":         15,

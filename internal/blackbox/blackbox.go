@@ -38,6 +38,7 @@ const (
 	SubCache
 	SubDisk
 	SubState
+	SubTuner
 
 	numSubsystems
 )
@@ -50,6 +51,7 @@ var subsystemNames = [numSubsystems]string{
 	SubCache:   "cache",
 	SubDisk:    "disk",
 	SubState:   "state",
+	SubTuner:   "tuner",
 }
 
 // String returns the subsystem's wire name.
@@ -98,6 +100,7 @@ const (
 	EvDiskRetry
 	EvDegradedEnter
 	EvDegradedClear
+	EvTunerAdjust
 
 	numCodes
 )
@@ -118,6 +121,7 @@ var codeNames = [numCodes]string{
 	EvDiskRetry:     "disk_retry",
 	EvDegradedEnter: "degraded_enter",
 	EvDegradedClear: "degraded_clear",
+	EvTunerAdjust:   "tuner_adjust",
 }
 
 // codeArgNames labels each code's argument words for the JSON timeline;
@@ -138,6 +142,7 @@ var codeArgNames = [numCodes][3]string{
 	EvDiskRetry:     {"retries", "ordinal", ""},
 	EvDegradedEnter: {"", "", ""},
 	EvDegradedClear: {"", "", ""},
+	EvTunerAdjust:   {"flush_frac_bp", "watermark_bytes", "cache_bytes"},
 }
 
 // String returns the code's wire name.
@@ -149,7 +154,7 @@ func (c Code) String() string {
 }
 
 // DefaultRingSize is the per-subsystem slot count when the caller does
-// not choose one: 1024 events x 7 subsystems x 56 bytes ≈ 400 KiB per
+// not choose one: 1024 events x 8 subsystems x 56 bytes ≈ 400 KiB per
 // recorder, minutes of history at typical production rates.
 const DefaultRingSize = 1024
 

@@ -128,6 +128,55 @@ func (c *recordCache) put(k cacheKey, fr FlushRecord, diskSize int64) {
 	}
 }
 
+// setBudget retunes the cache to a new total byte budget, dividing it
+// across shards as construction does and evicting least-recently-used
+// entries from any shard now over its share. Shard budgets are mutated
+// in place under each shard's lock — the *recordCache pointer readers
+// hold stays valid throughout — so a resize is safe concurrent with
+// get/put traffic. Returns the per-cache total actually applied.
+func (c *recordCache) setBudget(total int64) int64 {
+	per := total / cacheShardCount
+	if per < 1 {
+		per = 1
+	}
+	var evicted, used int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.budget = per
+		for s.used > s.budget {
+			back := s.ll.Back()
+			if back == nil {
+				break
+			}
+			en := back.Value.(*cacheEntry)
+			s.ll.Remove(back)
+			delete(s.m, en.key)
+			s.used -= en.size
+			evicted++
+		}
+		used += s.used
+		s.mu.Unlock()
+	}
+	if evicted > 0 {
+		c.evictions.Add(evicted)
+		c.rec.Record(blackbox.SubCache, blackbox.EvCacheEvict, evicted, used, 0)
+	}
+	return per * cacheShardCount
+}
+
+// budgetBytes returns the cache's current total byte budget.
+func (c *recordCache) budgetBytes() int64 {
+	var total int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.budget
+		s.mu.Unlock()
+	}
+	return total
+}
+
 // resident returns the current cached byte total across shards.
 func (c *recordCache) resident() int64 {
 	var total int64

@@ -1,0 +1,146 @@
+package disk
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"kflushing/internal/query"
+)
+
+// TestResizeCacheShrinkEvictsToBudget fills the record cache, shrinks
+// it live, and checks least-recently-used entries were evicted until
+// the resident bytes fit the new budget.
+func TestResizeCacheShrinkEvictsToBudget(t *testing.T) {
+	tier := fastTier(t, Config[string]{CacheBytes: 1 << 20})
+	fillSegments(t, tier, 6, 40)
+
+	for id := uint64(1); id <= 200; id++ {
+		if _, err := tier.Search([]string{fmt.Sprintf("k%d", id)}, query.OpSingle, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tier.Stats()
+	if before.CacheBytes == 0 {
+		t.Fatal("cache empty before the shrink; nothing to evict")
+	}
+
+	applied := tier.ResizeCache(4096)
+	if applied <= 0 || applied > 4096 {
+		t.Fatalf("applied budget %d, want (0, 4096]", applied)
+	}
+	after := tier.Stats()
+	if after.CacheBytes > applied {
+		t.Fatalf("resident %d bytes exceeds shrunk budget %d", after.CacheBytes, applied)
+	}
+	if after.CacheEvictions <= before.CacheEvictions {
+		t.Fatal("shrink evicted nothing")
+	}
+	// The cache still works at the new size.
+	if _, err := tier.Search([]string{"common"}, query.OpSingle, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResizeCacheGrowAdmitsMore shrinks to a sliver, grows back, and
+// checks the regrown cache admits entries the small one could not hold.
+func TestResizeCacheGrowAdmitsMore(t *testing.T) {
+	tier := fastTier(t, Config[string]{CacheBytes: 2048})
+	fillSegments(t, tier, 4, 25)
+
+	for id := uint64(1); id <= 100; id++ {
+		if _, err := tier.Search([]string{fmt.Sprintf("k%d", id)}, query.OpSingle, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	small := tier.Stats().CacheBytes
+
+	tier.ResizeCache(1 << 20)
+	for id := uint64(1); id <= 100; id++ {
+		if _, err := tier.Search([]string{fmt.Sprintf("k%d", id)}, query.OpSingle, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := tier.Stats().CacheBytes
+	if grown <= small {
+		t.Fatalf("grown cache holds %d bytes, small one held %d", grown, small)
+	}
+}
+
+// TestResizeCacheDisabledIsNoOp: a tier opened with the cache off
+// reports 0 from ResizeCache and stays off.
+func TestResizeCacheDisabledIsNoOp(t *testing.T) {
+	tier := fastTier(t, Config[string]{CacheBytes: -1})
+	fillSegments(t, tier, 2, 10)
+	if applied := tier.ResizeCache(1 << 20); applied != 0 {
+		t.Fatalf("disabled cache applied budget %d", applied)
+	}
+	if _, err := tier.Search([]string{"common"}, query.OpSingle, 5); err != nil {
+		t.Fatal(err)
+	}
+	if st := tier.Stats(); st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Fatalf("disabled cache recorded activity after resize: %+v", st)
+	}
+}
+
+// TestCacheCountersMatchStats cross-checks the tuner's cheap sampling
+// path against the full Stats snapshot.
+func TestCacheCountersMatchStats(t *testing.T) {
+	tier := fastTier(t, Config[string]{})
+	fillSegments(t, tier, 2, 10)
+	for i := 0; i < 4; i++ {
+		if _, err := tier.Search([]string{"common"}, query.OpSingle, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := tier.CacheCounters()
+	st := tier.Stats()
+	if hits != st.CacheHits || misses != st.CacheMisses {
+		t.Fatalf("CacheCounters (%d, %d) != Stats (%d, %d)", hits, misses, st.CacheHits, st.CacheMisses)
+	}
+	if hits == 0 {
+		t.Fatal("no cache hits after repeated identical searches")
+	}
+}
+
+// TestResizeCacheConcurrentWithReads hammers the cache with concurrent
+// searches while another goroutine repeatedly shrinks and regrows it:
+// the race-detector surface for the in-place shard budget mutation.
+func TestResizeCacheConcurrentWithReads(t *testing.T) {
+	tier := fastTier(t, Config[string]{CacheBytes: 1 << 20})
+	fillSegments(t, tier, 4, 25)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("k%d", uint64(g*25+i%25+1))
+				if _, err := tier.Search([]string{key}, query.OpSingle, 5); err != nil {
+					t.Errorf("Search: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		if i%2 == 0 {
+			tier.ResizeCache(4096)
+		} else {
+			tier.ResizeCache(1 << 20)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if budget := tier.cache.budgetBytes(); budget > 1<<20 {
+		t.Fatalf("final budget %d exceeds the last applied total", budget)
+	}
+}

@@ -1188,6 +1188,39 @@ func (t *Tier[K]) Stats() Stats {
 	return st
 }
 
+// ResizeCache retunes the record cache's total byte budget live,
+// evicting LRU entries on shrink. The cache structure itself is shared
+// with concurrent readers and mutated shard-by-shard under shard locks,
+// so no search is ever blocked for the whole resize. Returns the budget
+// actually applied (0 when the cache is disabled — a disabled cache
+// cannot be enabled after open, so the call is a no-op).
+func (t *Tier[K]) ResizeCache(total int64) int64 {
+	if t.cache == nil || total <= 0 {
+		return 0
+	}
+	return t.cache.setBudget(total)
+}
+
+// CacheBudgetBytes returns the record cache's current total byte
+// budget (0 when the cache is disabled) — the value a live resize most
+// recently applied.
+func (t *Tier[K]) CacheBudgetBytes() int64 {
+	if t.cache == nil {
+		return 0
+	}
+	return t.cache.budgetBytes()
+}
+
+// CacheCounters returns the record cache's hit/miss totals without the
+// cost of a full Stats snapshot: two atomic loads, cheap enough for a
+// controller sampling loop.
+func (t *Tier[K]) CacheCounters() (hits, misses int64) {
+	if t.cache == nil {
+		return 0, 0
+	}
+	return t.cache.hits.Load(), t.cache.misses.Load()
+}
+
 // Close stops the background compactor and releases the tier's
 // references to all segments; handles close once in-flight searches
 // drain.

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	rtrace "runtime/trace"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,7 @@ import (
 	"kflushing/internal/ranking"
 	"kflushing/internal/store"
 	"kflushing/internal/trace"
+	"kflushing/internal/tuner"
 	"kflushing/internal/types"
 	"kflushing/internal/wal"
 )
@@ -136,6 +138,16 @@ type Config[K comparable] struct {
 	// that capture attaches a trace to every query while enabled, so
 	// misses bypass disk-search coalescing like any traced query.
 	SlowQueryNanos int64
+	// AdaptiveMemory enables the feedback memory tuner: a deterministic
+	// controller that retunes the flush budget B, the flush trigger
+	// watermark, and the disk record cache size from observed flush and
+	// miss costs, applied only between flush cycles. Off by default;
+	// with TunerLimits pinned to the static values the engine is
+	// bit-equivalent to a static configuration.
+	AdaptiveMemory bool
+	// TunerLimits bounds the tuner when AdaptiveMemory is set; zero
+	// values select the tuner package defaults.
+	TunerLimits tuner.Limits
 }
 
 // Engine is one attribute's complete data management system. All
@@ -197,6 +209,17 @@ type Engine[K comparable] struct {
 	// scratch pools per-batch ingest scratch slices across IngestBatch
 	// calls. Nil under AllocPolicy=heap.
 	scratch *sync.Pool
+
+	// tun is the adaptive memory controller (nil when AdaptiveMemory is
+	// off). Applied targets are mirrored into the atomics below so the
+	// ingest and flush hot paths read them lock-free; they only change
+	// under flushMu (see tuner.go).
+	tun            *tuner.Tuner
+	tunedWatermark atomic.Int64
+	tunedFraction  atomic.Uint64 // math.Float64bits of the tuned B
+	tunedCache     atomic.Int64
+	tunStop        chan struct{}
+	tunWG          sync.WaitGroup
 }
 
 // ingestScratch is the reusable per-batch working set of IngestBatch:
@@ -331,6 +354,31 @@ func New[K comparable](cfg Config[K]) (*Engine[K], error) {
 		blackbox.RegisterDumper(cfg.DiskDir, func(reason string) (string, error) {
 			return e.bbox.Dump(cfg.DiskDir, reason)
 		})
+	}
+	if cfg.AdaptiveMemory {
+		// Anchor the controller at the effective static values (the
+		// disk package applies the cache default itself, so mirror it).
+		cacheBytes := cfg.DiskCacheBytes
+		if cacheBytes == 0 {
+			cacheBytes = disk.DefaultCacheBytes
+		}
+		if cacheBytes < 0 {
+			cacheBytes = 0
+		}
+		e.tun = tuner.New(tuner.Config{
+			MemoryBudget:  cfg.MemoryBudget,
+			FlushFraction: cfg.FlushFraction,
+			CacheBytes:    cacheBytes,
+			Limits:        cfg.TunerLimits,
+		})
+		e.tunedWatermark.Store(cfg.MemoryBudget)
+		e.tunedFraction.Store(math.Float64bits(cfg.FlushFraction))
+		e.tunedCache.Store(cacheBytes)
+		if !cfg.SyncFlush {
+			e.tunStop = make(chan struct{})
+			e.tunWG.Add(1)
+			go e.tunerLoop()
+		}
 	}
 	return e, nil
 }
@@ -519,11 +567,13 @@ func (e *Engine[K]) AllocStats() (alloc.SliceStats, alloc.RecyclerStats) {
 // new flush is therefore allowed only after memory grew by at least
 // 0.5% of the budget since the previous one ended.
 func (e *Engine[K]) maybeFlush(trigger string) {
+	e.maybeTune() // adaptive memory: tick rides the ingest path
 	used := e.mem.Used()
-	if used < e.cfg.MemoryBudget {
+	wm := e.watermarkBytes()
+	if used < wm {
 		return
 	}
-	if used < e.lastFlushUsed.Load()+e.cfg.MemoryBudget/200 {
+	if used < e.lastFlushUsed.Load()+wm/200 {
 		return
 	}
 	if !e.flushMu.TryLock() {
@@ -546,6 +596,9 @@ func (e *Engine[K]) runFlushLocked(trigger string) {
 		slog.Error("engine: background flush failed",
 			"policy", e.pol.Name(), "trigger", trigger, "error", err)
 	}
+	// Retune between cycles, still under the gate: the cycle that just
+	// ran used the old targets; the next one sees the new.
+	e.tuneTickLocked()
 }
 
 // flushCycle runs the policy once at the configured target, updates the
@@ -558,7 +611,7 @@ func (e *Engine[K]) flushCycle(trigger string) (int64, error) {
 	// regions (and any GC or scheduler interference) under one span.
 	ctx, task := rtrace.NewTask(context.Background(), "flush-cycle")
 	defer task.End()
-	target := int64(e.cfg.FlushFraction * float64(e.cfg.MemoryBudget))
+	target := int64(e.flushFraction() * float64(e.cfg.MemoryBudget))
 	e.journal.Begin(e.pol.Name(), trigger, target, e.mem.Used(), start)
 	// Only budget-triggered background cycles may enqueue their batch to
 	// the pipeline: manual, recovery and degraded-probe cycles stay
@@ -631,7 +684,12 @@ func (e *Engine[K]) FlushNow() (int64, error) {
 	}
 	e.flushMu.Lock()
 	defer e.flushMu.Unlock()
-	return e.flushCycle(flushlog.TriggerManual)
+	freed, err := e.flushCycle(flushlog.TriggerManual)
+	// Manual cycles retune like budget cycles do: between cycles, under
+	// the gate. Without this a FlushNow-driven workload that keeps the
+	// gate saturated would starve the controller entirely.
+	e.tuneTickLocked()
+	return freed, err
 }
 
 // Search evaluates one basic top-k search query (Section II-B). The
@@ -977,6 +1035,10 @@ type Stats struct {
 	// is the error that entered it.
 	Degraded       bool
 	DegradedReason string
+	// TunerEnabled / Tuner report the adaptive memory controller (zero
+	// when AdaptiveMemory is off).
+	TunerEnabled bool
+	Tuner        tuner.State
 }
 
 // Stats gathers a snapshot. Taking a census scans the index; avoid
@@ -997,6 +1059,8 @@ func (e *Engine[K]) Stats() Stats {
 		Census:         e.idx.TakeCensus(),
 		Metrics:        e.reg.Snap(),
 		Disk:           e.tier.Stats(),
+		TunerEnabled:   e.tun != nil,
+		Tuner:          e.tun.State(),
 	}
 }
 
@@ -1009,6 +1073,10 @@ func (e *Engine[K]) Close() error {
 	}
 	if e.bbox != nil {
 		blackbox.UnregisterDumper(e.cfg.DiskDir)
+	}
+	if e.tunStop != nil {
+		close(e.tunStop)
+		e.tunWG.Wait()
 	}
 	// Drain any in-flight background flush first (closed is set, so no
 	// new cycle can start once the gate is observed free), then drain

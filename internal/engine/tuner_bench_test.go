@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchTunerArms runs fn against a static engine and an adaptive twin
+// as sub-benchmarks, so `-bench TunerFlashCrowd` prints the comparison
+// side by side (results/pr10_tuner_bench.txt records the published
+// figures).
+func benchTunerArms(b *testing.B, budget, cacheBytes int64, fn func(b *testing.B, eng *Engine[string])) {
+	for _, arm := range []struct {
+		name     string
+		adaptive bool
+	}{{"static", false}, {"adaptive", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			eng := newTunedEngine(b, budget, cacheBytes, arm.adaptive)
+			b.ResetTimer()
+			fn(b, eng)
+		})
+	}
+}
+
+// BenchmarkTunerFlashCrowd measures sustained hot-keyword ingest — the
+// write-heavy regime where the adaptive arm raises B (fewer, larger
+// flush cycles) and cedes cache. ns/op is the per-record ingest cost
+// with flush cycles amortized in.
+func BenchmarkTunerFlashCrowd(b *testing.B) {
+	benchTunerArms(b, 24<<10, 256<<10, func(b *testing.B, eng *Engine[string]) {
+		for i := 0; i < b.N; i++ {
+			ingestKeyed(b, eng, "flash", fmt.Sprintf("u%d", i))
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(eng.Metrics().Flushes.Load())/float64(b.N), "flushes/op")
+		if st, ok := eng.TunerState(); ok {
+			b.ReportMetric(st.FlushFraction, "B")
+		}
+	})
+}
+
+// BenchmarkTunerDiurnal replays the full deterministic diurnal-drift
+// script (write morning, read evening) once per iteration on a fresh
+// engine. The hitratio metric is the read-phase disk-cache hit ratio —
+// the figure the adaptive arm improves by growing the cache out of the
+// lowered watermark.
+func BenchmarkTunerDiurnal(b *testing.B) {
+	for _, arm := range []struct {
+		name     string
+		adaptive bool
+	}{{"static", false}, {"adaptive", true}} {
+		b.Run(arm.name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				eng := newTunedEngine(b, 128<<10, 4096, arm.adaptive)
+				ratio = driveDiurnal(b, eng)
+			}
+			b.ReportMetric(ratio, "hitratio")
+		})
+	}
+}

@@ -1,0 +1,71 @@
+//go:build failpoint
+
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"kflushing/internal/failpoint"
+)
+
+// writePressure drives enough hot-keyword ingest through the engine
+// that flush cycles run and every due tick sees one-sided write cost.
+func writePressure(t *testing.T, eng *Engine[string], n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		ingestKeyed(t, eng, "flash", fmt.Sprintf("fp%d", i))
+	}
+}
+
+// TestTunerApplyFailpointSkipsAdjustment: an injected failure at
+// engine/tuner/apply must skip the whole evaluation — no adjustment is
+// applied, the controller's internal state never diverges from the
+// engine's applied targets, and the static knobs stay in force.
+func TestTunerApplyFailpointSkipsAdjustment(t *testing.T) {
+	eng := newTunedEngine(t, 24<<10, 256<<10, true)
+	mustEnable(t, failpoint.TunerApply, "error")
+
+	writePressure(t, eng, 1500)
+	st, ok := eng.TunerState()
+	if !ok {
+		t.Fatal("tuner off")
+	}
+	if st.Ticks != 0 || st.Adjusts != 0 {
+		t.Fatalf("failpointed apply still evaluated: ticks=%d adjusts=%d", st.Ticks, st.Adjusts)
+	}
+	if eng.flushFraction() != 0.1 || eng.watermarkBytes() != 24<<10 {
+		t.Fatalf("targets moved despite injected apply failure: B=%v wm=%d",
+			eng.flushFraction(), eng.watermarkBytes())
+	}
+
+	// Disarm: the next due tick picks up where the static state left
+	// off and the controller starts evaluating again.
+	failpoint.Disable(failpoint.TunerApply)
+	writePressure(t, eng, 1500)
+	st, _ = eng.TunerState()
+	if st.Ticks == 0 {
+		t.Fatal("controller did not recover after the failpoint was disarmed")
+	}
+	if st.Adjusts == 0 {
+		t.Fatal("write pressure applied no adjustment after disarm")
+	}
+}
+
+// TestTunerApplyFailpointBoundedFailures: error(N) lets the first N
+// apply attempts fail and the controller come back by itself — the
+// injected-failure path must not wedge the tick cadence.
+func TestTunerApplyFailpointBoundedFailures(t *testing.T) {
+	eng := newTunedEngine(t, 24<<10, 256<<10, true)
+	mustEnable(t, failpoint.TunerApply, "error(5)")
+	defer failpoint.Disable(failpoint.TunerApply)
+
+	writePressure(t, eng, 3000)
+	st, _ := eng.TunerState()
+	if st.Ticks == 0 {
+		t.Fatal("controller never recovered from bounded apply failures")
+	}
+	if st.Adjusts == 0 {
+		t.Fatal("no adjustment applied after the failure budget drained")
+	}
+}

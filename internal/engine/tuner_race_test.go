@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"kflushing/internal/alloc"
+	"kflushing/internal/attr"
+	"kflushing/internal/clock"
+	"kflushing/internal/core"
+	"kflushing/internal/policy"
+	"kflushing/internal/tuner"
+)
+
+// tunedRaceEngine is raceEngine with the adaptive memory tuner on at a
+// hair-trigger cadence: background flushing (so the wall-clock tuner
+// loop also runs), Interval 1 on the logical clock (every ingest batch
+// is due), and wide cache bounds so live resizes actually happen under
+// the stress load.
+func tunedRaceEngine(t *testing.T, pol policy.Policy[string], trackOverK bool, ap alloc.Policy) *Engine[string] {
+	t.Helper()
+	eng, err := New(Config[string]{
+		K:              5,
+		MemoryBudget:   96 << 10,
+		FlushFraction:  0.25,
+		DiskCacheBytes: 256 << 10,
+		KeysOf:         attr.KeywordKeys,
+		KeyHash:        attr.HashString,
+		KeyLen:         attr.KeywordLen,
+		EncodeKey:      attr.KeywordEncode,
+		Clock:          clock.NewLogical(1, 1),
+		DiskDir:        t.TempDir(),
+		Policy:         pol,
+		TrackOverK:     trackOverK,
+		AllocPolicy:    ap,
+		AdaptiveMemory: true,
+		TunerLimits:    tuner.Limits{Interval: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := eng.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return eng
+}
+
+// TestConcurrentStressTunerKFlushing runs the standard stress battery
+// with the tuner retuning continuously: controller ticks race against
+// ingest, background flushing, searches, and the tuner's own poll
+// goroutine.
+func TestConcurrentStressTunerKFlushing(t *testing.T) {
+	stressBothAllocPolicies(t, func(t *testing.T, ap alloc.Policy) *Engine[string] {
+		return tunedRaceEngine(t, core.New[string](), true, ap)
+	})
+}
+
+// TestConcurrentStressTunerFIFO covers the budgetAware path: the tuner
+// hands FIFO retuned segment byte targets while OnIngest reads them.
+func TestConcurrentStressTunerFIFO(t *testing.T) {
+	stressBothAllocPolicies(t, func(t *testing.T, ap alloc.Policy) *Engine[string] {
+		return tunedRaceEngine(t, policy.NewFIFO[string](24<<10), false, ap)
+	})
+}
+
+// TestConcurrentStressTunerStateReaders points observability readers
+// (TunerState, Stats) at the engine while the stress load and the
+// controller both run: the /debug/tuner and /metrics scrape path must
+// never race a decision application.
+func TestConcurrentStressTunerStateReaders(t *testing.T) {
+	eng := tunedRaceEngine(t, core.New[string](), true, alloc.PolicyPooled)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if st, ok := eng.TunerState(); ok && st.Ticks < 0 {
+					t.Error("negative tick count")
+					return
+				}
+				_ = eng.Stats()
+			}
+		}()
+	}
+	stress(t, eng)
+	close(stop)
+	wg.Wait()
+
+	st, ok := eng.TunerState()
+	if !ok {
+		t.Fatal("tuner off")
+	}
+	if st.Ticks == 0 {
+		deg, reason := eng.Degraded()
+		t.Fatalf("stress run never ticked the controller (degraded=%v reason=%q err=%v flushes=%d due=%v)",
+			deg, reason, eng.Err(), eng.Metrics().Flushes.Load(), eng.tun.Due(eng.clk.Now()))
+	}
+}

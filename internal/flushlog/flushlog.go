@@ -47,6 +47,11 @@ const (
 	// TriggerDegradedClear marks the engine leaving degraded mode after
 	// a successful tier write or readiness probe.
 	TriggerDegradedClear = "degraded-clear"
+	// TriggerTuner marks an adaptive-memory-tuner adjustment: the
+	// controller retuned the flush budget, watermark, or cache size
+	// between flush cycles. Begin and End are written together; no
+	// flushing happens under this trigger.
+	TriggerTuner = "tuner"
 	// TriggerPipeline marks the asynchronous completion (build + install
 	// + release) of a batch a budget-triggered cycle enqueued on the
 	// flush pipeline; the prepare half is the enqueueing cycle's event.

@@ -64,6 +64,7 @@ func (s *Store) HandlerWithOptions(o HandlerOptions) http.Handler {
 	mux.HandleFunc("/debug/flushlog", s.handleFlushLog)
 	mux.HandleFunc("/debug/blackbox", s.handleBlackbox)
 	mux.HandleFunc("/debug/slowlog", s.handleSlowLog)
+	mux.HandleFunc("/debug/tuner", s.handleTuner)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -408,6 +409,25 @@ func (s *Store) handleSlowLog(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, logs)
 }
 
+// handleTuner serves the adaptive memory tuner's per-attribute state:
+// the targets in force, tick/adjustment/sign-flip counters, the last
+// pressure reading, and the configured bounds. Attributes running
+// without the tuner report enabled=false. ?attr restricts to one
+// attribute system.
+func (s *Store) handleTuner(w http.ResponseWriter, r *http.Request) {
+	states := s.TunerStates()
+	if attr := r.URL.Query().Get("attr"); attr != "" {
+		st, ok := states[attr]
+		if !ok {
+			http.Error(w, "attr must be keyword|spatial|user", http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]any{attr: st})
+		return
+	}
+	writeJSON(w, states)
+}
+
 // handleReady is the readiness probe: it verifies every attribute
 // system can actually write (disk tier dir writable, WAL appendable
 // when durable) and answers 503 with the failing attributes otherwise.
@@ -508,6 +528,23 @@ func (s *Store) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(st kflushing.Stats) float64 { return float64(st.Disk.CacheEvictions) })
 	emit("disk_cache_bytes", "gauge", "bytes resident in the disk read cache",
 		func(st kflushing.Stats) float64 { return float64(st.Disk.CacheBytes) })
+	emit("tuner_enabled", "gauge", "1 while the adaptive memory tuner is on for the attribute system",
+		func(st kflushing.Stats) float64 {
+			if st.TunerEnabled {
+				return 1
+			}
+			return 0
+		})
+	emit("tuner_flush_fraction", "gauge", "adaptive flush budget B currently in force (0 when the tuner is off)",
+		func(st kflushing.Stats) float64 { return st.Tuner.FlushFraction })
+	emit("tuner_watermark_bytes", "gauge", "adaptive flush trigger watermark currently in force (0 when the tuner is off)",
+		func(st kflushing.Stats) float64 { return float64(st.Tuner.WatermarkBytes) })
+	emit("tuner_cache_bytes", "gauge", "adaptive disk record cache budget currently in force (0 when the tuner is off)",
+		func(st kflushing.Stats) float64 { return float64(st.Tuner.CacheBytes) })
+	emit("tuner_adjustments_total", "counter", "tuner decisions that changed at least one knob",
+		func(st kflushing.Stats) float64 { return float64(st.Tuner.Adjusts) })
+	emit("tuner_sign_flips_total", "counter", "tuner direction reversals actually applied (oscillation indicator)",
+		func(st kflushing.Stats) float64 { return float64(st.Tuner.SignFlips) })
 	emit("degraded", "gauge", "1 while the attribute system is in degraded read-only mode (tier writes failing)",
 		func(st kflushing.Stats) float64 {
 			if st.Degraded {

@@ -272,6 +272,25 @@ func (s *Store) SetK(k int) {
 	s.us.SetK(k)
 }
 
+// TunerStatus is one attribute system's adaptive-memory report.
+type TunerStatus struct {
+	Enabled bool                 `json:"enabled"`
+	State   kflushing.TunerState `json:"state"`
+}
+
+// TunerStates reports the adaptive memory tuner per attribute; systems
+// running without the tuner report Enabled false and a zero state.
+func (s *Store) TunerStates() map[string]TunerStatus {
+	out := make(map[string]TunerStatus, 3)
+	kw, kwOK := s.kw.TunerState()
+	sp, spOK := s.sp.TunerState()
+	us, usOK := s.us.TunerState()
+	out["keyword"] = TunerStatus{Enabled: kwOK, State: kw}
+	out["spatial"] = TunerStatus{Enabled: spOK, State: sp}
+	out["user"] = TunerStatus{Enabled: usOK, State: us}
+	return out
+}
+
 // Stats returns per-attribute snapshots.
 func (s *Store) Stats() map[string]kflushing.Stats {
 	return map[string]kflushing.Stats{

@@ -1,0 +1,169 @@
+package tuner
+
+import (
+	"testing"
+
+	"kflushing/internal/types"
+)
+
+// checkInvariants asserts, between two consecutive State snapshots, the
+// three documented controller invariants plus the per-tick step bound:
+//
+//  1. every knob within its bounds,
+//  2. watermark + cache within the static envelope,
+//  3. no knob moved by more than one step,
+//  4. an applied move never has the opposite sign of the previous
+//     applied move on the immediately following tick.
+func checkInvariants(t *testing.T, tn *Tuner, prev, cur State, prevTickDir int, changed bool) {
+	t.Helper()
+	l := cur.Limits
+	if cur.FlushFraction < l.MinFlushFraction-1e-9 || cur.FlushFraction > l.MaxFlushFraction+1e-9 {
+		t.Fatalf("B %v outside [%v, %v]", cur.FlushFraction, l.MinFlushFraction, l.MaxFlushFraction)
+	}
+	minWm := int64(l.MinWatermarkFraction * float64(tn.cfg.MemoryBudget))
+	maxWm := int64(l.MaxWatermarkFraction * float64(tn.cfg.MemoryBudget))
+	if cur.WatermarkBytes < minWm || cur.WatermarkBytes > maxWm {
+		t.Fatalf("watermark %d outside [%d, %d]", cur.WatermarkBytes, minWm, maxWm)
+	}
+	if cur.CacheBytes < l.MinCacheBytes || cur.CacheBytes > l.MaxCacheBytes {
+		t.Fatalf("cache %d outside [%d, %d]", cur.CacheBytes, l.MinCacheBytes, l.MaxCacheBytes)
+	}
+	if cur.WatermarkBytes+cur.CacheBytes > tn.Envelope() {
+		t.Fatalf("envelope exceeded: %d+%d > %d", cur.WatermarkBytes, cur.CacheBytes, tn.Envelope())
+	}
+	stepB := l.Step*(l.MaxFlushFraction-l.MinFlushFraction) + 1e-9
+	if d := cur.FlushFraction - prev.FlushFraction; d > stepB || d < -stepB {
+		t.Fatalf("B moved %v in one tick (step %v)", d, stepB)
+	}
+	stepBytes := int64(l.Step * float64(tn.cfg.MemoryBudget))
+	if stepBytes < 1 {
+		stepBytes = 1
+	}
+	if d := cur.WatermarkBytes - prev.WatermarkBytes; d > stepBytes || d < -stepBytes {
+		t.Fatalf("watermark moved %d in one tick (step %d)", d, stepBytes)
+	}
+	if d := cur.CacheBytes - prev.CacheBytes; d > stepBytes || d < -stepBytes {
+		t.Fatalf("cache moved %d in one tick (step %d)", d, stepBytes)
+	}
+	// prevTickDir is the direction the IMMEDIATELY preceding tick
+	// applied (0 if it held): a reversal straight after a move is the
+	// oscillation the two-tick confirmation forbids. Reversals after at
+	// least one intervening hold are legal.
+	if changed && prevTickDir != 0 && cur.Direction == -prevTickDir {
+		t.Fatal("opposite-direction move applied on the tick immediately after the previous move")
+	}
+}
+
+// splitmix64 is the deterministic generator the fuzz driver expands its
+// seed with; no math/rand so the corpus replays bit-identically.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fuzzConfigs are the limit shapes the signal fuzz runs under: the
+// defaults, a tight envelope, a pinned (clamped) controller, and a
+// cache-disabled one.
+func fuzzConfigs() []Config {
+	base := Config{MemoryBudget: 1 << 20, FlushFraction: 0.1, CacheBytes: 256 << 10, Limits: Limits{Interval: 10}}
+	tight := base
+	tight.Limits = Limits{
+		Interval: 10, Step: 0.25, Deadband: 0.05,
+		MinFlushFraction: 0.1, MaxFlushFraction: 0.4,
+		MinWatermarkFraction: 0.6, MaxWatermarkFraction: 1.0,
+		MinCacheBytes: 128 << 10, MaxCacheBytes: 512 << 10,
+	}
+	clamped := base
+	clamped.Limits = Limits{
+		Interval:         10,
+		MinFlushFraction: 0.1, MaxFlushFraction: 0.1,
+		MinWatermarkFraction: 1.0, MaxWatermarkFraction: 1.0,
+		MinCacheBytes: 256 << 10, MaxCacheBytes: 256 << 10,
+	}
+	nocache := base
+	nocache.CacheBytes = 0
+	return []Config{base, tight, clamped, nocache}
+}
+
+// runSignalStream feeds ticks derived from seed and checks every
+// invariant after every tick. Cumulative counters are built by adding
+// non-negative deltas, like the engine's real registries.
+func runSignalStream(t *testing.T, cfg Config, seed uint64, ticks int) {
+	t.Helper()
+	tn := New(cfg)
+	// Judge clamping on the normalized limits: all-zero inputs select
+	// the wide defaults, not a pinned controller.
+	nl := tn.State().Limits
+	clamped := nl.MinFlushFraction == nl.MaxFlushFraction &&
+		nl.MinWatermarkFraction == nl.MaxWatermarkFraction &&
+		nl.MinCacheBytes == nl.MaxCacheBytes
+	var s Signals
+	now := int64(100)
+	prev := tn.State()
+	prevTickDir := 0
+	for i := 0; i < ticks; i++ {
+		// Deltas in [0, 1023] ns per window, with occasional idle and
+		// occasional one-sided extremes so every branch is reachable.
+		r := splitmix64(&seed)
+		wd, rd := int64(r&1023), int64((r>>10)&1023)
+		switch (r >> 60) & 7 {
+		case 0:
+			wd, rd = 0, 0 // idle window
+		case 1:
+			rd = 0 // pure write pressure
+		case 2:
+			wd = 0 // pure read pressure
+		}
+		s.Flushes++
+		s.FlushNanos += wd
+		s.Misses++
+		s.MissNanos += rd
+		s.Ingested += int64(r & 255)
+		d, changed := tn.Tick(types.Timestamp(now), s)
+		if !d.Ticked {
+			t.Fatalf("tick %d not due", i)
+		}
+		if clamped && changed {
+			t.Fatalf("clamped controller emitted a change at tick %d", i)
+		}
+		cur := tn.State()
+		checkInvariants(t, tn, prev, cur, prevTickDir, changed)
+		prevTickDir = 0
+		if changed {
+			prevTickDir = d.Direction
+		}
+		prev = cur
+		now += cfg.Limits.Interval + int64(r>>61) // jittered but always due
+	}
+	st := tn.State()
+	if st.Ticks != int64(ticks) || st.Adjusts+st.Holds != st.Ticks {
+		t.Fatalf("counters: ticks=%d adjusts=%d holds=%d", st.Ticks, st.Adjusts, st.Holds)
+	}
+}
+
+// TestControllerInvariantsUnderRandomSignals is the deterministic
+// property battery: 64 seeded streams per limit shape.
+func TestControllerInvariantsUnderRandomSignals(t *testing.T) {
+	for ci, cfg := range fuzzConfigs() {
+		for seed := uint64(0); seed < 64; seed++ {
+			runSignalStream(t, cfg, seed*2654435761+uint64(ci), 200)
+		}
+	}
+}
+
+// FuzzTick lets the fuzzer hunt for signal sequences that violate the
+// controller invariants under every limit shape.
+func FuzzTick(f *testing.F) {
+	f.Add(uint64(1), uint8(50))
+	f.Add(uint64(0xdeadbeef), uint8(200))
+	f.Add(uint64(42), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, ticks uint8) {
+		n := int(ticks)%256 + 1
+		for _, cfg := range fuzzConfigs() {
+			runSignalStream(t, cfg, seed, n)
+		}
+	})
+}

@@ -1,0 +1,416 @@
+// Package tuner is the engine's adaptive memory controller: a
+// deterministic feedback loop that arbitrates the "memory wall" between
+// the in-memory store (index + raw records, governed by the flush
+// trigger watermark), the flush budget B, and the disk tier's decoded
+// record cache.
+//
+// The model follows the LSM memory tuner of "Breaking Down Memory
+// Walls" (PAPERS.md): sample the cumulative cost counters the engine
+// already maintains, compare the cost of flushing (write pressure)
+// against the cost of memory-miss disk reads (read pressure), and shift
+// resources toward whichever side is paying more. Under a write-heavy
+// regime the controller raises the flush budget B (bigger, rarer
+// flushes amortize per-cycle fixed cost), raises the trigger watermark,
+// and shrinks the record cache; under a read-heavy regime it does the
+// reverse, growing the cache out of the bytes the lowered watermark
+// frees.
+//
+// Every decision is pure arithmetic over sampled Signals and the
+// configured Limits — no wall-clock reads, no randomness — so driving
+// the tick from a logical clock replays identically. Three invariants
+// hold for every emitted decision and are enforced by the property
+// battery in this package:
+//
+//   - B stays within [MinFlushFraction, MaxFlushFraction], the
+//     watermark within its fraction bounds, the cache within
+//     [MinCacheBytes, MaxCacheBytes].
+//   - watermark + cache never exceeds the static configuration's
+//     combined footprint (MemoryBudget + initial cache bytes), so
+//     enabling the tuner never grows the process's memory envelope.
+//   - No knob moves by more than one step per tick, and a move in one
+//     direction is never applied on the tick immediately after a move
+//     in the other (a direction change must persist for two consecutive
+//     due ticks), bounding oscillation.
+//
+// A nil *Tuner is the disabled controller: every method is safe to call
+// on it and reports "not due / no decision", so the engine needs no
+// guards on its hot paths.
+//
+//kfvet:nilsafe
+package tuner
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"kflushing/internal/types"
+)
+
+// Limits bounds the controller. The zero value selects the defaults
+// documented on each field; setting a knob's min equal to its max pins
+// that knob, and pinning all three (min = max = the static value) makes
+// the tuner provably equivalent to a static configuration: it still
+// ticks, but never emits a change.
+type Limits struct {
+	// Interval is the clock distance between decisions, in the engine
+	// clock's own units (microseconds under the wall clock, logical
+	// units under a test clock). 0 selects 1e6 (one second of wall
+	// time).
+	Interval int64 `json:"interval"`
+	// Step is the fraction of each knob's range moved per adjustment.
+	// 0 selects 0.05.
+	Step float64 `json:"step"`
+	// Deadband is the pressure magnitude below which the controller
+	// holds instead of moving, in [0, 1). 0 selects 0.2.
+	Deadband float64 `json:"deadband"`
+	// MinFlushFraction / MaxFlushFraction bound B. Both 0 selects
+	// [0.05, 0.5], widened if needed to include the static value.
+	MinFlushFraction float64 `json:"min_flush_fraction"`
+	MaxFlushFraction float64 `json:"max_flush_fraction"`
+	// MinWatermarkFraction / MaxWatermarkFraction bound the flush
+	// trigger watermark as a fraction of MemoryBudget. Both 0 selects
+	// [0.5, 1.0]. The static watermark is exactly the budget (1.0).
+	MinWatermarkFraction float64 `json:"min_watermark_fraction"`
+	MaxWatermarkFraction float64 `json:"max_watermark_fraction"`
+	// MinCacheBytes / MaxCacheBytes bound the disk record cache. Both 0
+	// selects [initial/4 (floor 64 KiB), 4 x initial]. When the cache
+	// is disabled (initial 0) both collapse to 0 and cache arbitration
+	// is off.
+	MinCacheBytes int64 `json:"min_cache_bytes"`
+	MaxCacheBytes int64 `json:"max_cache_bytes"`
+}
+
+// Config fixes the controller's anchor points: the static values the
+// tuner starts from and is measured against.
+type Config struct {
+	// MemoryBudget is the engine's static memory budget; the initial
+	// watermark.
+	MemoryBudget int64
+	// FlushFraction is the static flush budget B; the initial value.
+	FlushFraction float64
+	// CacheBytes is the disk record cache's initial byte budget (0 or
+	// negative: cache disabled, cache arbitration off).
+	CacheBytes int64
+	// Limits bounds every decision.
+	Limits Limits
+}
+
+// Signals are the cumulative cost counters sampled at each tick. The
+// controller differences consecutive samples itself; callers pass
+// running totals.
+type Signals struct {
+	// Ingested counts records digested (ingest pressure; reported in
+	// State for observability).
+	Ingested int64
+	// Flushes and FlushNanos are the flush-cycle count and cumulative
+	// flush latency: the write-side cost.
+	Flushes    int64
+	FlushNanos int64
+	// Misses and MissNanos are the memory-miss query count and
+	// cumulative miss latency: the read-side cost.
+	Misses    int64
+	MissNanos int64
+	// CacheHits / CacheMisses are the disk record cache's counters
+	// (reported in State; the miss cost already prices cache misses).
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// Decision is one emitted retuning: the targets the engine should apply.
+type Decision struct {
+	// Ticked reports that a window was evaluated (the tick was due);
+	// false means the call was before the next deadline.
+	Ticked bool
+	// FlushFraction, WatermarkBytes and CacheBytes are the new targets
+	// (unchanged values repeat the current ones).
+	FlushFraction  float64
+	WatermarkBytes int64
+	CacheBytes     int64
+	// Direction is the applied move: +1 toward the write side, -1
+	// toward the read side, 0 for a hold.
+	Direction int
+	// Pressure is the window's signed cost imbalance in [-1, 1]
+	// (positive: flushing cost dominated).
+	Pressure float64
+}
+
+// State is a point-in-time snapshot for /debug/tuner and the metrics
+// gauges.
+type State struct {
+	FlushFraction  float64 `json:"flush_fraction"`
+	WatermarkBytes int64   `json:"watermark_bytes"`
+	CacheBytes     int64   `json:"cache_bytes"`
+	// Ticks counts evaluated windows; Adjusts the ones that moved a
+	// knob; Holds the ones that did not; SignFlips the applied
+	// direction reversals.
+	Ticks     int64 `json:"ticks"`
+	Adjusts   int64 `json:"adjustments"`
+	Holds     int64 `json:"holds"`
+	SignFlips int64 `json:"sign_flips"`
+	// LastPressure and Direction describe the most recent evaluated
+	// window.
+	LastPressure float64 `json:"last_pressure"`
+	Direction    int     `json:"direction"`
+	// LastSignals is the most recent sample, for rate inspection.
+	LastSignals Signals `json:"last_signals"`
+	Limits      Limits  `json:"limits"`
+}
+
+// Tuner is the controller. Safe for concurrent use; the engine
+// serializes decision application under its flush gate, but State may
+// be read from any goroutine.
+type Tuner struct {
+	cfg      Config
+	envelope int64 // watermark + cache ceiling: the static footprint
+
+	// nextDue is read lock-free on the ingest hot path (Due).
+	nextDue atomic.Int64
+
+	mu      sync.Mutex
+	seeded  bool
+	prev    Signals
+	frac    float64
+	wm      int64
+	cache   int64
+	lastDir int // last applied direction
+	pendDir int // direction observed last tick, awaiting confirmation
+	ticks   int64
+	adjusts int64
+	holds   int64
+	flips   int64
+	lastP   float64
+}
+
+// New builds a controller anchored at cfg's static values. Zero-valued
+// limits are filled with defaults; inverted bounds are widened to
+// include the static anchor so the initial state is always in-bounds.
+func New(cfg Config) *Tuner {
+	l := &cfg.Limits
+	if l.Interval <= 0 {
+		l.Interval = 1_000_000
+	}
+	if l.Step <= 0 {
+		l.Step = 0.05
+	}
+	if l.Deadband <= 0 {
+		l.Deadband = 0.2
+	}
+	if l.Deadband >= 1 {
+		l.Deadband = 0.99
+	}
+	if l.MinFlushFraction == 0 && l.MaxFlushFraction == 0 {
+		l.MinFlushFraction, l.MaxFlushFraction = 0.05, 0.5
+	}
+	if l.MinFlushFraction > cfg.FlushFraction {
+		l.MinFlushFraction = cfg.FlushFraction
+	}
+	if l.MaxFlushFraction < cfg.FlushFraction {
+		l.MaxFlushFraction = cfg.FlushFraction
+	}
+	if l.MinWatermarkFraction == 0 && l.MaxWatermarkFraction == 0 {
+		l.MinWatermarkFraction, l.MaxWatermarkFraction = 0.5, 1.0
+	}
+	if l.MinWatermarkFraction > 1.0 {
+		l.MinWatermarkFraction = 1.0
+	}
+	if l.MaxWatermarkFraction < 1.0 {
+		l.MaxWatermarkFraction = 1.0
+	}
+	if cfg.CacheBytes < 0 {
+		cfg.CacheBytes = 0
+	}
+	if cfg.CacheBytes == 0 {
+		l.MinCacheBytes, l.MaxCacheBytes = 0, 0
+	} else if l.MinCacheBytes == 0 && l.MaxCacheBytes == 0 {
+		l.MinCacheBytes = cfg.CacheBytes / 4
+		if l.MinCacheBytes < 64<<10 {
+			l.MinCacheBytes = 64 << 10
+		}
+		l.MaxCacheBytes = 4 * cfg.CacheBytes
+	}
+	if l.MinCacheBytes > cfg.CacheBytes {
+		l.MinCacheBytes = cfg.CacheBytes
+	}
+	if l.MaxCacheBytes < cfg.CacheBytes {
+		l.MaxCacheBytes = cfg.CacheBytes
+	}
+	return &Tuner{
+		cfg:      cfg,
+		envelope: cfg.MemoryBudget + cfg.CacheBytes,
+		frac:     cfg.FlushFraction,
+		wm:       cfg.MemoryBudget,
+		cache:    cfg.CacheBytes,
+	}
+}
+
+// Due reports whether the next tick deadline has passed: one atomic
+// load, cheap enough for the per-batch ingest path.
+func (t *Tuner) Due(now types.Timestamp) bool {
+	if t == nil {
+		return false
+	}
+	return int64(now) >= t.nextDue.Load()
+}
+
+// Tick evaluates one window. It returns the resulting decision and
+// whether it changed any target; a call before the deadline returns a
+// zero decision (Ticked false). The first due tick only seeds the
+// signal baseline.
+func (t *Tuner) Tick(now types.Timestamp, s Signals) (Decision, bool) {
+	if t == nil {
+		return Decision{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int64(now) < t.nextDue.Load() {
+		return Decision{}, false
+	}
+	t.nextDue.Store(int64(now) + t.cfg.Limits.Interval)
+	t.ticks++
+	d := Decision{
+		Ticked:         true,
+		FlushFraction:  t.frac,
+		WatermarkBytes: t.wm,
+		CacheBytes:     t.cache,
+	}
+	if !t.seeded {
+		t.seeded = true
+		t.prev = s
+		t.holds++
+		return d, false
+	}
+	writeCost := s.FlushNanos - t.prev.FlushNanos
+	readCost := s.MissNanos - t.prev.MissNanos
+	t.prev = s
+	if writeCost <= 0 && readCost <= 0 {
+		t.holds++
+		return d, false // idle window: nothing paid, nothing to rebalance
+	}
+	if writeCost < 0 {
+		writeCost = 0
+	}
+	if readCost < 0 {
+		readCost = 0
+	}
+	p := float64(writeCost-readCost) / float64(writeCost+readCost)
+	t.lastP = p
+	d.Pressure = p
+	dir := 0
+	switch {
+	case p > t.cfg.Limits.Deadband:
+		dir = 1
+	case p < -t.cfg.Limits.Deadband:
+		dir = -1
+	}
+	if dir == 0 {
+		t.pendDir = 0
+		t.holds++
+		return d, false
+	}
+	// Anti-oscillation: a direction differing from the last applied
+	// move must be observed on two consecutive due ticks before it is
+	// acted on, so a single noisy window can never reverse the
+	// controller.
+	if dir != t.lastDir && t.pendDir != dir {
+		t.pendDir = dir
+		t.holds++
+		return d, false
+	}
+	t.pendDir = dir
+	l := t.cfg.Limits
+	stepB := l.Step * (l.MaxFlushFraction - l.MinFlushFraction)
+	stepBytes := int64(l.Step * float64(t.cfg.MemoryBudget))
+	if stepBytes < 1 {
+		stepBytes = 1
+	}
+	minWm := int64(l.MinWatermarkFraction * float64(t.cfg.MemoryBudget))
+	maxWm := int64(l.MaxWatermarkFraction * float64(t.cfg.MemoryBudget))
+	newFrac := clampF(t.frac+float64(dir)*stepB, l.MinFlushFraction, l.MaxFlushFraction)
+	var newWm, newCache int64
+	if dir > 0 {
+		// Write-heavy: bigger flush quantum, later trigger, and the
+		// record cache gives its bytes back.
+		newWm = clampI(t.wm+stepBytes, minWm, maxWm)
+		newCache = clampI(t.cache-stepBytes, l.MinCacheBytes, l.MaxCacheBytes)
+	} else {
+		// Read-heavy: flush earlier and smaller, and grow the record
+		// cache out of the bytes the lowered watermark frees.
+		newWm = clampI(t.wm-stepBytes, minWm, maxWm)
+		newCache = clampI(t.cache+stepBytes, l.MinCacheBytes, l.MaxCacheBytes)
+	}
+	// The arbitrated total never exceeds the static footprint: the
+	// cache may only grow into bytes the watermark has actually ceded.
+	if newWm+newCache > t.envelope {
+		newCache = clampI(t.envelope-newWm, l.MinCacheBytes, l.MaxCacheBytes)
+		if newWm+newCache > t.envelope {
+			newWm = clampI(t.envelope-newCache, minWm, maxWm)
+		}
+	}
+	if newFrac == t.frac && newWm == t.wm && newCache == t.cache {
+		t.holds++
+		return d, false // pinned against the bounds: nowhere to move
+	}
+	if dir != t.lastDir {
+		if t.lastDir != 0 {
+			t.flips++
+		}
+		t.lastDir = dir
+	}
+	t.adjusts++
+	t.frac, t.wm, t.cache = newFrac, newWm, newCache
+	d.FlushFraction, d.WatermarkBytes, d.CacheBytes = newFrac, newWm, newCache
+	d.Direction = dir
+	return d, true
+}
+
+// State snapshots the controller for /debug/tuner and the metrics
+// gauges. A nil tuner reports the zero State.
+func (t *Tuner) State() State {
+	if t == nil {
+		return State{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return State{
+		FlushFraction:  t.frac,
+		WatermarkBytes: t.wm,
+		CacheBytes:     t.cache,
+		Ticks:          t.ticks,
+		Adjusts:        t.adjusts,
+		Holds:          t.holds,
+		SignFlips:      t.flips,
+		LastPressure:   t.lastP,
+		Direction:      t.lastDir,
+		LastSignals:    t.prev,
+		Limits:         t.cfg.Limits,
+	}
+}
+
+// Envelope returns the watermark + cache ceiling the controller
+// enforces (the static footprint). A nil tuner reports 0.
+func (t *Tuner) Envelope() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.envelope
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampI(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,37 @@
+package tuner
+
+import (
+	"testing"
+
+	"kflushing/internal/types"
+)
+
+// BenchmarkTunerDue measures the ingest hot path's controller probe —
+// one atomic load that must stay allocation-free.
+func BenchmarkTunerDue(b *testing.B) {
+	tn := New(testConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tn.Due(types.Timestamp(i))
+	}
+}
+
+// BenchmarkTunerTick measures a full controller evaluation: window
+// delta, pressure, confirmation, clamp, and envelope arbitration. This
+// bounds the per-flush-cycle overhead the adaptive mode adds.
+func BenchmarkTunerTick(b *testing.B) {
+	tn := New(testConfig())
+	interval := tn.State().Limits.Interval
+	s := Signals{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate regimes so confirmation and reversal paths both run.
+		if i%16 < 8 {
+			s = writeHeavy(s)
+		} else {
+			s = readHeavy(s)
+		}
+		tn.Tick(types.Timestamp(int64(i+1)*interval), s)
+	}
+}

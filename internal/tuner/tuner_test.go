@@ -1,0 +1,333 @@
+package tuner
+
+import (
+	"testing"
+
+	"kflushing/internal/types"
+)
+
+// testConfig is the baseline anchor used across the battery: a 1 MiB
+// budget, the paper's B=0.1, and a 256 KiB record cache.
+func testConfig() Config {
+	return Config{
+		MemoryBudget:  1 << 20,
+		FlushFraction: 0.1,
+		CacheBytes:    256 << 10,
+		Limits:        Limits{Interval: 10},
+	}
+}
+
+// writeHeavy and readHeavy are signal streams where exactly one side
+// paid during the window, so the pressure is ±1 regardless of
+// magnitudes — the deterministic extreme the engine sims also rely on.
+func writeHeavy(prev Signals) Signals {
+	prev.Flushes++
+	prev.FlushNanos += 1_000_000
+	return prev
+}
+
+func readHeavy(prev Signals) Signals {
+	prev.Misses++
+	prev.MissNanos += 1_000_000
+	return prev
+}
+
+// drive ticks the tuner n times at its own interval, deriving each
+// sample from the previous via next.
+func drive(t *testing.T, tn *Tuner, start int64, n int, next func(Signals) Signals) (last Decision, applied int) {
+	t.Helper()
+	s := tn.State().LastSignals
+	for i := 0; i < n; i++ {
+		s = next(s)
+		d, changed := tn.Tick(types.Timestamp(start+int64(i)*tn.cfg.Limits.Interval), s)
+		if !d.Ticked {
+			t.Fatalf("tick %d not due", i)
+		}
+		if changed {
+			applied++
+		}
+		last = d
+	}
+	return last, applied
+}
+
+func TestNilTunerIsSafe(t *testing.T) {
+	var tn *Tuner
+	if tn.Due(1) {
+		t.Fatal("nil tuner reported due")
+	}
+	if d, changed := tn.Tick(1, Signals{}); d.Ticked || changed {
+		t.Fatal("nil tuner emitted a decision")
+	}
+	if st := tn.State(); st != (State{}) {
+		t.Fatalf("nil tuner state not zero: %+v", st)
+	}
+	if tn.Envelope() != 0 {
+		t.Fatal("nil tuner envelope not zero")
+	}
+}
+
+func TestDefaultsAndAnchoring(t *testing.T) {
+	tn := New(testConfig())
+	l := tn.State().Limits
+	if l.Step != 0.05 || l.Deadband != 0.2 {
+		t.Fatalf("defaults not filled: step=%v deadband=%v", l.Step, l.Deadband)
+	}
+	if l.MinFlushFraction != 0.05 || l.MaxFlushFraction != 0.5 {
+		t.Fatalf("B bounds: [%v, %v]", l.MinFlushFraction, l.MaxFlushFraction)
+	}
+	if l.MinWatermarkFraction != 0.5 || l.MaxWatermarkFraction != 1.0 {
+		t.Fatalf("watermark bounds: [%v, %v]", l.MinWatermarkFraction, l.MaxWatermarkFraction)
+	}
+	if l.MinCacheBytes != 64<<10 || l.MaxCacheBytes != 4*(256<<10) {
+		t.Fatalf("cache bounds: [%d, %d]", l.MinCacheBytes, l.MaxCacheBytes)
+	}
+	st := tn.State()
+	if st.FlushFraction != 0.1 || st.WatermarkBytes != 1<<20 || st.CacheBytes != 256<<10 {
+		t.Fatalf("initial state not the static anchor: %+v", st)
+	}
+	if tn.Envelope() != (1<<20)+(256<<10) {
+		t.Fatalf("envelope %d", tn.Envelope())
+	}
+
+	// Bounds that exclude the static anchor are widened to include it,
+	// so the initial state is always legal.
+	cfg := testConfig()
+	cfg.Limits.MinFlushFraction, cfg.Limits.MaxFlushFraction = 0.3, 0.5
+	l = New(cfg).State().Limits
+	if l.MinFlushFraction > cfg.FlushFraction {
+		t.Fatalf("min B %v excludes static %v", l.MinFlushFraction, cfg.FlushFraction)
+	}
+}
+
+func TestCacheDisabledCollapsesCacheBounds(t *testing.T) {
+	cfg := testConfig()
+	cfg.CacheBytes = 0
+	tn := New(cfg)
+	l := tn.State().Limits
+	if l.MinCacheBytes != 0 || l.MaxCacheBytes != 0 {
+		t.Fatalf("cache bounds not collapsed: [%d, %d]", l.MinCacheBytes, l.MaxCacheBytes)
+	}
+	// Adjustments still move B without touching the cache.
+	drive(t, tn, 100, 3, writeHeavy)
+	st := tn.State()
+	if st.CacheBytes != 0 {
+		t.Fatalf("cache moved while disabled: %d", st.CacheBytes)
+	}
+	if st.FlushFraction <= cfg.FlushFraction {
+		t.Fatalf("B did not rise: %v", st.FlushFraction)
+	}
+}
+
+func TestDueRespectsInterval(t *testing.T) {
+	tn := New(testConfig()) // Interval 10
+	if d, _ := tn.Tick(100, Signals{}); !d.Ticked {
+		t.Fatal("first tick not due")
+	}
+	if tn.Due(105) {
+		t.Fatal("due before the interval elapsed")
+	}
+	if d, _ := tn.Tick(105, Signals{}); d.Ticked {
+		t.Fatal("early tick evaluated a window")
+	}
+	if !tn.Due(110) {
+		t.Fatal("not due at the deadline")
+	}
+}
+
+func TestFirstTickSeedsOnly(t *testing.T) {
+	tn := New(testConfig())
+	d, changed := tn.Tick(100, Signals{FlushNanos: 50})
+	if !d.Ticked || changed {
+		t.Fatalf("seed tick: ticked=%v changed=%v", d.Ticked, changed)
+	}
+	st := tn.State()
+	if st.Ticks != 1 || st.Holds != 1 || st.Adjusts != 0 {
+		t.Fatalf("seed counters: %+v", st)
+	}
+}
+
+func TestIdleWindowHolds(t *testing.T) {
+	tn := New(testConfig())
+	tn.Tick(100, Signals{FlushNanos: 50, MissNanos: 50})
+	// Same cumulative totals: nothing was paid this window.
+	d, changed := tn.Tick(110, Signals{FlushNanos: 50, MissNanos: 50})
+	if changed || d.Direction != 0 {
+		t.Fatalf("idle window moved: %+v", d)
+	}
+}
+
+func TestDeadbandHolds(t *testing.T) {
+	tn := New(testConfig())
+	tn.Tick(100, Signals{})
+	// 55/45 split: |pressure| = 0.1 < deadband 0.2.
+	d, changed := tn.Tick(110, Signals{FlushNanos: 55, MissNanos: 45})
+	if changed {
+		t.Fatal("deadband window applied a move")
+	}
+	if d.Pressure < 0.09 || d.Pressure > 0.11 {
+		t.Fatalf("pressure %v", d.Pressure)
+	}
+}
+
+// TestWriteHeavyConverges drives a pure write workload: B and the
+// watermark must move up (watermark starts pinned at its max, the
+// static budget) and the cache must shrink, one step per tick.
+func TestWriteHeavyConverges(t *testing.T) {
+	cfg := testConfig()
+	tn := New(cfg)
+	// Tick 1 seeds, tick 2 observes +1 (pending), tick 3 confirms and
+	// applies the first move.
+	_, applied := drive(t, tn, 100, 3, writeHeavy)
+	if applied != 1 {
+		t.Fatalf("applied %d moves, want 1 (seed + confirm + apply)", applied)
+	}
+	st := tn.State()
+	wantB := cfg.FlushFraction + 0.05*(0.5-0.05)
+	if diff := st.FlushFraction - wantB; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("B=%v want %v", st.FlushFraction, wantB)
+	}
+	if st.WatermarkBytes != cfg.MemoryBudget {
+		t.Fatalf("watermark %d moved past its max %d", st.WatermarkBytes, cfg.MemoryBudget)
+	}
+	step := int64(0.05 * float64(cfg.MemoryBudget))
+	if st.CacheBytes != cfg.CacheBytes-step {
+		t.Fatalf("cache %d, want %d", st.CacheBytes, cfg.CacheBytes-step)
+	}
+	if st.Direction != 1 {
+		t.Fatalf("direction %d", st.Direction)
+	}
+}
+
+// TestReadHeavyConverges drives a pure read-miss workload: the
+// watermark drops, the cache grows into the ceded bytes, and B falls.
+func TestReadHeavyConverges(t *testing.T) {
+	cfg := testConfig()
+	tn := New(cfg)
+	drive(t, tn, 100, 3, readHeavy)
+	st := tn.State()
+	if st.FlushFraction >= cfg.FlushFraction {
+		t.Fatalf("B did not fall: %v", st.FlushFraction)
+	}
+	if st.WatermarkBytes >= cfg.MemoryBudget {
+		t.Fatalf("watermark did not fall: %d", st.WatermarkBytes)
+	}
+	if st.CacheBytes <= cfg.CacheBytes {
+		t.Fatalf("cache did not grow: %d", st.CacheBytes)
+	}
+	if st.WatermarkBytes+st.CacheBytes > tn.Envelope() {
+		t.Fatalf("envelope exceeded: %d+%d > %d", st.WatermarkBytes, st.CacheBytes, tn.Envelope())
+	}
+}
+
+// TestConvergenceStopsAtBounds drives write pressure far past the
+// point where every knob is pinned; pinned ticks must count as holds,
+// not adjustments.
+func TestConvergenceStopsAtBounds(t *testing.T) {
+	cfg := testConfig()
+	tn := New(cfg)
+	drive(t, tn, 100, 60, writeHeavy)
+	st := tn.State()
+	l := st.Limits
+	if st.FlushFraction != l.MaxFlushFraction {
+		t.Fatalf("B %v not pinned at %v", st.FlushFraction, l.MaxFlushFraction)
+	}
+	if st.CacheBytes != l.MinCacheBytes {
+		t.Fatalf("cache %d not pinned at %d", st.CacheBytes, l.MinCacheBytes)
+	}
+	if st.Adjusts+st.Holds != st.Ticks {
+		t.Fatalf("counters disagree: %+v", st)
+	}
+	// Everything pinned: further pressure applies nothing.
+	before := st.Adjusts
+	drive(t, tn, 10_000, 5, writeHeavy)
+	if tn.State().Adjusts != before {
+		t.Fatal("adjusted while pinned against the bounds")
+	}
+}
+
+// TestReversalNeedsTwoTicks is the anti-oscillation contract: after an
+// applied write-side move, a single read-heavy window holds; only the
+// second consecutive one reverses.
+func TestReversalNeedsTwoTicks(t *testing.T) {
+	tn := New(testConfig())
+	drive(t, tn, 100, 3, writeHeavy) // applied +1
+	s := tn.State().LastSignals
+
+	s = readHeavy(s)
+	if _, changed := tn.Tick(1000, s); changed {
+		t.Fatal("single opposite window reversed the controller")
+	}
+	if tn.State().SignFlips != 0 {
+		t.Fatal("flip counted before the move was applied")
+	}
+	s = readHeavy(s)
+	if _, changed := tn.Tick(1010, s); !changed {
+		t.Fatal("second consecutive opposite window did not apply")
+	}
+	st := tn.State()
+	if st.SignFlips != 1 || st.Direction != -1 {
+		t.Fatalf("flips=%d dir=%d", st.SignFlips, st.Direction)
+	}
+}
+
+// TestStrictAlternationNeverMoves: a signal that flips sign every
+// window can never satisfy the two-consecutive-ticks confirmation, so
+// the controller holds forever — the oscillation bound at its extreme.
+func TestStrictAlternationNeverMoves(t *testing.T) {
+	tn := New(testConfig())
+	tn.Tick(100, Signals{})
+	s := Signals{}
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			s = writeHeavy(s)
+		} else {
+			s = readHeavy(s)
+		}
+		if _, changed := tn.Tick(types.Timestamp(110+10*i), s); changed {
+			t.Fatalf("alternating signal applied a move at tick %d", i)
+		}
+	}
+	if st := tn.State(); st.Adjusts != 0 || st.SignFlips != 0 {
+		t.Fatalf("adjusts=%d flips=%d", st.Adjusts, st.SignFlips)
+	}
+}
+
+// TestClampedNeverChanges pins every knob (min == max == static): the
+// controller still ticks and reports pressure, but never emits a
+// change — the bit-equivalence precondition the root equivalence test
+// builds on.
+func TestClampedNeverChanges(t *testing.T) {
+	cfg := testConfig()
+	cfg.Limits = Limits{
+		Interval:             10,
+		MinFlushFraction:     cfg.FlushFraction,
+		MaxFlushFraction:     cfg.FlushFraction,
+		MinWatermarkFraction: 1.0,
+		MaxWatermarkFraction: 1.0,
+		MinCacheBytes:        cfg.CacheBytes,
+		MaxCacheBytes:        cfg.CacheBytes,
+	}
+	tn := New(cfg)
+	s := Signals{}
+	for i := 0; i < 30; i++ {
+		if i < 15 {
+			s = writeHeavy(s)
+		} else {
+			s = readHeavy(s)
+		}
+		if d, changed := tn.Tick(types.Timestamp(100+10*i), s); changed {
+			t.Fatalf("clamped tuner changed targets at tick %d: %+v", i, d)
+		}
+	}
+	st := tn.State()
+	if st.Adjusts != 0 {
+		t.Fatalf("clamped tuner recorded %d adjustments", st.Adjusts)
+	}
+	if st.FlushFraction != cfg.FlushFraction || st.WatermarkBytes != cfg.MemoryBudget || st.CacheBytes != cfg.CacheBytes {
+		t.Fatalf("clamped tuner drifted: %+v", st)
+	}
+	if st.Ticks != 30 {
+		t.Fatalf("ticks %d", st.Ticks)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"kflushing/internal/query"
 	"kflushing/internal/ranking"
 	"kflushing/internal/trace"
+	"kflushing/internal/tuner"
 	"kflushing/internal/types"
 	"kflushing/internal/wal"
 )
@@ -90,6 +91,12 @@ type (
 	// SlowQuery is one auto-captured slow-query trace; see
 	// Options.SlowQueryNanos and System.SlowQueries.
 	SlowQuery = blackbox.SlowQuery
+	// TunerLimits bounds the adaptive memory tuner; see
+	// Options.AdaptiveMemory.
+	TunerLimits = tuner.Limits
+	// TunerState is the adaptive memory tuner's snapshot; see
+	// System.TunerState and the server's /debug/tuner.
+	TunerState = tuner.State
 )
 
 // ErrDegraded reports the system is in degraded read-only mode: a flush
@@ -226,6 +233,17 @@ type Options struct {
 	// everything from the Go heap — the baseline pooling is
 	// benchmarked against.
 	AllocPolicy string
+	// AdaptiveMemory enables the feedback memory tuner: a deterministic
+	// controller that observes flush cost and memory-miss cost and
+	// retunes the flush budget B, the flush trigger watermark, and the
+	// disk record cache size within Tuner's bounds, applied only
+	// between flush cycles. Off by default. With every bound pinned to
+	// the static value the system is bit-equivalent to a static
+	// configuration (the tuner ticks but never emits a change).
+	AdaptiveMemory bool
+	// Tuner bounds the adaptive memory tuner when AdaptiveMemory is
+	// set; zero values select the defaults documented on TunerLimits.
+	Tuner TunerLimits
 }
 
 func (o *Options) fill() {
@@ -337,6 +355,8 @@ func Open(dir string, opt Options) (*System, error) {
 		AllocPolicy:           ap,
 		BlackboxEvents:        opt.BlackboxEvents,
 		SlowQueryNanos:        opt.SlowQueryNanos,
+		AdaptiveMemory:        opt.AdaptiveMemory,
+		TunerLimits:           opt.Tuner,
 	})
 	if err != nil {
 		return nil, err
@@ -406,6 +426,10 @@ func (s *System) CompactAll() error { return s.eng.CompactAll() }
 
 // Stats returns a snapshot of gauges, counters, and the index census.
 func (s *System) Stats() Stats { return s.eng.Stats() }
+
+// TunerState reports the adaptive memory tuner's snapshot; ok is false
+// when Options.AdaptiveMemory is off.
+func (s *System) TunerState() (TunerState, bool) { return s.eng.TunerState() }
 
 // Err returns the most recent background flush error, if any.
 func (s *System) Err() error { return s.eng.Err() }

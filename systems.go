@@ -61,6 +61,8 @@ func OpenSpatial(dir string, grid *spatial.Grid, opt Options) (*SpatialSystem, e
 		AllocPolicy:           ap,
 		BlackboxEvents:        opt.BlackboxEvents,
 		SlowQueryNanos:        opt.SlowQueryNanos,
+		AdaptiveMemory:        opt.AdaptiveMemory,
+		TunerLimits:           opt.Tuner,
 	})
 	if err != nil {
 		return nil, err
@@ -138,6 +140,10 @@ func (s *SpatialSystem) FlushNow() (int64, error) { return s.eng.FlushNow() }
 // Stats returns a snapshot of gauges, counters, and the index census.
 func (s *SpatialSystem) Stats() Stats { return s.eng.Stats() }
 
+// TunerState reports the adaptive memory tuner's snapshot; ok is false
+// when Options.AdaptiveMemory is off.
+func (s *SpatialSystem) TunerState() (TunerState, bool) { return s.eng.TunerState() }
+
 // Close drains background work and releases the disk tier.
 func (s *SpatialSystem) Close() error { return s.eng.Close() }
 
@@ -190,6 +196,8 @@ func OpenUser(dir string, opt Options) (*UserSystem, error) {
 		AllocPolicy:           ap,
 		BlackboxEvents:        opt.BlackboxEvents,
 		SlowQueryNanos:        opt.SlowQueryNanos,
+		AdaptiveMemory:        opt.AdaptiveMemory,
+		TunerLimits:           opt.Tuner,
 	})
 	if err != nil {
 		return nil, err
@@ -244,6 +252,10 @@ func (s *UserSystem) FlushNow() (int64, error) { return s.eng.FlushNow() }
 
 // Stats returns a snapshot of gauges, counters, and the index census.
 func (s *UserSystem) Stats() Stats { return s.eng.Stats() }
+
+// TunerState reports the adaptive memory tuner's snapshot; ok is false
+// when Options.AdaptiveMemory is off.
+func (s *UserSystem) TunerState() (TunerState, bool) { return s.eng.TunerState() }
 
 // Close drains background work and releases the disk tier.
 func (s *UserSystem) Close() error { return s.eng.Close() }
